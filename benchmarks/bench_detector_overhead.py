@@ -1,0 +1,66 @@
+"""Section III-E: detection-side computational overhead.
+
+Paper: histogram update and KL computation are linear in the number of
+bins; five detectors with three clones and 1024 bins need 472 kB; the
+iterative bin identification converges fast and only runs on alarms.
+We benchmark a full detector-bank interval observation and verify the
+linear-in-bins trend.
+"""
+
+import time
+
+from repro.detection.detector import DetectorConfig
+from repro.detection.manager import DetectorBank
+from repro.traffic import TraceGenerator, switch_like
+
+
+def _bank(bins):
+    config = DetectorConfig(
+        clones=3, bins=bins, vote_threshold=3, training_intervals=4
+    )
+    return DetectorBank(config, seed=1)
+
+
+def test_detector_bank_interval_observation(benchmark, report):
+    generator = TraceGenerator(switch_like(20_000), seed=3)
+    intervals = [
+        generator.generate_interval(index=i, flow_count=20_000)
+        for i in range(6)
+    ]
+    bank = _bank(1024)
+    for flows in intervals[:4]:
+        bank.observe(flows)  # train
+
+    state = {"i": 4}
+
+    def observe_one():
+        flows = intervals[state["i"] % len(intervals)]
+        state["i"] += 1
+        return bank.observe(flows)
+
+    benchmark.pedantic(observe_one, rounds=2, iterations=1)
+
+    # Bin scaling: time a single histogram detector update at two sizes.
+    def interval_time(bins):
+        probe = _bank(bins)
+        flows = intervals[0]
+        start = time.perf_counter()
+        for _ in range(3):
+            probe.observe(flows)
+        return (time.perf_counter() - start) / 3
+
+    t_small = interval_time(256)
+    t_large = interval_time(4096)
+
+    report(
+        "",
+        "Section III-E - detector overhead "
+        "(5 detectors x 3 clones, 20k flows per interval)",
+        f"  per-interval observation at m=256: {t_small * 1000:.1f} ms; "
+        f"at m=4096: {t_large * 1000:.1f} ms",
+        "  histogram memory at m=1024: "
+        f"{5 * 3 * 1024 * 8 / 1024:.0f} kB counters (+ observed-value "
+        "maps; paper total: 472 kB)",
+    )
+    # Cost must not explode with bins (updates are O(flows + m)).
+    assert t_large < t_small * 10

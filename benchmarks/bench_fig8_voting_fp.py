@@ -1,0 +1,57 @@
+"""Fig. 8: probability that a normal feature value survives voting.
+
+Paper: gamma_V (equation (3)) against K for B=1 anomalous bin (a) and
+B=3 (b), m=1024 bins.  Marked values: for V=K=3 and B=1 the survival
+probability is (1/1024)^3 ~ 9e-10; it grows dramatically with B and
+shrinks with V.  The expected number of false feature values is gamma_V
+times the observed distinct values (up to 65 536 for ports).
+"""
+
+from repro.analysis.voting_model import (
+    expected_normal_values,
+    fig8_grid,
+    p_normal_included,
+    simulate_normal_inclusion,
+)
+
+M = 1024
+
+
+def test_fig8_normal_value_survival(benchmark, report):
+    grids = benchmark.pedantic(
+        lambda: {b: fig8_grid(b, M, range(1, 26)) for b in (1, 3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    exact_v3_b1 = p_normal_included(1, M, 3, 3)
+    exact_v3_b3 = p_normal_included(3, M, 3, 3)
+    exact_v1_b1 = p_normal_included(1, M, 3, 1)
+    mc = simulate_normal_inclusion(8, 64, 4, 2, trials=300_000, seed=5)
+    exact_mc = p_normal_included(8, 64, 4, 2)
+
+    report(
+        "",
+        "Fig. 8 - P(normal value survives voting), m=1024",
+        f"  (a) B=1: V=K=3 -> {exact_v3_b1:.2e} (paper: ~(1/1024)^3); "
+        f"V=1,K=3 -> {exact_v1_b1:.2e}",
+        f"  (b) B=3: V=K=3 -> {exact_v3_b3:.2e} "
+        f"({exact_v3_b3 / exact_v3_b1:.0f}x higher than B=1)",
+        f"  expected FP port values (B=1, V=K=3, 65536 ports): "
+        f"{expected_normal_values(1, M, 3, 3, 65536):.2e}",
+        f"  Monte-Carlo check (B=8, m=64, K=4, V=2): "
+        f"{mc:.4f} vs analytic {exact_mc:.4f}",
+    )
+    for b in (1, 3):
+        series = dict(grids[b].get(5, []))
+        sample = [f"K={k}:{series[k]:.2e}" for k in (5, 10, 20) if k in series]
+        report(f"  B={b}, V=5: " + ", ".join(sample))
+
+    assert abs(exact_v3_b1 - (1 / M) ** 3) < 1e-12
+    assert exact_v3_b3 > exact_v3_b1 * 20  # "increases dramatically with B"
+    assert abs(mc - exact_mc) < 0.005
+    # Decreasing in V at fixed K; increasing in K at fixed V=1.
+    probs_v = [p_normal_included(3, M, 5, v) for v in range(1, 6)]
+    assert probs_v == sorted(probs_v, reverse=True)
+    probs_k = [p_normal_included(3, M, k, 1) for k in range(1, 26)]
+    assert probs_k == sorted(probs_k)

@@ -1,0 +1,107 @@
+"""Fig. 9: false-positive item-sets vs minimum support.
+
+Paper: over the 31 anomalous intervals (C=3, V=3, m=1024), 70% of
+intervals produce no FP item-sets at all; the remaining intervals
+average between 8.5 FP item-sets at s=3000 and 2 at s=10000, caused
+exclusively by common feature values (port 80, short flow lengths).
+None of the 31 anomalies is missed despite the strict V=K=3 voting.
+
+Our supports are the paper's scaled by the 0.02 event scale; the checks
+are the shape claims: FP count decreasing in s, single-digit averages,
+a substantial zero-FP fraction, and zero missed events.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import judge_itemsets
+from repro.core.prefilter import prefilter
+from repro.flows.stream import interval_of
+from repro.mining.apriori import apriori
+from repro.mining.transactions import TransactionSet
+
+from conftest import SUPPORT_GRID
+
+
+def test_fig9_fp_itemsets_vs_support(benchmark, two_week, extraction_sweep,
+                                     report):
+    trace = two_week["trace"]
+    run = two_week["run"]
+
+    # Benchmark one representative extraction (median-size interval).
+    some_interval = sorted(trace.anomalous_intervals())[15]
+    metadata = run.report(some_interval).metadata()
+    interval = interval_of(trace.flows, some_interval, 900.0, origin=0.0)
+
+    def one_extraction():
+        selected = prefilter(interval.flows, metadata, "union")
+        transactions = TransactionSet.from_flows(selected.flows)
+        result = apriori(transactions, 100)
+        return judge_itemsets(result.itemsets, interval.flows)
+
+    benchmark.pedantic(one_extraction, rounds=3, iterations=1)
+
+    report("", "Fig. 9 - FP item-sets vs minimum support (31 intervals)")
+    averages = {}
+    for support, rows in sorted(extraction_sweep.items()):
+        fps = [score.false_positives for _, _, _, score in rows]
+        zero = sum(1 for f in fps if f == 0)
+        averages[support] = float(np.mean(fps))
+        report(
+            f"  s={support} (paper s={SUPPORT_GRID[support]}): "
+            f"avg FP={np.mean(fps):.2f} max FP={max(fps)} "
+            f"zero-FP intervals={zero}/{len(fps)} "
+            f"(paper avg: 2-8.5; 70% zero-FP)"
+        )
+
+    # Every anomaly extracted in all studied cases, at every support.
+    for support, rows in extraction_sweep.items():
+        missed = [idx for idx, _, _, score in rows if not score.all_events_covered]
+        assert missed == [], f"s={support}: events missed in {missed}"
+    report(
+        f"  events covered in all {len(extraction_sweep[60])} intervals "
+        "at every support (paper: all 31 cases)"
+    )
+
+    # FP averages decrease with support and stay single-digit.
+    ordered = [averages[s] for s in sorted(averages)]
+    assert ordered == sorted(ordered, reverse=True)
+    assert ordered[0] < 10.0
+    assert ordered[-1] < 3.0
+    # A sizeable share of intervals is FP-free at the strictest support.
+    strict = extraction_sweep[max(extraction_sweep)]
+    zero_share = sum(
+        1 for _, _, _, score in strict if score.false_positives == 0
+    ) / len(strict)
+    assert zero_share >= 0.25
+
+
+def test_fig9_fp_itemsets_are_common_values(extraction_sweep, benchmark,
+                                            report):
+    """Paper: observed FP item-sets are exclusively caused by common
+    feature values such as port 80 or short flow lengths - which is why
+    an administrator can sort them out trivially."""
+    from repro.core.report import triage
+
+    def classify():
+        rows = extraction_sweep[100]
+        fp_sets = [
+            judgement.itemset
+            for _, _, _, score in rows
+            for judgement in score.judgements
+            if not judgement.is_true_positive
+        ]
+        benign_looking = sum(
+            1 for itemset in fp_sets if triage(itemset).looks_benign
+        )
+        return fp_sets, benign_looking
+
+    fp_sets, benign_looking = benchmark.pedantic(
+        classify, rounds=1, iterations=1
+    )
+    share = benign_looking / len(fp_sets) if fp_sets else 1.0
+    report(
+        f"  FP triage at s=100: {benign_looking}/{len(fp_sets)} "
+        f"({share:.0%}) flagged common-service/common-size by the "
+        "admin heuristic"
+    )
+    assert share >= 0.6

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Detector tuning: ROC sweeps and the voting design space.
+
+Reproduces the paper's parameter-estimation workflow (Sections II-E and
+III-B/C) on a two-day trace:
+
+1. sweep the alarm threshold and print the ROC operating points per
+   histogram clone (Fig. 6);
+2. evaluate the analytic voting model - the probability of missing an
+   anomalous feature value (eq. 2 / Fig. 7) and of keeping a normal one
+   (eq. 3 / Fig. 8) - for candidate (K, V) settings;
+3. recommend a configuration the way Section II-E does: pick the
+   operating point from the desired daily alarm budget, then the largest
+   m and a (K, V) pair balancing the two error probabilities.
+
+Run:
+    python examples/detector_tuning.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    auc,
+    operating_point,
+    p_anomalous_missed,
+    p_normal_included,
+    roc_curve,
+)
+from repro.detection import DetectorBank, DetectorConfig
+from repro.traffic import two_day_trace
+
+
+def main() -> None:
+    trace = two_day_trace(flows_per_interval=2_000, seed=11)
+    print(
+        f"two-day trace: {trace.n_intervals} intervals, "
+        f"{len(trace.flows)} flows, ground-truth anomalies at "
+        f"{sorted(trace.anomalous_intervals())}"
+    )
+
+    config = DetectorConfig(
+        clones=3, bins=1024, vote_threshold=3, training_intervals=48
+    )
+    bank = DetectorBank(config, seed=5)
+    run = bank.run(trace.flows, trace.interval_seconds, origin=0.0)
+
+    multipliers = np.linspace(0.5, 12.0, 24)
+    truth = trace.anomalous_intervals()
+    print("\nROC sweep (threshold multiplier c in [0.5, 12]):")
+    for clone in range(config.clones):
+        points = roc_curve(run, truth, multipliers, clone=clone)
+        best = operating_point(points, max_fpr=0.05)
+        print(
+            f"  clone {clone}: AUC={auc(points):.3f}; "
+            f"TPR@FPR<=0.05 = {best.tpr:.2f} at c={best.multiplier:.1f}"
+        )
+
+    # Alarm budget: the paper sizes L and the threshold from "the
+    # desired number of daily alarms" (~2.2/day at L=15 min).
+    print("\nalarms/day by threshold multiplier (clone 0):")
+    for c in (2.0, 4.0, 6.0, 8.0):
+        alarms = int(run.interval_alarm_mask(c, clone=0).sum())
+        days = (run.n_intervals - config.training_intervals) / 96
+        print(f"  c={c:.0f}: {alarms / days:.1f} alarms/day")
+
+    print("\nvoting design space (beta=0.97, B=3, m=1024):")
+    print(f"  {'K':>3} {'V':>3} {'P(miss anomalous)':>18} {'P(keep normal)':>15}")
+    for k, v in ((3, 1), (3, 3), (5, 3), (10, 5), (10, 10)):
+        miss = p_anomalous_missed(0.97, k, v)
+        keep = p_normal_included(3, 1024, k, v)
+        print(f"  {k:>3} {v:>3} {miss:>18.2e} {keep:>15.2e}")
+
+    print(
+        "\nrecommendation (paper Section II-E): K=3, V=3 keeps the miss "
+        "bound below 9% while suppressing normal values to ~2.5e-8; "
+        "choose the threshold multiplier from the alarm budget above."
+    )
+
+
+if __name__ == "__main__":
+    main()

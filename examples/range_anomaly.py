@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Range-level anomalies via prefix-aggregated mining (Section III-D).
+
+Anomalies that touch whole address ranges - outages, routing shifts,
+distributed scans sweeping a block - leave no single address frequent
+enough to mine.  The paper points out they "can be captured by using IP
+address prefixes as additional dimensions for item-set mining"; this
+example runs the multi-level view on a scan that sweeps a /24 with one
+probe per host.
+
+Run:
+    python examples/range_anomaly.py
+"""
+
+import numpy as np
+
+from repro.anomalies import ScanInjector
+from repro.detection import Feature
+from repro.flows import FlowTable, int_to_ip, ip_to_int
+from repro.mining import TransactionSet, apriori, mine_multilevel
+from repro.traffic import TraceGenerator, switch_like
+
+
+def main() -> None:
+    profile = switch_like(5_000)
+    generator = TraceGenerator(profile, seed=31)
+    baseline = generator.generate_interval(flow_count=5_000)
+
+    # One probe per host of a /24: every destination address is unique.
+    block = ip_to_int("130.59.7.0")
+    scan = ScanInjector(
+        scanner_ips=[ip_to_int("12.44.3.9")],
+        target_port=445,
+        flows=254,
+        target_space_start=block,
+        target_space_size=254,
+    ).generate(np.random.default_rng(5), 0.0, 900.0, label=0)
+    flows = FlowTable.concat([baseline, scan])
+    print(
+        f"interval: {len(flows)} flows; scan sweeps "
+        f"{int_to_ip(block)}/24 with one probe per host"
+    )
+
+    # Host-level mining: no destination address reaches the support.
+    host_result = apriori(TransactionSet.from_flows(flows), min_support=200)
+    host_dst = [
+        s for s in host_result.itemsets if Feature.DST_IP in s.as_dict()
+    ]
+    print(
+        f"\nhost-level mining (s=200): {len(host_result.itemsets)} "
+        f"item-sets, {len(host_dst)} with a destination address - the "
+        "range structure is invisible"
+    )
+
+    # Multi-level mining: the /24 surfaces as a frequent item.
+    merged, _ = mine_multilevel(
+        flows, min_support=200, levels=((32, 32), (24, 24), (16, 16))
+    )
+    print("\nmulti-level mining (host, /24, /16):")
+    for entry in merged[:8]:
+        print(f"  [{entry.level:9s}] {entry.itemset}")
+
+    range_hits = [
+        e for e in merged
+        if e.itemset.as_dict().get(Feature.DST_IP) == block
+    ]
+    assert range_hits, "the swept /24 must surface"
+    print(
+        f"\nthe swept block {int_to_ip(block)}/24 surfaces at level "
+        f"{range_hits[0].level} with support "
+        f"{range_hits[0].itemset.support} - exactly the Section III-D "
+        "argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The Sasser walkthrough: why the prefilter takes the UNION of meta-data.
+
+Section II-A of the paper argues with the Sasser worm: it propagates in
+three flow-disjoint stages (SYN scan on 445, backdoor connections on
+9996, ~16 kB payload download), so meta-data describing the stages never
+co-occurs in one flow - the intersection of matching flows is (nearly)
+empty while the union captures the whole outbreak.
+
+This example reproduces that argument end to end on a synthetic
+outbreak and then mines the union to show all three stages surfacing as
+item-sets.
+
+Run:
+    python examples/sasser_worm.py
+"""
+
+import numpy as np
+
+from repro.anomalies.worm import (
+    SASSER_BACKDOOR_PORT,
+    SASSER_FTP_PORT,
+    SASSER_PAYLOAD_BYTES,
+    SASSER_SCAN_PORT,
+)
+from repro.core import prefilter, render_itemset_table
+from repro.detection import Feature, Metadata
+from repro.flows import interval_of
+from repro.mining import TransactionSet, apriori
+from repro.traffic import worm_outbreak_trace
+
+
+def main() -> None:
+    trace = worm_outbreak_trace(flows_per_interval=3_000, seed=23)
+    outbreak = interval_of(trace.flows, 8, 900.0, origin=0.0)
+    print(f"outbreak interval: {len(outbreak.flows)} flows, "
+          f"{int(outbreak.flows.anomalous_mask.sum())} of them worm flows")
+    print(trace.events[0].description)
+
+    # The meta-data a detector bank reports: the three stage ports (from
+    # the dstPort histogram) and the fixed payload size (from the flow
+    # size histogram).  Crucially these never appear in the same flow.
+    metadata = Metadata()
+    metadata.add(
+        Feature.DST_PORT,
+        np.array([SASSER_SCAN_PORT, SASSER_BACKDOOR_PORT, SASSER_FTP_PORT],
+                 dtype=np.uint64),
+    )
+    metadata.add(
+        Feature.BYTES, np.array([SASSER_PAYLOAD_BYTES], dtype=np.uint64)
+    )
+
+    for mode in ("union", "intersection"):
+        kept = prefilter(outbreak.flows, metadata, mode)
+        worm_kept = int(kept.flows.anomalous_mask.sum())
+        total_worm = int(outbreak.flows.anomalous_mask.sum())
+        ports = sorted(
+            set(np.unique(kept.flows.dst_port).tolist())
+            & {SASSER_SCAN_PORT, SASSER_BACKDOOR_PORT, SASSER_FTP_PORT}
+        )
+        print(
+            f"\n{mode:12s}: kept {kept.selected_flows:5d} flows; "
+            f"worm recall {worm_kept}/{total_worm} "
+            f"({worm_kept / total_worm:.0%}); stage ports visible: {ports}"
+        )
+
+    # Mine the union: every stage becomes an item-set the operator can
+    # read off.
+    union = prefilter(outbreak.flows, metadata, "union")
+    result = apriori(TransactionSet.from_flows(union.flows), min_support=400)
+    print("\nmodified Apriori on the union (min support 400):")
+    print(render_itemset_table(result.itemsets))
+    print(
+        "\nConclusion: the intersection loses the scan and backdoor "
+        "stages entirely; the union keeps the full outbreak and the "
+        "item-sets name each stage - the paper's core design argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on minimal offline environments where
+the ``wheel`` package (required by PEP 660 editable builds on older
+setuptools) is unavailable.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

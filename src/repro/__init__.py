@@ -1,0 +1,72 @@
+"""repro - Anomaly extraction in backbone networks using association rules.
+
+A complete, from-scratch reproduction of Brauckhoff, Dimitropoulos,
+Wagner & Salamatian (ACM IMC 2009 / IEEE ToN 2012): histogram-based
+anomaly detection with randomized histogram clones and voting, union
+flow prefiltering, and modified-Apriori frequent item-set mining that
+summarizes the anomalous flows of a flagged interval into a handful of
+maximal item-sets.
+
+Quickstart::
+
+    from repro import AnomalyExtractor, ExtractionConfig
+    from repro.traffic import two_day_trace
+
+    trace = two_day_trace()
+    extractor = AnomalyExtractor(ExtractionConfig(min_support=400))
+    result = extractor.run_trace(trace.flows, trace.interval_seconds)
+    for extraction in result.extractions:
+        print(extraction.render())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AnomalyExtractor,
+    ExtractionConfig,
+    ExtractionResult,
+    TraceExtraction,
+    suggest_min_support,
+)
+from repro.detection import DetectorBank, DetectorConfig, Feature, Metadata
+from repro.errors import (
+    ConfigError,
+    DetectionError,
+    ExtractionError,
+    FlowError,
+    MiningError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.flows import FlowRecord, FlowTable
+from repro.mining import FrequentItemset, TransactionSet, apriori, eclat, fpgrowth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyExtractor",
+    "ExtractionConfig",
+    "ExtractionResult",
+    "TraceExtraction",
+    "suggest_min_support",
+    "DetectorBank",
+    "DetectorConfig",
+    "Feature",
+    "Metadata",
+    "FlowRecord",
+    "FlowTable",
+    "FrequentItemset",
+    "TransactionSet",
+    "apriori",
+    "fpgrowth",
+    "eclat",
+    "ReproError",
+    "FlowError",
+    "TraceFormatError",
+    "ConfigError",
+    "DetectionError",
+    "MiningError",
+    "ExtractionError",
+    "__version__",
+]

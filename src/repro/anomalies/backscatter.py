@@ -1,0 +1,81 @@
+"""Backscatter injector.
+
+Backscatter is the reply traffic of a spoofed-source DoS attack happening
+elsewhere: the victim answers SYN/ACKs or RSTs to the spoofed addresses,
+some of which fall inside the monitored address range.  The paper's
+Table II observed it as flows where "each flow has a different source IP
+address and a random source port number" sharing destination port 9022 —
+i.e. the only frequent item is the destination port (plus the constant
+tiny flow size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_TCP
+from repro.flows.table import FlowTable
+
+
+class BackscatterInjector(AnomalyInjector):
+    """Single-packet replies from random sources to a fixed port."""
+
+    kind = "backscatter"
+
+    def __init__(
+        self,
+        dst_port: int = 9022,
+        flows: int = 22_667,
+        dest_space_start: int = 0x82_3B_00_00,
+        dest_space_size: int = 8_192,
+        reply_bytes: int = 40,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        if not 0 <= dst_port <= 65535:
+            raise ConfigError(f"bad destination port: {dst_port}")
+        self.dst_port = dst_port
+        self.flows = flows
+        self.dest_space_start = dest_space_start
+        self.dest_space_size = dest_space_size
+        self.reply_bytes = reply_bytes
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        # Every flow from a different (random 32-bit) source address with
+        # a random source port: the defining property the paper used to
+        # recognize this class.
+        src = rng.integers(0x01000000, 0xDF000000, size=n, dtype=np.uint64)
+        dst = np.uint64(self.dest_space_start) + rng.integers(
+            0, self.dest_space_size, size=n, dtype=np.uint64
+        )
+        return FlowTable.from_arrays(
+            src_ip=src,
+            dst_ip=dst,
+            src_port=rng.integers(1, 65536, size=n, dtype=np.uint64),
+            dst_port=np.full(n, self.dst_port, dtype=np.uint64),
+            protocol=np.full(n, PROTO_TCP, dtype=np.uint64),
+            packets=np.ones(n, dtype=np.uint64),
+            bytes_=np.full(n, self.reply_bytes, dtype=np.uint64),
+            start=uniform_times(rng, n, start, duration),
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return f"Backscatter: dstPort {self.dst_port}, {self.flows} single-packet replies"
+
+    def signature(self) -> dict[str, int]:
+        return {
+            "dst_port": self.dst_port,
+            "packets": 1,
+            "bytes": self.reply_bytes,
+        }

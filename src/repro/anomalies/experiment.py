@@ -1,0 +1,74 @@
+"""Network-experiment injector.
+
+The paper traced its "Network Experiment" anomalies to a PlanetLab node
+inside the university (Section III-A): a single research host generating
+sustained measurement probes to very many destinations on an unusual
+port with near-constant probe sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_UDP
+from repro.flows.table import FlowTable
+
+
+class NetworkExperimentInjector(AnomalyInjector):
+    """A measurement host probing many destinations on a fixed port."""
+
+    kind = "network_experiment"
+
+    def __init__(
+        self,
+        node_ip: int,
+        probe_port: int = 33434,
+        source_port: int = 31337,
+        flows: int = 30_000,
+        probe_bytes: int = 64,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        self.node_ip = node_ip
+        self.probe_port = probe_port
+        self.source_port = source_port
+        self.flows = flows
+        self.probe_bytes = probe_bytes
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        dst = rng.integers(0x08000000, 0xDF000000, size=n, dtype=np.uint64)
+        packets = rng.integers(1, 3, size=n).astype(np.uint64)
+        return FlowTable.from_arrays(
+            src_ip=np.full(n, self.node_ip, dtype=np.uint64),
+            dst_ip=dst,
+            src_port=np.full(n, self.source_port, dtype=np.uint64),
+            dst_port=np.full(n, self.probe_port, dtype=np.uint64),
+            protocol=np.full(n, PROTO_UDP, dtype=np.uint64),
+            packets=packets,
+            bytes_=packets * np.uint64(self.probe_bytes),
+            start=uniform_times(rng, n, start, duration),
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Network experiment: node probing dstPort {self.probe_port} "
+            f"from srcPort {self.source_port}, {self.flows} flows"
+        )
+
+    def signature(self) -> dict[str, int]:
+        return {
+            "src_ip": self.node_ip,
+            "src_port": self.source_port,
+            "dst_port": self.probe_port,
+        }

@@ -1,0 +1,77 @@
+"""Flooding injector.
+
+The paper distinguishes *Flooding* from DDoS by the number of sources:
+"Flooding differs from a standard DDoS in that it involves a small number
+of sources" (Section III-A).  The running Apriori example of Table II is
+exactly this class: several compromised hosts flooding victim host E on
+destination port 7000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_TCP
+from repro.flows.table import FlowTable
+
+
+class FloodingInjector(AnomalyInjector):
+    """A handful of sources flooding one victim host/port."""
+
+    kind = "flooding"
+
+    def __init__(
+        self,
+        victim_ip: int,
+        attacker_ips: list[int] | tuple[int, ...],
+        target_port: int = 7000,
+        flows: int = 53_467,
+        protocol: int = PROTO_TCP,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        if not attacker_ips:
+            raise ConfigError("flooding needs at least one attacker")
+        if not 0 <= target_port <= 65535:
+            raise ConfigError(f"bad target port: {target_port}")
+        self.victim_ip = victim_ip
+        self.attacker_ips = tuple(int(ip) for ip in attacker_ips)
+        self.target_port = target_port
+        self.flows = flows
+        self.protocol = protocol
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        attackers = np.asarray(self.attacker_ips, dtype=np.uint64)
+        src = attackers[rng.integers(0, len(attackers), size=n)]
+        packets = rng.integers(1, 3, size=n).astype(np.uint64)
+        bytes_ = packets * rng.integers(40, 56, size=n).astype(np.uint64)
+        return FlowTable.from_arrays(
+            src_ip=src,
+            dst_ip=np.full(n, self.victim_ip, dtype=np.uint64),
+            src_port=rng.integers(1024, 65536, size=n, dtype=np.uint64),
+            dst_port=np.full(n, self.target_port, dtype=np.uint64),
+            protocol=np.full(n, self.protocol, dtype=np.uint64),
+            packets=packets,
+            bytes_=bytes_,
+            start=uniform_times(rng, n, start, duration),
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Flooding: {len(self.attacker_ips)} hosts -> victim "
+            f"dstPort {self.target_port}, {self.flows} flows"
+        )
+
+    def signature(self) -> dict[str, int]:
+        return {"dst_ip": self.victim_ip, "dst_port": self.target_port}

@@ -1,0 +1,83 @@
+"""Network scanning injector.
+
+Horizontal scans sweep a destination port across many addresses with
+identical single-packet probes, so the item-set signature is
+``{srcIP, dstPort, #packets, #bytes}`` — exactly the "fixed flow length"
+regularity Section III-D calls out for distributed scanning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_TCP
+from repro.flows.table import FlowTable
+
+
+class ScanInjector(AnomalyInjector):
+    """One (or a few) scanners probing a port across an address range."""
+
+    kind = "scanning"
+
+    def __init__(
+        self,
+        scanner_ips: list[int] | tuple[int, ...],
+        target_port: int = 445,
+        flows: int = 20_000,
+        target_space_start: int = 0x823B0000,
+        target_space_size: int = 65_536,
+        probe_bytes: int = 48,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        if not scanner_ips:
+            raise ConfigError("scan needs at least one scanner")
+        if target_space_size < 1:
+            raise ConfigError("target space must be non-empty")
+        self.scanner_ips = tuple(int(ip) for ip in scanner_ips)
+        self.target_port = target_port
+        self.flows = flows
+        self.target_space_start = target_space_start
+        self.target_space_size = target_space_size
+        self.probe_bytes = probe_bytes
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        scanners = np.asarray(self.scanner_ips, dtype=np.uint64)
+        src = scanners[rng.integers(0, len(scanners), size=n)]
+        # Sweep the target space; wrap around if flows > space size.
+        sweep = (np.arange(n, dtype=np.uint64) % np.uint64(self.target_space_size))
+        dst = np.uint64(self.target_space_start) + sweep
+        times = np.sort(uniform_times(rng, n, start, duration))
+        return FlowTable.from_arrays(
+            src_ip=src,
+            dst_ip=dst,
+            src_port=rng.integers(1024, 65536, size=n, dtype=np.uint64),
+            dst_port=np.full(n, self.target_port, dtype=np.uint64),
+            protocol=np.full(n, PROTO_TCP, dtype=np.uint64),
+            packets=np.ones(n, dtype=np.uint64),
+            bytes_=np.full(n, self.probe_bytes, dtype=np.uint64),
+            start=times,
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Scan: {len(self.scanner_ips)} scanner(s) sweeping "
+            f"dstPort {self.target_port}, {self.flows} probes"
+        )
+
+    def signature(self) -> dict[str, int]:
+        sig = {"dst_port": self.target_port, "packets": 1, "bytes": self.probe_bytes}
+        if len(self.scanner_ips) == 1:
+            sig["src_ip"] = self.scanner_ips[0]
+        return sig

@@ -1,0 +1,78 @@
+"""Spam campaign injector.
+
+The paper's "Spam" class covers "anomalies targeting SMTP servers"
+(Section III-A).  A campaign is a set of compromised hosts opening many
+SMTP connections (dstPort 25) to a pool of mail servers; the item-set
+signature is ``{dstPort: 25}`` with per-spammer ``{srcIP, dstPort}``
+2-item-sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_TCP
+from repro.flows.table import FlowTable
+
+SMTP_PORT = 25
+
+
+class SpamInjector(AnomalyInjector):
+    """Compromised hosts blasting SMTP connections at mail servers."""
+
+    kind = "spam"
+
+    def __init__(
+        self,
+        spammer_ips: list[int] | tuple[int, ...],
+        mailserver_ips: list[int] | tuple[int, ...],
+        flows: int = 25_000,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        if not spammer_ips:
+            raise ConfigError("spam needs at least one spammer")
+        if not mailserver_ips:
+            raise ConfigError("spam needs at least one mail server")
+        self.spammer_ips = tuple(int(ip) for ip in spammer_ips)
+        self.mailserver_ips = tuple(int(ip) for ip in mailserver_ips)
+        self.flows = flows
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        spammers = np.asarray(self.spammer_ips, dtype=np.uint64)
+        servers = np.asarray(self.mailserver_ips, dtype=np.uint64)
+        src = spammers[rng.integers(0, len(spammers), size=n)]
+        dst = servers[rng.integers(0, len(servers), size=n)]
+        # SMTP handshake + DATA: a moderate, narrow packet distribution.
+        packets = rng.integers(6, 18, size=n).astype(np.uint64)
+        bytes_ = packets * rng.integers(80, 700, size=n).astype(np.uint64)
+        return FlowTable.from_arrays(
+            src_ip=src,
+            dst_ip=dst,
+            src_port=rng.integers(1024, 65536, size=n, dtype=np.uint64),
+            dst_port=np.full(n, SMTP_PORT, dtype=np.uint64),
+            protocol=np.full(n, PROTO_TCP, dtype=np.uint64),
+            packets=packets,
+            bytes_=bytes_,
+            start=uniform_times(rng, n, start, duration),
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Spam: {len(self.spammer_ips)} spammers -> "
+            f"{len(self.mailserver_ips)} SMTP servers, {self.flows} flows"
+        )
+
+    def signature(self) -> dict[str, int]:
+        return {"dst_port": SMTP_PORT}

@@ -1,0 +1,80 @@
+"""Unknown-anomaly injector.
+
+Table IV keeps an "Unknown" class for disruptions whose root cause the
+analysts could not pin down.  We model it as a burst of traffic with a
+*partial* structure: a fixed destination port and a narrow flow-size
+band, but dispersed endpoints — enough regularity to disturb a feature
+histogram without the clean signature of the named classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector, uniform_times
+from repro.errors import ConfigError
+from repro.flows.record import PROTO_UDP
+from repro.flows.table import FlowTable
+
+
+class UnknownInjector(AnomalyInjector):
+    """Structured-but-unexplained traffic burst."""
+
+    kind = "unknown"
+
+    def __init__(
+        self,
+        dst_port: int = 6881,
+        flows: int = 15_000,
+        sources: int = 300,
+        dests: int = 500,
+        source_space_start: int = 0x0D000000,
+        dest_space_start: int = 0x823B0000,
+    ):
+        if flows < 1:
+            raise ConfigError(f"flows must be >= 1: {flows}")
+        if sources < 1 or dests < 1:
+            raise ConfigError("need at least one source and destination")
+        self.dst_port = dst_port
+        self.flows = flows
+        self.sources = sources
+        self.dests = dests
+        self.source_space_start = source_space_start
+        self.dest_space_start = dest_space_start
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        duration: float,
+        label: int,
+    ) -> FlowTable:
+        self._check_generate_args(start, duration, label)
+        n = self.flows
+        src_pool = np.uint64(self.source_space_start) + rng.choice(
+            1 << 20, size=self.sources, replace=False
+        ).astype(np.uint64)
+        dst_pool = np.uint64(self.dest_space_start) + rng.choice(
+            1 << 16, size=self.dests, replace=False
+        ).astype(np.uint64)
+        src = src_pool[rng.integers(0, self.sources, size=n)]
+        dst = dst_pool[rng.integers(0, self.dests, size=n)]
+        packets = rng.integers(2, 6, size=n).astype(np.uint64)
+        bytes_ = packets * rng.integers(100, 400, size=n).astype(np.uint64)
+        return FlowTable.from_arrays(
+            src_ip=src,
+            dst_ip=dst,
+            src_port=rng.integers(1024, 65536, size=n, dtype=np.uint64),
+            dst_port=np.full(n, self.dst_port, dtype=np.uint64),
+            protocol=np.full(n, PROTO_UDP, dtype=np.uint64),
+            packets=packets,
+            bytes_=bytes_,
+            start=uniform_times(rng, n, start, duration),
+            label=np.full(n, label, dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return f"Unknown: dstPort {self.dst_port} burst, {self.flows} flows"
+
+    def signature(self) -> dict[str, int]:
+        return {"dst_port": self.dst_port}

@@ -1,0 +1,38 @@
+"""Core anomaly-extraction pipeline (the paper's contribution)."""
+
+from repro.core.config import TABLE3_PARAMETERS, ExtractionConfig, ParameterRow
+from repro.core.cost import CostCurvePoint, cost_curve, cost_reduction
+from repro.core.pipeline import (
+    AnomalyExtractor,
+    ExtractionResult,
+    TraceExtraction,
+    suggest_min_support,
+)
+from repro.core.prefilter import PrefilterResult, prefilter
+from repro.core.report import (
+    COMMON_SERVICE_PORTS,
+    TriagedItemset,
+    render_itemset_table,
+    triage,
+    triage_all,
+)
+
+__all__ = [
+    "TABLE3_PARAMETERS",
+    "ExtractionConfig",
+    "ParameterRow",
+    "CostCurvePoint",
+    "cost_curve",
+    "cost_reduction",
+    "AnomalyExtractor",
+    "ExtractionResult",
+    "TraceExtraction",
+    "suggest_min_support",
+    "PrefilterResult",
+    "prefilter",
+    "COMMON_SERVICE_PORTS",
+    "TriagedItemset",
+    "render_itemset_table",
+    "triage",
+    "triage_all",
+]

@@ -1,0 +1,196 @@
+"""The anomaly extraction pipeline - the paper's primary contribution.
+
+:class:`AnomalyExtractor` wires the stages of Fig. 3 together:
+
+    histogram detectors (KL + cloning)  ->  voting  ->  union meta-data
+        ->  flow prefiltering  ->  frequent item-set mining
+        ->  maximal item-set report
+
+It operates online (``process_interval`` per measurement interval, alarm
+triggers extraction) or offline (``extract_with_metadata`` for
+post-mortem analysis of a flagged interval, as in Section II: "an
+administrator triggers the anomaly extraction process to analyze anomaly
+alarms in a post-mortem fashion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ExtractionConfig
+from repro.core.cost import cost_reduction
+from repro.core.prefilter import PrefilterResult, prefilter
+from repro.core.report import render_itemset_table
+from repro.detection.features import Feature
+from repro.detection.manager import DetectionRun, DetectorBank
+from repro.detection.metadata import Metadata
+from repro.errors import ExtractionError
+from repro.flows.stream import iter_intervals
+from repro.flows.table import FlowTable
+from repro.mining import MINERS
+from repro.mining.items import FrequentItemset
+from repro.mining.result import MiningResult
+from repro.mining.transactions import TransactionSet
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Everything produced for one flagged interval."""
+
+    interval: int
+    metadata: Metadata
+    prefilter: PrefilterResult
+    mining: MiningResult
+    alarmed_features: tuple[Feature, ...] = ()
+
+    @property
+    def itemsets(self) -> list[FrequentItemset]:
+        """The extracted (maximal) frequent item-sets."""
+        return self.mining.itemsets
+
+    @property
+    def classification_cost_reduction(self) -> float:
+        """R = |F| / |I| for this interval (Section III-F)."""
+        return cost_reduction(
+            self.prefilter.input_flows, len(self.mining.itemsets)
+        )
+
+    def render(self) -> str:
+        """Operator-facing text report."""
+        header = (
+            f"interval {self.interval}: "
+            f"{self.prefilter.input_flows} flows, "
+            f"{self.prefilter.selected_flows} suspicious after "
+            f"{self.prefilter.mode} prefilter "
+            f"({self.prefilter.selectivity:.1%}), "
+            f"min support {self.mining.min_support}"
+        )
+        alarmed = ", ".join(f.short_name for f in self.alarmed_features)
+        lines = [header]
+        if alarmed:
+            lines.append(f"alarmed features: {alarmed}")
+        lines.append(render_itemset_table(self.mining.itemsets))
+        return "\n".join(lines)
+
+
+@dataclass
+class TraceExtraction:
+    """Result of running the extractor over a whole trace."""
+
+    extractions: list[ExtractionResult] = field(default_factory=list)
+    detection: DetectionRun | None = None
+
+    @property
+    def flagged_intervals(self) -> list[int]:
+        return [e.interval for e in self.extractions]
+
+
+class AnomalyExtractor:
+    """End-to-end online/offline anomaly extraction."""
+
+    def __init__(self, config: ExtractionConfig | None = None, seed: int = 0):
+        self.config = config or ExtractionConfig()
+        self._bank = DetectorBank(
+            self.config.detector, features=self.config.features, seed=seed
+        )
+
+    @property
+    def detector_bank(self) -> DetectorBank:
+        return self._bank
+
+    # ------------------------------------------------------------------
+    # Online operation
+    # ------------------------------------------------------------------
+    def process_interval(self, flows: FlowTable) -> ExtractionResult | None:
+        """Feed one measurement interval; returns an extraction when the
+        detectors alarm with usable meta-data, else None."""
+        report = self._bank.observe(flows)
+        if not report.alarm:
+            return None
+        metadata = report.metadata()
+        if metadata.is_empty():
+            # An alarm whose voted meta-data is empty cannot drive the
+            # prefilter; the paper's V-of-K voting intentionally trades
+            # these away.
+            return None
+        return self.extract_with_metadata(
+            flows,
+            metadata,
+            interval=report.interval,
+            alarmed_features=report.alarmed_features,
+        )
+
+    def run_trace(
+        self,
+        trace: FlowTable,
+        interval_seconds: float,
+        origin: float = 0.0,
+    ) -> TraceExtraction:
+        """Window a trace and process every interval online."""
+        extractions = []
+        for view in iter_intervals(
+            trace, interval_seconds, origin=origin, include_empty=True
+        ):
+            result = self.process_interval(view.flows)
+            if result is not None:
+                extractions.append(result)
+        detection = DetectionRun(
+            config=self.config.detector,
+            features=self.config.features,
+            reports=list(self._bank._reports),
+            detectors=self._bank.detectors,
+        )
+        return TraceExtraction(extractions=extractions, detection=detection)
+
+    # ------------------------------------------------------------------
+    # Offline operation
+    # ------------------------------------------------------------------
+    def extract_with_metadata(
+        self,
+        flows: FlowTable,
+        metadata: Metadata,
+        interval: int = -1,
+        alarmed_features: tuple[Feature, ...] = (),
+        min_support: int | None = None,
+    ) -> ExtractionResult:
+        """Post-mortem extraction: prefilter + mine a flagged interval.
+
+        ``min_support`` overrides the configured support (the paper
+        recommends starting at 1-10% of the input flows and adjusting in
+        2-3 trials).
+        """
+        if len(flows) == 0:
+            raise ExtractionError("cannot extract from an empty interval")
+        selected = prefilter(flows, metadata, self.config.prefilter_mode)
+        support = min_support if min_support is not None else self.config.min_support
+        mining = self._mine(selected.flows, support)
+        return ExtractionResult(
+            interval=interval,
+            metadata=metadata,
+            prefilter=selected,
+            mining=mining,
+            alarmed_features=alarmed_features,
+        )
+
+    def _mine(self, flows: FlowTable, min_support: int) -> MiningResult:
+        miner = MINERS[self.config.miner]
+        transactions = TransactionSet.from_flows(flows)
+        if len(transactions) == 0:
+            # Empty prefilter output (e.g. intersection mode on a
+            # multi-stage anomaly): an empty-but-valid mining result.
+            return miner(
+                TransactionSet.from_flows(flows), max(1, min_support)
+            )
+        return miner(
+            transactions,
+            max(1, min_support),
+            maximal_only=self.config.maximal_only,
+        )
+
+
+def suggest_min_support(n_input_flows: int, fraction: float = 0.03) -> int:
+    """The paper's rule of thumb: s is typically 1-10% of the input
+    flows; default to 3%."""
+    if not 0 < fraction < 1:
+        raise ExtractionError(f"fraction must be in (0, 1): {fraction}")
+    return max(1, int(n_input_flows * fraction))

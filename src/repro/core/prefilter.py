@@ -1,0 +1,67 @@
+"""Flow prefiltering (paper Section II-A).
+
+Given the meta-data supplied by the detectors, prefiltering keeps the
+flows matching it, which "eliminates a large fraction of the normal
+flows" before mining - both a speedup and an accuracy win (fewer
+false-positive item-sets).  The paper uses the *union* of the meta-data;
+the intersection variant exists to reproduce the ablation showing it
+can miss multi-stage anomalies entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.metadata import Metadata
+from repro.errors import ExtractionError
+from repro.flows.table import FlowTable
+
+
+@dataclass(frozen=True, slots=True)
+class PrefilterResult:
+    """Prefiltered flows plus bookkeeping for reports."""
+
+    flows: FlowTable
+    mode: str
+    input_flows: int
+    selected_flows: int
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of input flows kept (0 when the input was empty)."""
+        if self.input_flows == 0:
+            return 0.0
+        return self.selected_flows / self.input_flows
+
+
+def prefilter(
+    flows: FlowTable, metadata: Metadata, mode: str = "union"
+) -> PrefilterResult:
+    """Select the suspicious flows matching the meta-data.
+
+    Args:
+        flows: all flows of the alarmed interval.
+        metadata: per-feature suspicious values from the detectors.
+        mode: "union" - keep flows matching ANY feature value (the
+            paper's method); "intersection" - keep flows matching ALL
+            features present in the meta-data (the ablation).
+
+    Returns:
+        A :class:`PrefilterResult`; its ``flows`` are the candidate
+        anomalous flows handed to item-set mining.
+    """
+    if mode == "union":
+        mask = metadata.match_union(flows)
+    elif mode == "intersection":
+        mask = metadata.match_intersection(flows)
+    else:
+        raise ExtractionError(
+            f"unknown prefilter mode {mode!r}; use 'union' or 'intersection'"
+        )
+    selected = flows.select(mask)
+    return PrefilterResult(
+        flows=selected,
+        mode=mode,
+        input_flows=len(flows),
+        selected_flows=len(selected),
+    )

@@ -1,0 +1,104 @@
+"""Operator-facing extraction reports.
+
+The output of the pipeline is a short list of maximal item-sets (the
+paper's Table II).  This module renders them, and implements the
+"trivially sorted out by an administrator" heuristic the paper invokes:
+false-positive item-sets are almost always combinations of *common*
+feature values - well-known service ports, tiny flow sizes - without a
+specific endpoint, so they can be labelled for quick triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.features import Feature
+from repro.mining.items import FrequentItemset, format_item
+
+#: Ports whose appearance in an item-set suggests ordinary traffic that
+#: collided with the meta-data (the paper's examples: 80, 25).
+COMMON_SERVICE_PORTS = frozenset(
+    {20, 21, 22, 25, 53, 80, 110, 123, 143, 443, 993, 995, 8080}
+)
+
+#: Packet counts so small they match a large share of all flows.
+COMMON_PACKET_COUNTS = frozenset({1, 2, 3})
+
+
+@dataclass(frozen=True, slots=True)
+class TriagedItemset:
+    """An item-set plus the admin-triage hint."""
+
+    itemset: FrequentItemset
+    hint: str  # "suspicious" | "common-service" | "common-size"
+
+    @property
+    def looks_benign(self) -> bool:
+        return self.hint != "suspicious"
+
+
+def triage(itemset: FrequentItemset) -> TriagedItemset:
+    """Attach the triage hint an administrator would apply.
+
+    Heuristic (mirrors the paper's discussion in Sections II-B/III-D):
+
+    * an item-set naming a *specific endpoint* (source or destination
+      address) together with an uncommon port stays "suspicious";
+    * an item-set whose port items are all well-known service ports is
+      "common-service" (e.g. busy web proxies, mail relays);
+    * an item-set with neither addresses nor ports - only protocol and
+      tiny size items - is "common-size".
+    """
+    decoded = itemset.as_dict()
+    ports = [
+        value
+        for feature, value in decoded.items()
+        if feature in (Feature.SRC_PORT, Feature.DST_PORT)
+    ]
+    has_endpoint = any(
+        feature in (Feature.SRC_IP, Feature.DST_IP) for feature in decoded
+    )
+    if ports:
+        if all(port in COMMON_SERVICE_PORTS for port in ports):
+            hint = "common-service"
+        else:
+            hint = "suspicious"
+    elif has_endpoint:
+        hint = "suspicious"
+    else:
+        packets = decoded.get(Feature.PACKETS)
+        if packets is None or packets in COMMON_PACKET_COUNTS:
+            hint = "common-size"
+        else:
+            hint = "suspicious"
+    return TriagedItemset(itemset=itemset, hint=hint)
+
+
+def triage_all(itemsets: list[FrequentItemset]) -> list[TriagedItemset]:
+    """Triage a full report, preserving order."""
+    return [triage(itemset) for itemset in itemsets]
+
+
+def render_itemset_table(itemsets: list[FrequentItemset]) -> str:
+    """Render item-sets as an aligned text table (Table II style)."""
+    if not itemsets:
+        return "(no frequent item-sets)"
+    triaged = triage_all(itemsets)
+    rows = []
+    for entry in triaged:
+        rows.append(
+            (
+                ", ".join(format_item(i) for i in entry.itemset.items),
+                str(entry.itemset.support),
+                entry.hint,
+            )
+        )
+    width_items = max(len(r[0]) for r in rows)
+    width_support = max(len(r[1]) for r in rows + [("", "support", "")])
+    lines = [
+        f"{'item-set':<{width_items}}  {'support':>{width_support}}  triage",
+        f"{'-' * width_items}  {'-' * width_support}  ------",
+    ]
+    for items, support, hint in rows:
+        lines.append(f"{items:<{width_items}}  {support:>{width_support}}  {hint}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Iterative identification of anomalous histogram bins (paper Fig. 5).
+
+When a clone alarms in interval ``t``, the detector must find which bins
+caused the KL spike.  The paper's algorithm *simulates the removal of
+suspicious flows*: in each round it takes the bin with the largest
+absolute count difference between the current and reference histograms
+and resets its count to the reference value; it stops as soon as the
+"cleaned" histogram no longer raises an alert.  The per-round KL values
+converge to the previous interval's level, dropping sharply after the
+first round for concentrated anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.kl import DEFAULT_PSEUDOCOUNT, kl_from_counts
+from repro.detection.threshold import AlarmThreshold
+from repro.errors import DetectionError
+
+
+@dataclass(frozen=True, slots=True)
+class BinIdentification:
+    """Result of the iterative cleaning simulation.
+
+    Attributes:
+        bins: anomalous bin indices in removal order (most disruptive
+            first).
+        kl_trace: KL distance after each round; ``kl_trace[0]`` is the
+            un-cleaned distance, ``kl_trace[i]`` the distance after
+            resetting ``bins[:i]``.  This is exactly the Fig. 5 series.
+        converged: False when every bin was reset and the alarm still
+            stood (pathological; should not happen with real data).
+    """
+
+    bins: tuple[int, ...]
+    kl_trace: tuple[float, ...] = field(default=())
+    converged: bool = True
+
+    @property
+    def rounds(self) -> int:
+        return len(self.bins)
+
+
+def identify_anomalous_bins(
+    current: np.ndarray,
+    reference: np.ndarray,
+    threshold: AlarmThreshold,
+    previous_kl: float,
+    pseudocount: float = DEFAULT_PSEUDOCOUNT,
+    max_rounds: int | None = None,
+) -> BinIdentification:
+    """Run the iterative cleaning simulation.
+
+    Args:
+        current: bin counts of the alarming interval.
+        reference: bin counts of the previous (reference) interval.
+        threshold: the alarm rule that fired.
+        previous_kl: KL distance observed at interval ``t-1``; the alert
+            condition is ``KL(cleaned, reference) - previous_kl >
+            threshold.value``, mirroring the first-difference rule.
+        pseudocount: smoothing used for the KL computation.
+        max_rounds: optional cap on rounds (defaults to the bin count).
+
+    Returns:
+        A :class:`BinIdentification` with removal order and KL trace.
+    """
+    cur = np.asarray(current, dtype=np.float64).copy()
+    ref = np.asarray(reference, dtype=np.float64)
+    if cur.shape != ref.shape or cur.ndim != 1:
+        raise DetectionError(
+            f"histogram shape mismatch: {cur.shape} vs {ref.shape}"
+        )
+    bins_total = len(cur)
+    if max_rounds is None:
+        max_rounds = bins_total
+    kl = kl_from_counts(cur, ref, pseudocount)
+    trace: list[float] = [kl]
+    chosen: list[int] = []
+    while kl - previous_kl > threshold.value and len(chosen) < max_rounds:
+        diffs = np.abs(cur - ref)
+        # Never re-pick an already-cleaned bin (its diff is 0 anyway, but
+        # guard against all-zero diffs with a pending alarm).
+        bin_idx = int(np.argmax(diffs))
+        if diffs[bin_idx] == 0.0:
+            return BinIdentification(
+                bins=tuple(chosen), kl_trace=tuple(trace), converged=False
+            )
+        cur[bin_idx] = ref[bin_idx]
+        chosen.append(bin_idx)
+        kl = kl_from_counts(cur, ref, pseudocount)
+        trace.append(kl)
+    converged = kl - previous_kl <= threshold.value
+    return BinIdentification(
+        bins=tuple(chosen), kl_trace=tuple(trace), converged=converged
+    )

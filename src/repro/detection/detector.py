@@ -1,0 +1,229 @@
+"""The histogram-based anomaly detector (paper Section II-C and II-D).
+
+One :class:`HistogramDetector` monitors one traffic feature with ``C``
+histogram clones.  Per interval and clone it tracks the KL distance to
+the previous interval, alarms on positive first-difference spikes above
+a MAD-calibrated threshold, localizes the anomalous bins by iterative
+cleaning, maps bins back to feature values, and finally applies clone
+voting to produce the per-feature meta-data.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.binid import BinIdentification, identify_anomalous_bins
+from repro.detection.features import Feature
+from repro.detection.kl import DEFAULT_PSEUDOCOUNT, kl_from_counts
+from repro.detection.threshold import (
+    DEFAULT_MULTIPLIER,
+    AlarmThreshold,
+    estimate_threshold,
+)
+from repro.detection.voting import vote
+from repro.errors import ConfigError
+from repro.flows.table import FlowTable
+from repro.sketch.cloning import CloneSet
+from repro.sketch.histogram import HistogramSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class DetectorConfig:
+    """Tuning knobs of one histogram detector (paper Table III).
+
+    Attributes:
+        clones: ``C``/``K`` - number of histogram clones.
+        bins: ``m = 2^k`` - histogram bins per clone.
+        vote_threshold: ``V`` - clones that must agree on a value.
+        multiplier: alarm sensitivity (threshold = multiplier * sigma).
+        training_intervals: intervals used to calibrate sigma.
+        pseudocount: Laplace smoothing for the KL computation.
+    """
+
+    clones: int = 3
+    bins: int = 1024
+    vote_threshold: int = 3
+    multiplier: float = DEFAULT_MULTIPLIER
+    training_intervals: int = 96
+    pseudocount: float = DEFAULT_PSEUDOCOUNT
+
+    def __post_init__(self) -> None:
+        if self.clones < 1:
+            raise ConfigError(f"clones must be >= 1: {self.clones}")
+        if self.bins < 2:
+            raise ConfigError(f"bins must be >= 2: {self.bins}")
+        if not 1 <= self.vote_threshold <= self.clones:
+            raise ConfigError(
+                f"vote threshold {self.vote_threshold} out of "
+                f"range [1, {self.clones}]"
+            )
+        if self.training_intervals < 2:
+            raise ConfigError(
+                f"need >= 2 training intervals: {self.training_intervals}"
+            )
+        if self.multiplier <= 0:
+            raise ConfigError(f"multiplier must be > 0: {self.multiplier}")
+
+
+@dataclass(frozen=True, slots=True)
+class CloneObservation:
+    """Per-clone, per-interval detector output."""
+
+    clone_index: int
+    kl: float
+    diff: float
+    alarm: bool
+    bins: tuple[int, ...] = ()
+    suspicious_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.uint64)
+    )
+    bin_identification: BinIdentification | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureObservation:
+    """Per-feature, per-interval detector output after voting."""
+
+    feature: Feature
+    interval: int
+    clones: tuple[CloneObservation, ...]
+    voted_values: np.ndarray
+    trained: bool
+
+    @property
+    def alarm(self) -> bool:
+        """True when at least one clone alarmed this interval."""
+        return any(clone.alarm for clone in self.clones)
+
+    @property
+    def alarm_votes(self) -> int:
+        return sum(1 for clone in self.clones if clone.alarm)
+
+
+class HistogramDetector:
+    """Stateful per-feature detector; call :meth:`observe` per interval."""
+
+    def __init__(self, feature: Feature, config: DetectorConfig, seed: int = 0):
+        self.feature = feature
+        self.config = config
+        # Distinct features must use distinct hash streams even with the
+        # same seed, otherwise clones of different detectors correlate.
+        # zlib.crc32 is stable across processes (unlike built-in str
+        # hashing, which PYTHONHASHSEED randomizes).
+        feature_salt = zlib.crc32(feature.value.encode()) & 0xFFFF
+        self._clones = CloneSet(
+            config.clones, config.bins, seed=seed * 131 + feature_salt
+        )
+        self._interval = -1
+        self._prev: list[HistogramSnapshot | None] = [None] * config.clones
+        self._prev_kl = [0.0] * config.clones
+        self._kl_series: list[list[float]] = [[] for _ in range(config.clones)]
+        self._diff_series: list[list[float]] = [[] for _ in range(config.clones)]
+        self._training_diffs: list[list[float]] = [[] for _ in range(config.clones)]
+        self._thresholds: list[AlarmThreshold | None] = [None] * config.clones
+
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> int:
+        """Index of the last observed interval (-1 before any)."""
+        return self._interval
+
+    @property
+    def trained(self) -> bool:
+        return all(thr is not None for thr in self._thresholds)
+
+    def threshold(self, clone: int) -> AlarmThreshold:
+        thr = self._thresholds[clone]
+        if thr is None:
+            raise ConfigError(
+                f"clone {clone} not calibrated yet "
+                f"(interval {self._interval} < training "
+                f"{self.config.training_intervals})"
+            )
+        return thr
+
+    def kl_series(self, clone: int) -> np.ndarray:
+        return np.asarray(self._kl_series[clone], dtype=np.float64)
+
+    def diff_series(self, clone: int) -> np.ndarray:
+        return np.asarray(self._diff_series[clone], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def observe(self, flows: FlowTable) -> FeatureObservation:
+        """Process one measurement interval and return the observation."""
+        self._interval += 1
+        cfg = self.config
+        values = self.feature.extract(flows)
+        self._clones.reset()
+        self._clones.update(values)
+        snapshots = self._clones.snapshots()
+
+        clone_results: list[CloneObservation] = []
+        for c, snapshot in enumerate(snapshots):
+            prev = self._prev[c]
+            if prev is None:
+                kl = 0.0
+                diff = 0.0
+            else:
+                kl = kl_from_counts(
+                    snapshot.counts, prev.counts, cfg.pseudocount
+                )
+                diff = kl - self._prev_kl[c]
+            self._kl_series[c].append(kl)
+            self._diff_series[c].append(diff)
+
+            alarm = False
+            bins: tuple[int, ...] = ()
+            suspicious = np.empty(0, dtype=np.uint64)
+            bin_id: BinIdentification | None = None
+            if self._thresholds[c] is None:
+                # Training phase: accumulate genuine diffs (skip the
+                # first two intervals, whose KL/diff are degenerate).
+                if self._interval >= 2:
+                    self._training_diffs[c].append(diff)
+                if self._interval + 1 >= cfg.training_intervals:
+                    self._thresholds[c] = estimate_threshold(
+                        np.asarray(self._training_diffs[c]),
+                        multiplier=cfg.multiplier,
+                    )
+            else:
+                threshold = self._thresholds[c]
+                if threshold.is_alarm(diff) and prev is not None:
+                    alarm = True
+                    bin_id = identify_anomalous_bins(
+                        snapshot.counts,
+                        prev.counts,
+                        threshold,
+                        previous_kl=self._prev_kl[c],
+                        pseudocount=cfg.pseudocount,
+                    )
+                    bins = bin_id.bins
+                    suspicious = snapshot.values_in_bins(list(bins))
+            clone_results.append(
+                CloneObservation(
+                    clone_index=c,
+                    kl=kl,
+                    diff=diff,
+                    alarm=alarm,
+                    bins=bins,
+                    suspicious_values=suspicious,
+                    bin_identification=bin_id,
+                )
+            )
+            self._prev[c] = snapshot
+            self._prev_kl[c] = kl
+
+        voted = vote(
+            [clone.suspicious_values for clone in clone_results],
+            cfg.vote_threshold,
+        )
+        return FeatureObservation(
+            feature=self.feature,
+            interval=self._interval,
+            clones=tuple(clone_results),
+            voted_values=voted,
+            trained=self.trained,
+        )

@@ -1,0 +1,136 @@
+"""Entropy-based detector (alternative detector, Table I context).
+
+The paper's approach is detector-agnostic: anything that yields
+per-feature meta-data can feed the extraction pipeline.  To demonstrate
+the interface we include a second detector family: normalized Shannon
+entropy of the hashed feature histogram (Lakhina et al. 2005; Wagner &
+Plattner 2005).  It reuses the MAD threshold machinery on the entropy
+first difference and localizes bins by greedy cleaning until the entropy
+shift is explained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.features import Feature
+from repro.detection.threshold import AlarmThreshold, estimate_threshold
+from repro.errors import ConfigError
+from repro.flows.table import FlowTable
+from repro.sketch.cloning import CloneSet
+from repro.sketch.histogram import HistogramSnapshot
+
+
+def normalized_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of a count vector, normalized to [0, 1].
+
+    Zero bins contribute nothing; the normalization is by ``log2(m)`` so
+    values are comparable across bin counts.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or len(counts) < 2:
+        raise ConfigError("entropy needs a 1-D histogram with >= 2 bins")
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum() / np.log2(len(counts)))
+
+
+class EntropyDetector:
+    """Single-clone entropy detector with the same observe() contract.
+
+    Deliberately simpler than the KL detector (one clone, no voting): it
+    exists to show that the extraction pipeline is detector-agnostic and
+    to cross-check alarms in tests.
+    """
+
+    def __init__(
+        self,
+        feature: Feature,
+        bins: int = 1024,
+        multiplier: float = 4.0,
+        training_intervals: int = 96,
+        seed: int = 0,
+    ):
+        if training_intervals < 2:
+            raise ConfigError("need >= 2 training intervals")
+        self.feature = feature
+        self.multiplier = multiplier
+        self.training_intervals = training_intervals
+        self._clones = CloneSet(1, bins, seed=seed)
+        self._interval = -1
+        self._prev: HistogramSnapshot | None = None
+        self._prev_entropy = 0.0
+        self._entropy_series: list[float] = []
+        self._diff_series: list[float] = []
+        self._training: list[float] = []
+        self._threshold: AlarmThreshold | None = None
+
+    @property
+    def trained(self) -> bool:
+        return self._threshold is not None
+
+    def entropy_series(self) -> np.ndarray:
+        return np.asarray(self._entropy_series, dtype=np.float64)
+
+    def diff_series(self) -> np.ndarray:
+        return np.asarray(self._diff_series, dtype=np.float64)
+
+    def observe(self, flows: FlowTable) -> tuple[bool, np.ndarray]:
+        """Process one interval.
+
+        Returns:
+            ``(alarm, suspicious_values)`` - suspicious values are the
+            observed feature values in the bins whose cleaning restores
+            the entropy to within the threshold.
+        """
+        self._interval += 1
+        self._clones.reset()
+        self._clones.update(self.feature.extract(flows))
+        snapshot = self._clones.snapshots()[0]
+        entropy = normalized_entropy(snapshot.counts)
+        diff = entropy - self._prev_entropy if self._prev is not None else 0.0
+        self._entropy_series.append(entropy)
+        self._diff_series.append(diff)
+
+        alarm = False
+        suspicious = np.empty(0, dtype=np.uint64)
+        if self._threshold is None:
+            if self._interval >= 2:
+                self._training.append(diff)
+            if self._interval + 1 >= self.training_intervals:
+                self._threshold = estimate_threshold(
+                    np.asarray(self._training), multiplier=self.multiplier
+                )
+        elif self._prev is not None and abs(diff) > self._threshold.value:
+            # Entropy may rise (dispersion) or fall (concentration);
+            # either direction is a disruption.
+            alarm = True
+            suspicious = snapshot.values_in_bins(
+                self._identify_bins(snapshot.counts, self._prev.counts)
+            )
+        self._prev = snapshot
+        self._prev_entropy = entropy
+        return alarm, suspicious
+
+    def _identify_bins(
+        self, current: np.ndarray, reference: np.ndarray
+    ) -> list[int]:
+        """Greedy cleaning until the entropy shift drops below threshold."""
+        assert self._threshold is not None
+        cur = np.asarray(current, dtype=np.float64).copy()
+        ref = np.asarray(reference, dtype=np.float64)
+        ref_entropy = normalized_entropy(ref)
+        chosen: list[int] = []
+        while (
+            abs(normalized_entropy(cur) - ref_entropy) > self._threshold.value
+            and len(chosen) < len(cur)
+        ):
+            diffs = np.abs(cur - ref)
+            bin_idx = int(np.argmax(diffs))
+            if diffs[bin_idx] == 0:
+                break
+            cur[bin_idx] = ref[bin_idx]
+            chosen.append(bin_idx)
+        return chosen

@@ -1,0 +1,89 @@
+"""Traffic features monitored by the histogram detectors.
+
+The paper uses five detectors (Section II-E, "Number of Detectors n"):
+source IP, destination IP, source port, destination port, and packets
+per flow.  The mining step additionally uses protocol and byte counts,
+so the full seven-feature enum lives here and both layers share it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.flows.table import FlowTable
+
+
+class Feature(enum.Enum):
+    """The seven flow features; values are the FlowTable column names."""
+
+    SRC_IP = "src_ip"
+    DST_IP = "dst_ip"
+    SRC_PORT = "src_port"
+    DST_PORT = "dst_port"
+    PROTOCOL = "protocol"
+    PACKETS = "packets"
+    BYTES = "bytes"
+
+    @property
+    def column(self) -> str:
+        return self.value
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+    def extract(self, flows: FlowTable) -> np.ndarray:
+        """The feature column of a flow table."""
+        return flows.column(self.value)
+
+    def format_value(self, value: int) -> str:
+        """Human-readable rendering of one feature value."""
+        if self in (Feature.SRC_IP, Feature.DST_IP):
+            from repro.flows.record import int_to_ip
+
+            return int_to_ip(int(value))
+        if self is Feature.PROTOCOL:
+            from repro.flows.record import PROTOCOL_NAMES
+
+            return PROTOCOL_NAMES.get(int(value), str(int(value)))
+        return str(int(value))
+
+
+_SHORT_NAMES = {
+    Feature.SRC_IP: "srcIP",
+    Feature.DST_IP: "dstIP",
+    Feature.SRC_PORT: "srcPort",
+    Feature.DST_PORT: "dstPort",
+    Feature.PROTOCOL: "proto",
+    Feature.PACKETS: "#packets",
+    Feature.BYTES: "#bytes",
+}
+
+#: The five features the paper's detectors monitor (Section II-E).
+DETECTOR_FEATURES = (
+    Feature.SRC_IP,
+    Feature.DST_IP,
+    Feature.SRC_PORT,
+    Feature.DST_PORT,
+    Feature.PACKETS,
+)
+
+#: All seven mining features in the canonical transaction order.
+MINING_FEATURES = tuple(Feature)
+
+
+def parse_feature(name: str) -> Feature:
+    """Resolve a feature from its column name or short name.
+
+    >>> parse_feature("dst_port") is Feature.DST_PORT
+    True
+    >>> parse_feature("dstPort") is Feature.DST_PORT
+    True
+    """
+    for feature in Feature:
+        if name == feature.value or name == feature.short_name:
+            return feature
+    raise ConfigError(f"unknown feature name: {name!r}")

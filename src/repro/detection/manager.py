@@ -1,0 +1,165 @@
+"""Detector bank: the paper's n histogram detectors run side by side.
+
+The evaluation uses five detectors - srcIP, dstIP, srcPort, dstPort and
+packets-per-flow (Section II-E).  :class:`DetectorBank` drives one
+:class:`~repro.detection.detector.HistogramDetector` per feature over a
+trace, collects per-interval reports, and consolidates the per-feature
+voted values into the union :class:`~repro.detection.metadata.Metadata`
+the prefilter consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.detector import (
+    DetectorConfig,
+    FeatureObservation,
+    HistogramDetector,
+)
+from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.detection.metadata import Metadata
+from repro.errors import ConfigError
+from repro.flows.stream import iter_intervals
+from repro.flows.table import FlowTable
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """Everything the bank observed in one interval."""
+
+    interval: int
+    observations: dict[Feature, FeatureObservation]
+    flow_count: int
+
+    @property
+    def alarm(self) -> bool:
+        """True when any feature's detector alarmed."""
+        return any(obs.alarm for obs in self.observations.values())
+
+    @property
+    def alarmed_features(self) -> tuple[Feature, ...]:
+        return tuple(
+            feature
+            for feature, obs in self.observations.items()
+            if obs.alarm
+        )
+
+    def metadata(self) -> Metadata:
+        """Union meta-data of all alarmed features (after voting)."""
+        meta = Metadata()
+        for feature, obs in self.observations.items():
+            if obs.alarm and len(obs.voted_values):
+                meta.add(feature, obs.voted_values)
+        return meta
+
+
+@dataclass
+class DetectionRun:
+    """Result of driving a detector bank over a full trace."""
+
+    config: DetectorConfig
+    features: tuple[Feature, ...]
+    reports: list[IntervalReport] = field(default_factory=list)
+    detectors: dict[Feature, HistogramDetector] = field(default_factory=dict)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.reports)
+
+    def report(self, interval: int) -> IntervalReport:
+        return self.reports[interval]
+
+    def alarm_intervals(self) -> list[int]:
+        """Intervals (post-training) in which any detector alarmed."""
+        return [r.interval for r in self.reports if r.alarm]
+
+    def kl_series(self, feature: Feature, clone: int = 0) -> np.ndarray:
+        return self.detectors[feature].kl_series(clone)
+
+    def diff_series(self, feature: Feature, clone: int = 0) -> np.ndarray:
+        return self.detectors[feature].diff_series(clone)
+
+    def sigma(self, feature: Feature, clone: int = 0) -> float:
+        return self.detectors[feature].threshold(clone).sigma
+
+    def alarms_at_multiplier(
+        self, feature: Feature, clone: int, multiplier: float
+    ) -> np.ndarray:
+        """Recompute the alarm mask for an arbitrary threshold multiplier
+        from the stored first-difference series (the ROC sweep primitive;
+        intervals before training completion never alarm)."""
+        detector = self.detectors[feature]
+        threshold = detector.threshold(clone).with_multiplier(multiplier)
+        diffs = detector.diff_series(clone)
+        mask = threshold.alarms(diffs)
+        mask[: self.config.training_intervals] = False
+        return mask
+
+    def interval_alarm_mask(
+        self, multiplier: float, clone: int = 0
+    ) -> np.ndarray:
+        """Per-interval alarm mask (any feature) at a given sensitivity."""
+        mask = np.zeros(self.n_intervals, dtype=bool)
+        for feature in self.features:
+            mask |= self.alarms_at_multiplier(feature, clone, multiplier)
+        return mask
+
+
+class DetectorBank:
+    """Runs one histogram detector per monitored feature."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        features: tuple[Feature, ...] = DETECTOR_FEATURES,
+        seed: int = 0,
+    ):
+        if not features:
+            raise ConfigError("need at least one monitored feature")
+        self.config = config or DetectorConfig()
+        self.features = features
+        self._detectors = {
+            feature: HistogramDetector(feature, self.config, seed=seed)
+            for feature in features
+        }
+        self._reports: list[IntervalReport] = []
+
+    @property
+    def detectors(self) -> dict[Feature, HistogramDetector]:
+        return dict(self._detectors)
+
+    def observe(self, flows: FlowTable) -> IntervalReport:
+        """Feed one interval to every detector."""
+        observations = {
+            feature: detector.observe(flows)
+            for feature, detector in self._detectors.items()
+        }
+        interval = next(iter(observations.values())).interval
+        report = IntervalReport(
+            interval=interval,
+            observations=observations,
+            flow_count=len(flows),
+        )
+        self._reports.append(report)
+        return report
+
+    def run(
+        self,
+        trace: FlowTable,
+        interval_seconds: float,
+        origin: float = 0.0,
+    ) -> DetectionRun:
+        """Window ``trace`` and observe every interval in order."""
+        for view in iter_intervals(
+            trace, interval_seconds, origin=origin, include_empty=True
+        ):
+            self.observe(view.flows)
+        return DetectionRun(
+            config=self.config,
+            features=self.features,
+            reports=list(self._reports),
+            detectors=dict(self._detectors),
+        )

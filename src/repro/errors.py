@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class FlowError(ReproError):
+    """Invalid flow record or flow table operation."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed or has inconsistent columns."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (bad parameter range or combination)."""
+
+
+class DetectionError(ReproError):
+    """Detector used in an invalid state (e.g. no reference interval yet)."""
+
+
+class MiningError(ReproError):
+    """Invalid input to a frequent item-set miner."""
+
+
+class ExtractionError(ReproError):
+    """The extraction pipeline was driven with inconsistent inputs."""

@@ -1,0 +1,107 @@
+"""Serialization of flow tables.
+
+Two formats are supported:
+
+* **CSV** — human-readable, one flow per line, header row.  Interoperable
+  with ``nfdump -o csv``-style exports after column mapping.
+* **NPZ** — compressed numpy archive, loss-less and fast; the native
+  format for checkpointing generated traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.flows.record import FlowRecord
+from repro.flows.table import ALL_COLUMNS, FlowTable
+
+_CSV_HEADER = list(ALL_COLUMNS)
+
+
+def write_csv(table: FlowTable, path: str | os.PathLike[str]) -> None:
+    """Write a flow table to ``path`` as CSV with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        columns = [table.column(name) for name in ALL_COLUMNS]
+        for row in zip(*columns):
+            writer.writerow([_format_cell(name, cell)
+                             for name, cell in zip(ALL_COLUMNS, row)])
+
+
+def _format_cell(name: str, cell: object) -> object:
+    if name == "start":
+        return float(cell)  # keep full float precision
+    return int(cell)
+
+
+def read_csv(path: str | os.PathLike[str]) -> FlowTable:
+    """Read a flow table previously written by :func:`write_csv`.
+
+    Raises :class:`TraceFormatError` on a malformed header or ragged rows.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise TraceFormatError(f"{path}: empty trace file") from exc
+        if header != _CSV_HEADER:
+            raise TraceFormatError(
+                f"{path}: unexpected header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        columns: dict[str, list[float]] = {name: [] for name in ALL_COLUMNS}
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue  # allow trailing blank lines
+            if len(row) != len(ALL_COLUMNS):
+                raise TraceFormatError(
+                    f"{path}:{line_no}: expected {len(ALL_COLUMNS)} fields, "
+                    f"got {len(row)}"
+                )
+            try:
+                for name, cell in zip(ALL_COLUMNS, row):
+                    columns[name].append(
+                        float(cell) if name == "start" else int(cell)
+                    )
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{line_no}: bad value") from exc
+    return FlowTable(
+        {name: np.asarray(values) for name, values in columns.items()}
+    )
+
+
+def write_npz(table: FlowTable, path: str | os.PathLike[str]) -> None:
+    """Write a flow table to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path, **{name: table.column(name) for name in ALL_COLUMNS}
+    )
+
+
+def read_npz(path: str | os.PathLike[str]) -> FlowTable:
+    """Read a flow table from a ``.npz`` archive written by
+    :func:`write_npz`."""
+    with np.load(path) as archive:
+        missing = [name for name in ALL_COLUMNS if name not in archive]
+        if missing:
+            raise TraceFormatError(f"{path}: archive missing columns {missing}")
+        return FlowTable({name: archive[name] for name in ALL_COLUMNS})
+
+
+def iter_csv_records(path: str | os.PathLike[str]) -> Iterator[FlowRecord]:
+    """Stream :class:`FlowRecord` rows from a CSV trace without loading the
+    whole file (useful for very large traces)."""
+    table = read_csv(path)
+    yield from table
+
+
+def records_to_csv(
+    records: Iterable[FlowRecord], path: str | os.PathLike[str]
+) -> None:
+    """Convenience wrapper: write an iterable of records as CSV."""
+    write_csv(FlowTable.from_records(records), path)

@@ -1,0 +1,68 @@
+"""Frequent item-set mining over flow transactions."""
+
+from repro.mining.apriori import apriori
+from repro.mining.closed import closed_itemsets, filter_closed, is_closed_in
+from repro.mining.eclat import eclat
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.multilevel import (
+    LevelledItemset,
+    aggregate_prefixes,
+    mine_multilevel,
+    prefix_mask,
+)
+from repro.mining.streaming import SlidingWindowMiner
+from repro.mining.topk import mine_top_k, support_for_top_k
+from repro.mining.items import (
+    FEATURE_SHIFT,
+    VALUE_MASK,
+    FrequentItemset,
+    decode_item,
+    encode_item,
+    format_item,
+    item_feature,
+    itemsets_sorted,
+)
+from repro.mining.maximal import filter_maximal, is_maximal_in
+from repro.mining.result import LevelStats, MiningResult
+from repro.mining.rules import AssociationRule, derive_rules
+from repro.mining.transactions import TRANSACTION_WIDTH, TransactionSet
+
+#: Miners by name (used by the CLI and the scaling bench).
+MINERS = {
+    "apriori": apriori,
+    "fpgrowth": fpgrowth,
+    "eclat": eclat,
+}
+
+__all__ = [
+    "apriori",
+    "fpgrowth",
+    "eclat",
+    "MINERS",
+    "filter_closed",
+    "closed_itemsets",
+    "is_closed_in",
+    "mine_top_k",
+    "support_for_top_k",
+    "SlidingWindowMiner",
+    "aggregate_prefixes",
+    "mine_multilevel",
+    "prefix_mask",
+    "LevelledItemset",
+    "FEATURE_SHIFT",
+    "VALUE_MASK",
+    "FrequentItemset",
+    "encode_item",
+    "decode_item",
+    "format_item",
+    "item_feature",
+    "itemsets_sorted",
+    "filter_maximal",
+    "is_maximal_in",
+    "LevelStats",
+    "MiningResult",
+    "AssociationRule",
+    "derive_rules",
+    "TRANSACTION_WIDTH",
+    "TransactionSet",
+]

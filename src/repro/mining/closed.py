@@ -1,0 +1,87 @@
+"""Closed item-set mining (paper Section V, future work).
+
+A frequent item-set is *closed* when no proper superset has the same
+support.  Closed item-sets sit between "all frequent" and "maximal":
+they lose no support information (every frequent item-set's support is
+recoverable from its smallest closed superset) while still pruning the
+redundant facets an operator shouldn't read.  The paper lists closed
+mining as a natural extension of its maximal-only Apriori.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.mining.items import FrequentItemset, itemsets_sorted
+
+
+def filter_closed(
+    frequent: dict[tuple[int, ...], int],
+) -> dict[tuple[int, ...], int]:
+    """Keep the closed members of a downward-closed frequent family.
+
+    An item-set is non-closed iff some superset with exactly one more
+    item has the same support (if a larger superset ties, so does one in
+    between, by anti-monotonicity).
+    """
+    if not frequent:
+        return {}
+    non_closed: set[tuple[int, ...]] = set()
+    for items, support in frequent.items():
+        if len(items) < 2:
+            continue
+        for subset in combinations(items, len(items) - 1):
+            if frequent.get(subset) == support:
+                non_closed.add(subset)
+    return {
+        items: support
+        for items, support in frequent.items()
+        if items not in non_closed
+    }
+
+
+def closed_itemsets(
+    frequent: dict[tuple[int, ...], int],
+) -> list[FrequentItemset]:
+    """Closed item-sets in canonical report order."""
+    return itemsets_sorted(
+        [
+            FrequentItemset(items=items, support=support)
+            for items, support in filter_closed(frequent).items()
+        ]
+    )
+
+
+def support_of_itemset(
+    items: tuple[int, ...],
+    closed: dict[tuple[int, ...], int],
+) -> int | None:
+    """Recover any frequent item-set's support from the closed family.
+
+    The support of X equals the maximum support among closed supersets
+    of X (its closure).  Returns None when X is not frequent (no closed
+    superset exists).
+    """
+    item_set = set(items)
+    best: int | None = None
+    for other, support in closed.items():
+        if item_set <= set(other) and (best is None or support > best):
+            best = support
+    return best
+
+
+def is_closed_in(
+    items: tuple[int, ...], frequent: dict[tuple[int, ...], int]
+) -> bool:
+    """Reference check used by the property tests: no strict superset in
+    the family carries the same support."""
+    support = frequent[items]
+    item_set = set(items)
+    for other, other_support in frequent.items():
+        if (
+            len(other) > len(items)
+            and item_set < set(other)
+            and other_support == support
+        ):
+            return False
+    return True

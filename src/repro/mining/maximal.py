@@ -1,0 +1,60 @@
+"""Maximal item-set filtering.
+
+The paper modifies Apriori "to output only maximal frequent item-sets,
+i.e. frequent k-item-sets that are not a subset of a more specific
+frequent (k+1)-item-set", which shrinks the report an operator must read
+by an order of magnitude (58 of 60 1-item-sets vanish in the Table II
+example).
+
+Because every frequent family is downward closed (Apriori property), an
+item-set is non-maximal iff it is a subset of a frequent item-set with
+exactly one more item - so marking the k-subsets of every
+(k+1)-item-set suffices and no general subset test is needed.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+
+def filter_maximal(
+    frequent: dict[tuple[int, ...], int],
+) -> dict[tuple[int, ...], int]:
+    """Return the maximal members of a downward-closed frequent family.
+
+    Args:
+        frequent: {sorted item tuple: support} for every frequent
+            item-set.
+
+    Returns:
+        The subset of ``frequent`` with no frequent proper superset.
+    """
+    if not frequent:
+        return {}
+    non_maximal: set[tuple[int, ...]] = set()
+    for items in frequent:
+        k = len(items)
+        if k < 2:
+            continue
+        for subset in combinations(items, k - 1):
+            non_maximal.add(subset)
+    return {
+        items: support
+        for items, support in frequent.items()
+        if items not in non_maximal
+    }
+
+
+def is_maximal_in(
+    items: tuple[int, ...], frequent: dict[tuple[int, ...], int]
+) -> bool:
+    """Reference check: no strict superset of ``items`` in ``frequent``.
+
+    O(|frequent|) - used by the property-based tests to validate
+    :func:`filter_maximal` against first principles.
+    """
+    item_set = set(items)
+    for other in frequent:
+        if len(other) > len(items) and item_set < set(other):
+            return False
+    return True

@@ -1,0 +1,154 @@
+"""Prefix-aggregated (multi-level) mining views.
+
+Section III-D: anomalies affecting whole network ranges - outages,
+routing shifts, distributed scans - are not concentrated on single
+addresses, but "can be captured by using IP address prefixes as
+additional dimensions for item-set mining".  Section V lists
+multi-level/multi-dimensional mining as future work.
+
+We implement the idea as *views*: :func:`aggregate_prefixes` rewrites a
+flow table with its addresses masked to a prefix length, so the
+unchanged miners operate at any aggregation level; :func:`mine_multilevel`
+runs a stack of levels (host, /24, /16) and merges the reports, tagging
+each item-set with its level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.flows.table import FlowTable
+from repro.mining.apriori import apriori
+from repro.mining.items import FrequentItemset
+from repro.mining.result import MiningResult
+from repro.mining.transactions import TransactionSet
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """The 32-bit network mask for a prefix length.
+
+    >>> hex(prefix_mask(24))
+    '0xffffff00'
+    """
+    if not 0 <= prefix_len <= 32:
+        raise MiningError(f"prefix length must be in [0, 32]: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+def aggregate_prefixes(
+    flows: FlowTable, src_prefix: int = 32, dst_prefix: int = 32
+) -> FlowTable:
+    """A copy of ``flows`` with addresses masked to prefix boundaries.
+
+    At ``src_prefix=dst_prefix=32`` this is the identity; at 24/16 the
+    address items of the resulting transactions denote /24s or /16s, so
+    range-level structure (an outage of a customer block, a scan across
+    a /16) becomes a frequent item.
+    """
+    src = flows.src_ip & np.uint64(prefix_mask(src_prefix))
+    dst = flows.dst_ip & np.uint64(prefix_mask(dst_prefix))
+    return FlowTable(
+        {
+            "src_ip": src,
+            "dst_ip": dst,
+            "src_port": flows.src_port,
+            "dst_port": flows.dst_port,
+            "protocol": flows.protocol,
+            "packets": flows.packets,
+            "bytes": flows.bytes,
+            "start": flows.start,
+            "label": flows.label,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class LevelledItemset:
+    """An item-set tagged with the aggregation level it was mined at."""
+
+    itemset: FrequentItemset
+    src_prefix: int
+    dst_prefix: int
+
+    @property
+    def level(self) -> str:
+        return f"/{self.src_prefix}-/{self.dst_prefix}"
+
+
+def mine_multilevel(
+    flows: FlowTable,
+    min_support: int,
+    levels: tuple[tuple[int, int], ...] = ((32, 32), (24, 24), (16, 16)),
+    miner=apriori,
+) -> tuple[list[LevelledItemset], dict[tuple[int, int], MiningResult]]:
+    """Mine the same interval at several aggregation levels.
+
+    Returns the merged, deduplicated report (an aggregated item-set is
+    dropped when a finer level already reports an item-set with the
+    same non-address items and at least the same support - the finer
+    one is strictly more informative) plus the per-level raw results.
+    """
+    if not levels:
+        raise MiningError("need at least one aggregation level")
+    per_level: dict[tuple[int, int], MiningResult] = {}
+    merged: list[LevelledItemset] = []
+    for src_prefix, dst_prefix in levels:
+        view = aggregate_prefixes(flows, src_prefix, dst_prefix)
+        result = miner(TransactionSet.from_flows(view), min_support)
+        per_level[(src_prefix, dst_prefix)] = result
+        for itemset in result.itemsets:
+            merged.append(
+                LevelledItemset(
+                    itemset=itemset,
+                    src_prefix=src_prefix,
+                    dst_prefix=dst_prefix,
+                )
+            )
+    merged = _deduplicate(merged)
+    merged.sort(key=lambda entry: (-entry.itemset.support,
+                                   -entry.itemset.size,
+                                   entry.itemset.items))
+    return merged, per_level
+
+
+def _deduplicate(entries: list[LevelledItemset]) -> list[LevelledItemset]:
+    """Drop item-sets shadowed by more informative ones.
+
+    Entries compete when their non-address items agree.  Preference
+    order within a group:
+
+    1. an entry carrying *more* address items wins (a
+       ``{srcIP=scanner, dstIP=130.59.7.0/24, dstPort=445}`` pinpoints
+       both actor and range; ``{srcIP=scanner, dstPort=445}`` only the
+       actor; plain ``{dstPort=445}`` neither);
+    2. among entries with equally many address items, the finer level
+       (larger prefix sum) wins;
+    3. address-free duplicates collapse to a single entry.
+    """
+    from repro.detection.features import Feature
+    from repro.mining.items import decode_item, encode_item
+
+    def non_address_key(entry: LevelledItemset) -> tuple[int, ...]:
+        kept = []
+        for item in entry.itemset.items:
+            feature, value = decode_item(item)
+            if feature not in (Feature.SRC_IP, Feature.DST_IP):
+                kept.append(encode_item(feature, value))
+        return tuple(sorted(kept))
+
+    def rank(entry: LevelledItemset) -> tuple[int, int]:
+        address_items = entry.itemset.size - len(non_address_key(entry))
+        return (address_items, entry.src_prefix + entry.dst_prefix)
+
+    by_key: dict[tuple, LevelledItemset] = {}
+    for entry in entries:
+        key = non_address_key(entry)
+        current = by_key.get(key)
+        if current is None or rank(entry) > rank(current):
+            by_key[key] = entry
+    return list(by_key.values())

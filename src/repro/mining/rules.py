@@ -1,0 +1,95 @@
+"""Association rule derivation (the paper's "trivial second step").
+
+The paper stops at frequent item-sets because rules add nothing for
+anomaly extraction (Section II-B).  We provide the step anyway as the
+natural library extension: given the frequent family, emit rules
+``antecedent => consequent`` with support, confidence and lift, so users
+can explore co-occurrence structure in extracted traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.errors import MiningError
+from repro.mining.items import format_item
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One rule with the classic interestingness measures."""
+
+    antecedent: tuple[int, ...]
+    consequent: tuple[int, ...]
+    support: int
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        lhs = ", ".join(format_item(i) for i in self.antecedent)
+        rhs = ", ".join(format_item(i) for i in self.consequent)
+        return (
+            f"{{{lhs}}} => {{{rhs}}} "
+            f"(support={self.support}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def derive_rules(
+    all_frequent: dict[tuple[int, ...], int],
+    n_transactions: int,
+    min_confidence: float = 0.8,
+) -> list[AssociationRule]:
+    """Generate rules from a frequent item-set family.
+
+    Args:
+        all_frequent: {sorted item tuple: support}, as produced by any of
+            the miners (must include all subsets - Apriori property).
+        n_transactions: total transaction count (for lift).
+        min_confidence: minimum rule confidence to keep.
+
+    Returns:
+        Rules sorted by confidence then support, descending.
+    """
+    if not 0 < min_confidence <= 1:
+        raise MiningError(
+            f"min_confidence must be in (0, 1]: {min_confidence}"
+        )
+    if n_transactions < 1:
+        raise MiningError("n_transactions must be >= 1")
+    rules: list[AssociationRule] = []
+    for items, support in all_frequent.items():
+        if len(items) < 2:
+            continue
+        for split in range(1, len(items)):
+            for antecedent in combinations(items, split):
+                antecedent = tuple(sorted(antecedent))
+                consequent = tuple(sorted(set(items) - set(antecedent)))
+                antecedent_support = all_frequent.get(antecedent)
+                if antecedent_support is None:
+                    raise MiningError(
+                        "frequent family is not downward closed: "
+                        f"missing {antecedent}"
+                    )
+                confidence = support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                consequent_support = all_frequent.get(consequent)
+                if consequent_support is None:
+                    raise MiningError(
+                        "frequent family is not downward closed: "
+                        f"missing {consequent}"
+                    )
+                lift = confidence / (consequent_support / n_transactions)
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.antecedent))
+    return rules

@@ -1,0 +1,81 @@
+"""Top-k item-set mining (paper Section V, future work).
+
+The paper suggests "mining top-k item-sets" as an alternative to hand
+tuning the minimum support: the operator asks for the k most frequent
+maximal item-sets and the miner finds the support level that delivers
+them.  Section II-E sketches the same workflow manually ("select a very
+low s ... rank by frequency ... keep the top 10 or 20 item-sets").
+
+We implement it as a support search: start from a high support (a
+fraction of the transaction count) and geometrically lower it until at
+least ``k`` maximal item-sets exist, then return the k best by support.
+Anti-monotonicity guarantees the families are nested, so the first
+support level that yields k item-sets is correct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori
+from repro.mining.items import FrequentItemset, itemsets_sorted
+from repro.mining.result import MiningResult
+from repro.mining.transactions import TransactionSet
+
+Miner = Callable[..., MiningResult]
+
+
+def mine_top_k(
+    transactions: TransactionSet,
+    k: int,
+    miner: Miner = apriori,
+    initial_fraction: float = 0.5,
+    shrink: float = 0.5,
+    min_floor: int = 1,
+) -> tuple[list[FrequentItemset], MiningResult]:
+    """Return the ``k`` most frequent maximal item-sets.
+
+    Args:
+        transactions: encoded flows of the flagged interval.
+        k: how many item-sets the operator wants to inspect.
+        miner: any of the three miners (same signature).
+        initial_fraction: first support level as a fraction of the
+            transaction count.
+        shrink: geometric factor applied while too few item-sets exist.
+        min_floor: lowest support to try before giving up and returning
+            whatever exists.
+
+    Returns:
+        ``(top_k_itemsets, last_mining_result)`` - the result carries
+        the support level that produced the final family.
+    """
+    if k < 1:
+        raise MiningError(f"k must be >= 1: {k}")
+    if not 0 < initial_fraction <= 1:
+        raise MiningError(
+            f"initial_fraction must be in (0, 1]: {initial_fraction}"
+        )
+    if not 0 < shrink < 1:
+        raise MiningError(f"shrink must be in (0, 1): {shrink}")
+    if len(transactions) == 0:
+        raise MiningError("cannot mine an empty transaction set")
+
+    support = max(min_floor, int(len(transactions) * initial_fraction))
+    result = miner(transactions, support)
+    while len(result.itemsets) < k and support > min_floor:
+        support = max(min_floor, int(support * shrink))
+        result = miner(transactions, support)
+    top = itemsets_sorted(result.itemsets)[:k]
+    return top, result
+
+
+def support_for_top_k(
+    transactions: TransactionSet, k: int, miner: Miner = apriori
+) -> int:
+    """The minimum support the operator would have had to guess to get
+    exactly the top-k report (convenience for logging/reproducibility)."""
+    top, _ = mine_top_k(transactions, k, miner=miner)
+    if not top:
+        raise MiningError("no frequent item-sets exist at support 1")
+    return top[-1].support

@@ -1,0 +1,131 @@
+"""Transaction sets: flows encoded for frequent item-set mining.
+
+A :class:`TransactionSet` is an ``(n, 7)`` int64 matrix - row = flow,
+column = feature, cell = encoded item.  By construction a transaction
+holds exactly one item per feature (transaction width 7, Section II-B),
+which bounds Apriori at seven passes.  The class also provides the
+vertical view (tidsets) used by the fast support-counting backends and
+by Eclat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.features import MINING_FEATURES
+from repro.errors import MiningError
+from repro.flows.table import FlowTable
+from repro.mining.items import FEATURE_SHIFT, VALUE_MASK, item_feature
+
+#: Number of items per transaction (the seven flow features).
+TRANSACTION_WIDTH = len(MINING_FEATURES)
+
+_FEATURE_INDEX = {feature: i for i, feature in enumerate(MINING_FEATURES)}
+
+
+class TransactionSet:
+    """Encoded transactions with vertical (tidset) support counting."""
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != TRANSACTION_WIDTH:
+            raise MiningError(
+                f"transaction matrix must be (n, {TRANSACTION_WIDTH}); "
+                f"got {matrix.shape}"
+            )
+        self._matrix = matrix
+
+    @classmethod
+    def from_flows(cls, flows: FlowTable) -> "TransactionSet":
+        """Encode every flow of a table into a transaction row."""
+        n = len(flows)
+        matrix = np.empty((n, TRANSACTION_WIDTH), dtype=np.int64)
+        for feature, col in _FEATURE_INDEX.items():
+            values = feature.extract(flows).astype(np.int64)
+            if n and int(values.max(initial=0)) > VALUE_MASK:
+                # Byte counts beyond 2^48 cannot occur with sane flows,
+                # but clip defensively rather than corrupt the encoding.
+                values = np.minimum(values, VALUE_MASK)
+            matrix[:, col] = (col << FEATURE_SHIFT) | values
+        return cls(matrix)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    # ------------------------------------------------------------------
+    # Item-level statistics
+    # ------------------------------------------------------------------
+    def item_supports(self) -> tuple[np.ndarray, np.ndarray]:
+        """All distinct items with their support counts.
+
+        Feature tags make items of different features distinct even for
+        equal raw values, so a single unique over the flattened matrix
+        is correct.
+        """
+        items, counts = np.unique(self._matrix, return_counts=True)
+        return items, counts
+
+    def frequent_items(self, min_support: int) -> dict[int, int]:
+        """{item: support} for items meeting the minimum support."""
+        if min_support < 1:
+            raise MiningError(f"min_support must be >= 1: {min_support}")
+        items, counts = self.item_supports()
+        keep = counts >= min_support
+        return {
+            int(item): int(count)
+            for item, count in zip(items[keep], counts[keep])
+        }
+
+    # ------------------------------------------------------------------
+    # Vertical view
+    # ------------------------------------------------------------------
+    def tidset(self, item: int) -> np.ndarray:
+        """Sorted transaction indices containing ``item``."""
+        col = _FEATURE_INDEX[item_feature(item)]
+        return np.nonzero(self._matrix[:, col] == item)[0]
+
+    def tidsets(self, items: list[int]) -> dict[int, np.ndarray]:
+        """Tidsets for many items, grouped per feature column for speed."""
+        by_col: dict[int, list[int]] = {}
+        for item in items:
+            col = int(item) >> FEATURE_SHIFT
+            by_col.setdefault(col, []).append(int(item))
+        result: dict[int, np.ndarray] = {}
+        for col, col_items in by_col.items():
+            column = self._matrix[:, col]
+            order = np.argsort(column, kind="stable")
+            sorted_col = column[order]
+            for item in col_items:
+                lo = np.searchsorted(sorted_col, item, side="left")
+                hi = np.searchsorted(sorted_col, item, side="right")
+                result[item] = np.sort(order[lo:hi])
+        return result
+
+    # ------------------------------------------------------------------
+    # Horizontal helpers
+    # ------------------------------------------------------------------
+    def contains_mask(self, items: tuple[int, ...]) -> np.ndarray:
+        """Boolean mask of transactions containing every item of
+        ``items`` (used to map a mined item-set back to its flows)."""
+        mask = np.ones(len(self), dtype=bool)
+        for item in items:
+            col = int(item) >> FEATURE_SHIFT
+            mask &= self._matrix[:, col] == item
+        return mask
+
+    def support_of(self, items: tuple[int, ...]) -> int:
+        """Exact support of an arbitrary item-set (reference counting)."""
+        if not items:
+            return len(self)
+        return int(self.contains_mask(items).sum())
+
+    def rows_as_sets(self) -> list[frozenset[int]]:
+        """Transactions as frozensets (for brute-force reference miners
+        in the test suite; do not use on large inputs)."""
+        return [frozenset(int(x) for x in row) for row in self._matrix]

@@ -1,0 +1,16 @@
+"""Hashing, hashed histograms (clones), and sketch substrates."""
+
+from repro.sketch.hashing import MERSENNE_PRIME, HashFamily, UniversalHash
+from repro.sketch.histogram import HashedHistogram, HistogramSnapshot
+from repro.sketch.cloning import CloneSet
+from repro.sketch.countmin import CountMinSketch
+
+__all__ = [
+    "MERSENNE_PRIME",
+    "HashFamily",
+    "UniversalHash",
+    "HashedHistogram",
+    "HistogramSnapshot",
+    "CloneSet",
+    "CountMinSketch",
+]

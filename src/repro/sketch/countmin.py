@@ -1,0 +1,104 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, reference [6] of the paper).
+
+The paper contrasts histogram cloning with sketches: both use random
+projections, but sketches target stream *summarization* while cloning
+targets random *binning*.  We provide Count-Min as a substrate because it
+shares the hashing infrastructure and is the natural tool for the
+heavy-hitter cross-checks used in our tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sketch.hashing import HashFamily
+
+
+class CountMinSketch:
+    """Point-query frequency estimator with one-sided error.
+
+    Guarantees (standard): with width ``w = ceil(e / eps)`` and depth
+    ``d = ceil(ln(1 / delta))``, the estimate for any item exceeds the
+    true count by more than ``eps * N`` with probability at most
+    ``delta``.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0):
+        if width < 1:
+            raise ConfigError(f"width must be >= 1: {width}")
+        if depth < 1:
+            raise ConfigError(f"depth must be >= 1: {depth}")
+        self._width = width
+        self._depth = depth
+        family = HashFamily(bins=width, seed=seed)
+        self._hashes = family.take(depth)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Build a sketch sized for additive error ``epsilon * N`` with
+        failure probability ``delta``."""
+        if not 0 < epsilon < 1:
+            raise ConfigError(f"epsilon must be in (0, 1): {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigError(f"delta must be in (0, 1): {delta}")
+        width = int(np.ceil(np.e / epsilon))
+        depth = int(np.ceil(np.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total(self) -> int:
+        """Total count of all updates (N)."""
+        return self._total
+
+    def update(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value``."""
+        if count < 0:
+            raise ConfigError("count-min does not support decrements")
+        for row, hash_fn in enumerate(self._hashes):
+            self._table[row, hash_fn(value)] += count
+        self._total += count
+
+    def update_array(self, values: np.ndarray) -> None:
+        """Add one occurrence of every entry in ``values`` (vectorized)."""
+        vals = np.asarray(values, dtype=np.uint64)
+        if vals.size == 0:
+            return
+        for row, hash_fn in enumerate(self._hashes):
+            bins = hash_fn.hash_array(vals)
+            np.add.at(self._table[row], bins, 1)
+        self._total += int(vals.size)
+
+    def estimate(self, value: int) -> int:
+        """Point query: an upper bound on the true count of ``value``."""
+        return int(
+            min(
+                self._table[row, hash_fn(value)]
+                for row, hash_fn in enumerate(self._hashes)
+            )
+        )
+
+    def heavy_hitters(
+        self, candidates: np.ndarray, threshold: int
+    ) -> list[tuple[int, int]]:
+        """Return (value, estimate) for candidates estimated above
+        ``threshold``, sorted by decreasing estimate."""
+        hits = []
+        for value in np.asarray(candidates, dtype=np.uint64):
+            est = self.estimate(int(value))
+            if est >= threshold:
+                hits.append((int(value), est))
+        hits.sort(key=lambda pair: (-pair[1], pair[0]))
+        return hits

@@ -1,0 +1,168 @@
+"""Hashed histograms - the per-clone data structure of the detector.
+
+A :class:`HashedHistogram` counts flows per bin, where the bin of a flow
+is the universal hash of one of its feature values.  It also retains the
+set of distinct feature values observed per interval so that anomalous
+bins can later be mapped back to the feature values that hashed into
+them (paper Section II-C, step 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sketch.hashing import UniversalHash
+
+
+class HashedHistogram:
+    """Histogram over ``m`` bins with a value->bin map for the current
+    interval.
+
+    The paper's clone keeps "a map of bins and corresponding feature
+    values"; we store the observed distinct values and compute their bins
+    on demand (the hash is deterministic), which is equivalent and
+    smaller.
+    """
+
+    __slots__ = ("_hash", "_counts", "_observed")
+
+    def __init__(self, hash_fn: UniversalHash):
+        self._hash = hash_fn
+        self._counts = np.zeros(hash_fn.bins, dtype=np.float64)
+        self._observed: np.ndarray = np.empty(0, dtype=np.uint64)
+
+    @property
+    def bins(self) -> int:
+        return self._hash.bins
+
+    @property
+    def hash_fn(self) -> UniversalHash:
+        return self._hash
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bin flow counts for the current interval (read-only copy)."""
+        return self._counts.copy()
+
+    @property
+    def total(self) -> float:
+        return float(self._counts.sum())
+
+    def reset(self) -> None:
+        """Clear counts and the observed-value set for a new interval."""
+        self._counts[:] = 0.0
+        self._observed = np.empty(0, dtype=np.uint64)
+
+    def update(self, values: np.ndarray) -> None:
+        """Add one flow per entry of ``values`` (a feature column)."""
+        vals = np.asarray(values, dtype=np.uint64)
+        if vals.size == 0:
+            return
+        bins = self._hash.hash_array(vals)
+        np.add.at(self._counts, bins, 1.0)
+        self._observed = np.union1d(self._observed, vals)
+
+    def observed_values(self) -> np.ndarray:
+        """Distinct feature values seen in the current interval."""
+        return self._observed.copy()
+
+    def values_in_bins(self, bins: np.ndarray | list[int]) -> np.ndarray:
+        """Observed feature values that hash into any of ``bins``.
+
+        This is the bin->values back-map used after anomalous bins have
+        been identified.
+        """
+        wanted = np.asarray(bins, dtype=np.int64)
+        if wanted.size == 0 or self._observed.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        if wanted.min() < 0 or wanted.max() >= self.bins:
+            raise ConfigError(
+                f"bin index out of range [0, {self.bins}): {wanted}"
+            )
+        value_bins = self._hash.hash_array(self._observed)
+        mask = np.isin(value_bins, wanted)
+        return self._observed[mask]
+
+    def distribution(self, pseudocount: float = 0.0) -> np.ndarray:
+        """Normalized bin distribution, optionally Laplace-smoothed."""
+        if pseudocount < 0:
+            raise ConfigError(f"pseudocount must be >= 0: {pseudocount}")
+        smoothed = self._counts + pseudocount
+        total = smoothed.sum()
+        if total == 0:
+            # Degenerate empty interval: fall back to uniform.
+            return np.full(self.bins, 1.0 / self.bins)
+        return smoothed / total
+
+    def snapshot(self) -> "HistogramSnapshot":
+        """Freeze the current interval state (counts + observed values)."""
+        return HistogramSnapshot(
+            hash_fn=self._hash,
+            counts=self._counts.copy(),
+            observed=self._observed.copy(),
+        )
+
+
+class HistogramSnapshot:
+    """Immutable state of a :class:`HashedHistogram` at interval end.
+
+    Snapshots are what the detector stores as the reference (previous
+    interval) distribution and what the bin-identification algorithm
+    manipulates.
+    """
+
+    __slots__ = ("hash_fn", "_counts", "_observed")
+
+    def __init__(
+        self, hash_fn: UniversalHash, counts: np.ndarray, observed: np.ndarray
+    ):
+        if len(counts) != hash_fn.bins:
+            raise ConfigError(
+                f"snapshot counts length {len(counts)} != bins {hash_fn.bins}"
+            )
+        self.hash_fn = hash_fn
+        self._counts = np.asarray(counts, dtype=np.float64).copy()
+        self._counts.setflags(write=False)
+        self._observed = np.asarray(observed, dtype=np.uint64).copy()
+        self._observed.setflags(write=False)
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def observed(self) -> np.ndarray:
+        return self._observed
+
+    @property
+    def bins(self) -> int:
+        return self.hash_fn.bins
+
+    @property
+    def total(self) -> float:
+        return float(self._counts.sum())
+
+    def distribution(self, pseudocount: float = 0.0) -> np.ndarray:
+        """Normalized (optionally smoothed) bin distribution."""
+        if pseudocount < 0:
+            raise ConfigError(f"pseudocount must be >= 0: {pseudocount}")
+        smoothed = self._counts + pseudocount
+        total = smoothed.sum()
+        if total == 0:
+            return np.full(self.bins, 1.0 / self.bins)
+        return smoothed / total
+
+    def values_in_bins(self, bins: np.ndarray | list[int]) -> np.ndarray:
+        """Observed feature values hashing into any of ``bins``."""
+        wanted = np.asarray(bins, dtype=np.int64)
+        if wanted.size == 0 or self._observed.size == 0:
+            return np.empty(0, dtype=np.uint64)
+        value_bins = self.hash_fn.hash_array(self._observed)
+        mask = np.isin(value_bins, wanted)
+        return self._observed[mask]
+
+    def with_counts(self, counts: np.ndarray) -> "HistogramSnapshot":
+        """Copy of this snapshot with replaced counts (used by the
+        iterative bin-cleaning simulation)."""
+        return HistogramSnapshot(self.hash_fn, counts, self._observed)

@@ -1,0 +1,51 @@
+"""Synthetic backbone traffic: profiles, baseline model, trace generation."""
+
+from repro.traffic.baseline import BaselineTrafficModel, zipf_weights
+from repro.traffic.diurnal import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    diurnal_factor,
+    interval_flow_count,
+)
+from repro.traffic.generator import GeneratedTrace, TraceGenerator
+from repro.traffic.profiles import (
+    DEFAULT_SERVICE_PORTS,
+    TrafficProfile,
+    small_test,
+    switch_like,
+)
+from repro.traffic.scenarios import (
+    TABLE2_PAPER_COUNTS,
+    TABLE4_CLASS_FLOWS,
+    TABLE4_OCCURRENCES,
+    Table2Scenario,
+    table2_interval,
+    two_day_trace,
+    two_week_schedule,
+    two_week_trace,
+    worm_outbreak_trace,
+)
+
+__all__ = [
+    "BaselineTrafficModel",
+    "zipf_weights",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_WEEK",
+    "diurnal_factor",
+    "interval_flow_count",
+    "GeneratedTrace",
+    "TraceGenerator",
+    "TrafficProfile",
+    "DEFAULT_SERVICE_PORTS",
+    "small_test",
+    "switch_like",
+    "TABLE2_PAPER_COUNTS",
+    "TABLE4_CLASS_FLOWS",
+    "TABLE4_OCCURRENCES",
+    "Table2Scenario",
+    "table2_interval",
+    "two_day_trace",
+    "two_week_schedule",
+    "two_week_trace",
+    "worm_outbreak_trace",
+]

@@ -1,0 +1,68 @@
+"""Diurnal and weekly rate modulation for the synthetic backbone.
+
+Backbone traffic volume swings with the time of day (roughly sinusoidal,
+peak in the afternoon, trough before dawn) and dips on weekends.  The
+detectors of the paper are explicitly robust to *volume* changes that do
+not alter feature distributions (Section II-C), so modelling this
+modulation is an important negative control: the KL detector must stay
+quiet through the daily swing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def diurnal_factor(
+    t: float,
+    amplitude: float = 0.35,
+    peak_hour: float = 15.0,
+    weekend_dip: float = 0.25,
+) -> float:
+    """Multiplicative rate factor at absolute time ``t`` (seconds).
+
+    Args:
+        t: time in seconds since the trace origin (origin = Monday 00:00).
+        amplitude: half peak-to-trough swing of the daily sinusoid
+            (0.35 means the rate varies between 0.65x and 1.35x).
+        peak_hour: hour of day (0-24) at which traffic peaks.
+        weekend_dip: fractional rate reduction applied on Saturday and
+            Sunday.
+
+    Returns:
+        A strictly positive factor to multiply the base flow rate with.
+    """
+    if not 0 <= amplitude < 1:
+        raise ConfigError(f"amplitude must be in [0, 1): {amplitude}")
+    if not 0 <= weekend_dip < 1:
+        raise ConfigError(f"weekend_dip must be in [0, 1): {weekend_dip}")
+    if not 0 <= peak_hour < 24:
+        raise ConfigError(f"peak_hour must be in [0, 24): {peak_hour}")
+    hour_of_day = (t % SECONDS_PER_DAY) / 3600.0
+    phase = 2.0 * math.pi * (hour_of_day - peak_hour) / 24.0
+    factor = 1.0 + amplitude * math.cos(phase)
+    day_index = int((t % SECONDS_PER_WEEK) // SECONDS_PER_DAY)
+    if day_index >= 5:  # Saturday (5) and Sunday (6)
+        factor *= 1.0 - weekend_dip
+    return factor
+
+
+def interval_flow_count(
+    base_flows: int,
+    interval_start: float,
+    interval_seconds: float,
+    amplitude: float = 0.35,
+    peak_hour: float = 15.0,
+    weekend_dip: float = 0.25,
+) -> float:
+    """Expected baseline flow count for an interval, evaluated at the
+    interval midpoint (adequate for intervals of a few minutes)."""
+    midpoint = interval_start + interval_seconds / 2.0
+    return base_flows * diurnal_factor(
+        midpoint, amplitude=amplitude, peak_hour=peak_hour, weekend_dip=weekend_dip
+    )

@@ -1,0 +1,129 @@
+"""Unit tests for the analytic voting model (equations 1-3)."""
+
+import pytest
+
+from repro.analysis.voting_model import (
+    binomial_tail,
+    expected_normal_values,
+    fig7_grid,
+    fig8_grid,
+    p_anomalous_included,
+    p_anomalous_missed,
+    p_normal_included,
+    simulate_anomalous_miss,
+    simulate_normal_inclusion,
+)
+from repro.errors import ConfigError
+
+
+class TestBinomialTail:
+    def test_v_one_complement(self):
+        # P(X >= 1) = 1 - (1-p)^K
+        assert binomial_tail(0.3, 5, 1) == pytest.approx(1 - 0.7**5)
+
+    def test_v_equals_k(self):
+        assert binomial_tail(0.9, 4, 4) == pytest.approx(0.9**4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            binomial_tail(1.5, 3, 1)
+        with pytest.raises(ConfigError):
+            binomial_tail(0.5, 0, 1)
+        with pytest.raises(ConfigError):
+            binomial_tail(0.5, 3, 4)
+
+
+class TestEquations:
+    def test_eq1_eq2_complementary(self):
+        assert p_anomalous_included(0.97, 10, 5) + p_anomalous_missed(
+            0.97, 10, 5
+        ) == pytest.approx(1.0)
+
+    def test_paper_value_v_equals_k_10(self):
+        # Fig. 7 discussion: for V = K = 10, beta* = 1 - 0.97^10 ~ 0.26.
+        assert p_anomalous_missed(0.97, 10, 10) == pytest.approx(
+            1 - 0.97**10
+        )
+        assert p_anomalous_missed(0.97, 10, 10) == pytest.approx(0.263, abs=0.01)
+
+    def test_paper_value_v5_k10_tiny(self):
+        # Fig. 7: V=5, K=10 drives the miss probability to ~1e-7.
+        assert p_anomalous_missed(0.97, 10, 5) < 1e-6
+
+    def test_miss_probability_increases_with_v(self):
+        probs = [p_anomalous_missed(0.97, 10, v) for v in range(1, 11)]
+        assert probs == sorted(probs)
+
+    def test_eq3_v_equals_k_3_b1(self):
+        # Fig. 8(a): B=1, m=1024, K=V=3 -> (1/1024)^3 ~ 9.3e-10.
+        assert p_normal_included(1, 1024, 3, 3) == pytest.approx(
+            (1 / 1024) ** 3, rel=1e-6
+        )
+
+    def test_eq3_grows_with_b(self):
+        assert p_normal_included(3, 1024, 3, 2) > p_normal_included(
+            1, 1024, 3, 2
+        )
+
+    def test_eq3_decreases_with_v(self):
+        probs = [p_normal_included(3, 1024, 5, v) for v in range(1, 6)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_eq3_validation(self):
+        with pytest.raises(ConfigError):
+            p_normal_included(5, 4, 3, 1)
+
+    def test_expected_normal_values(self):
+        expected = expected_normal_values(1, 1024, 3, 1, observed_values=65_536)
+        # gamma_1 = 1-(1-1/1024)^3 ~ 0.0029 -> ~192 false values.
+        assert expected == pytest.approx(192, rel=0.02)
+        with pytest.raises(ConfigError):
+            expected_normal_values(1, 1024, 3, 1, observed_values=-1)
+
+
+class TestMonteCarlo:
+    def test_independent_simulation_matches_eq2(self):
+        analytic = p_anomalous_missed(0.9, 5, 3)
+        simulated = simulate_anomalous_miss(
+            0.9, 5, 3, trials=200_000, correlation=0.0, seed=1
+        )
+        assert simulated == pytest.approx(analytic, abs=0.005)
+
+    def test_correlated_clones_miss_less_dominated_by_bound(self):
+        # Positive correlation concentrates votes: for V <= K the miss
+        # probability stays at or below ~the independent bound scale.
+        independent = simulate_anomalous_miss(
+            0.9, 5, 5, trials=100_000, correlation=0.0, seed=2
+        )
+        correlated = simulate_anomalous_miss(
+            0.9, 5, 5, trials=100_000, correlation=0.95, seed=2
+        )
+        assert correlated <= independent + 0.01
+
+    def test_normal_inclusion_simulation_matches_eq3(self):
+        analytic = p_normal_included(8, 64, 4, 2)
+        simulated = simulate_normal_inclusion(
+            8, 64, 4, 2, trials=300_000, seed=3
+        )
+        assert simulated == pytest.approx(analytic, abs=0.005)
+
+    def test_simulation_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_anomalous_miss(0.9, 5, 3, correlation=2.0)
+        with pytest.raises(ConfigError):
+            simulate_normal_inclusion(100, 64, 4, 2)
+
+
+class TestFigureGrids:
+    def test_fig7_grid_contains_marked_series(self):
+        grid = fig7_grid()
+        assert 5 in grid and 10 in grid
+        ks = [k for k, _ in grid[5]]
+        assert ks == sorted(ks)
+        assert min(ks) >= 5  # V=5 needs K >= 5
+
+    def test_fig8_grid_b_effect(self):
+        grid_b1 = dict(fig8_grid(1)[5])
+        grid_b3 = dict(fig8_grid(3)[5])
+        for k in grid_b1:
+            assert grid_b3[k] >= grid_b1[k]

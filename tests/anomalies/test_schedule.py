@@ -1,0 +1,100 @@
+"""Unit tests for event scheduling and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import DDoSInjector, EventSchedule, InjectedEvent
+from repro.anomalies.schedule import ScheduledOccurrence, anomalous_interval_indices
+from repro.errors import ConfigError
+
+VICTIM = 0x0A000001
+
+
+class TestScheduledOccurrence:
+    def test_validation(self):
+        injector = DDoSInjector(victim_ip=VICTIM, flows=5)
+        with pytest.raises(ConfigError):
+            ScheduledOccurrence(injector, start=-1.0, duration=10.0)
+        with pytest.raises(ConfigError):
+            ScheduledOccurrence(injector, start=0.0, duration=0.0)
+
+
+class TestEventSchedule:
+    def test_add_chaining(self):
+        schedule = EventSchedule()
+        injector = DDoSInjector(victim_ip=VICTIM, flows=5)
+        assert schedule.add(injector, 0.0, 10.0) is schedule
+        assert len(schedule) == 1
+
+    def test_add_at_interval_defaults(self):
+        schedule = EventSchedule()
+        injector = DDoSInjector(victim_ip=VICTIM, flows=5)
+        schedule.add_at_interval(injector, 3, 900.0)
+        occ = schedule.occurrences[0]
+        assert occ.start == 2700.0
+        assert occ.duration == 900.0
+
+    def test_add_at_interval_offset(self):
+        schedule = EventSchedule()
+        injector = DDoSInjector(victim_ip=VICTIM, flows=5)
+        schedule.add_at_interval(injector, 1, 900.0, offset=100.0)
+        occ = schedule.occurrences[0]
+        assert occ.start == 1000.0
+        assert occ.duration == 800.0
+
+    def test_add_at_interval_validation(self):
+        schedule = EventSchedule()
+        injector = DDoSInjector(victim_ip=VICTIM, flows=5)
+        with pytest.raises(ConfigError):
+            schedule.add_at_interval(injector, -1, 900.0)
+        with pytest.raises(ConfigError):
+            schedule.add_at_interval(injector, 0, 900.0, offset=900.0)
+
+    def test_materialize_sequential_labels(self):
+        schedule = EventSchedule()
+        schedule.add(DDoSInjector(victim_ip=VICTIM, flows=10), 0.0, 100.0)
+        schedule.add(DDoSInjector(victim_ip=VICTIM + 1, flows=20), 200.0, 100.0)
+        flows, events = schedule.materialize(np.random.default_rng(0))
+        assert [e.event_id for e in events] == [0, 1]
+        assert len(flows) == 30
+        assert set(np.unique(flows.label).tolist()) == {0, 1}
+        assert events[0].flow_count == 10
+        assert events[1].flow_count == 20
+
+    def test_materialize_custom_first_label(self):
+        schedule = EventSchedule()
+        schedule.add(DDoSInjector(victim_ip=VICTIM, flows=4), 0.0, 50.0)
+        _, events = schedule.materialize(np.random.default_rng(0), first_label=7)
+        assert events[0].event_id == 7
+
+    def test_materialize_empty(self):
+        flows, events = EventSchedule().materialize(np.random.default_rng(0))
+        assert len(flows) == 0
+        assert events == []
+
+
+class TestGroundTruthHelpers:
+    def test_event_overlaps(self):
+        event = InjectedEvent(0, "ddos", start=100.0, end=200.0, flow_count=1)
+        assert event.overlaps(150.0, 160.0)
+        assert event.overlaps(0.0, 101.0)
+        assert not event.overlaps(200.0, 300.0)
+        assert not event.overlaps(0.0, 100.0)
+
+    def test_anomalous_interval_indices_single(self):
+        event = InjectedEvent(0, "ddos", start=950.0, end=1000.0, flow_count=1)
+        assert anomalous_interval_indices([event], 900.0, 10) == {1}
+
+    def test_anomalous_interval_indices_spanning(self):
+        event = InjectedEvent(0, "ddos", start=800.0, end=1900.0, flow_count=1)
+        assert anomalous_interval_indices([event], 900.0, 10) == {0, 1, 2}
+
+    def test_boundary_end_excluded(self):
+        # Ending exactly on a boundary must not touch the next interval.
+        event = InjectedEvent(0, "ddos", start=0.0, end=900.0, flow_count=1)
+        assert anomalous_interval_indices([event], 900.0, 10) == {0}
+
+    def test_clipped_to_horizon(self):
+        event = InjectedEvent(0, "ddos", start=800.0, end=99_000.0, flow_count=1)
+        touched = anomalous_interval_indices([event], 900.0, 3)
+        assert touched == {0, 1, 2}

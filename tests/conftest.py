@@ -1,0 +1,79 @@
+"""Shared fixtures: small, deterministic workloads reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anomalies import DDoSInjector, EventSchedule, ScanInjector
+from repro.flows.table import FlowTable
+from repro.traffic import TraceGenerator, small_test, table2_interval
+
+
+@pytest.fixture(scope="session")
+def small_profile():
+    """Tiny traffic profile shared by detection tests."""
+    return small_test(1500)
+
+
+@pytest.fixture(scope="session")
+def ddos_trace(small_profile):
+    """30-interval trace with a DDoS in interval 24 (after training)."""
+    generator = TraceGenerator(small_profile, seed=3)
+    schedule = EventSchedule()
+    victim = small_profile.internal_base + 5
+    schedule.add_at_interval(
+        DDoSInjector(victim_ip=victim, flows=1200, sources=250),
+        24,
+        900.0,
+        duration=880.0,
+    )
+    trace = generator.generate(30, schedule=schedule)
+    return trace
+
+
+@pytest.fixture(scope="session")
+def scan_trace(small_profile):
+    """30-interval trace with a horizontal scan in interval 25."""
+    generator = TraceGenerator(small_profile, seed=5)
+    schedule = EventSchedule()
+    schedule.add_at_interval(
+        ScanInjector(
+            scanner_ips=[0x0C001234],
+            target_port=445,
+            flows=1000,
+            target_space_start=small_profile.internal_base,
+            target_space_size=small_profile.internal_hosts,
+        ),
+        25,
+        900.0,
+        duration=880.0,
+    )
+    return generator.generate(30, schedule=schedule)
+
+
+@pytest.fixture(scope="session")
+def table2_small():
+    """The Table II scenario at 2% scale (fast enough for unit tests)."""
+    return table2_interval(scale=0.02, seed=42)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def tiny_flows() -> FlowTable:
+    """Six hand-written flows with known feature values and labels."""
+    return FlowTable.from_arrays(
+        src_ip=[10, 10, 11, 12, 13, 10],
+        dst_ip=[20, 20, 20, 21, 22, 20],
+        src_port=[1024, 2048, 1024, 4096, 5000, 1024],
+        dst_port=[80, 80, 443, 80, 25, 80],
+        protocol=[6, 6, 6, 17, 6, 6],
+        packets=[1, 2, 1, 3, 10, 1],
+        bytes_=[40, 80, 40, 120, 4000, 40],
+        start=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        label=[-1, -1, -1, 0, -1, 1],
+    )

@@ -1,0 +1,50 @@
+"""Unit tests for the extraction configuration."""
+
+import pytest
+
+from repro.core.config import TABLE3_PARAMETERS, ExtractionConfig
+from repro.detection.detector import DetectorConfig
+from repro.errors import ConfigError
+
+
+class TestExtractionConfig:
+    def test_defaults_match_paper(self):
+        config = ExtractionConfig()
+        assert config.prefilter_mode == "union"
+        assert config.maximal_only
+        assert config.miner == "apriori"
+        assert config.detector.clones == 3
+        assert config.detector.bins == 1024
+        assert config.detector.vote_threshold == 3
+        assert len(config.features) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(min_support=0),
+            dict(prefilter_mode="both"),
+            dict(features=()),
+            dict(miner="magic"),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExtractionConfig(**kwargs)
+
+    def test_custom_detector_config(self):
+        config = ExtractionConfig(
+            detector=DetectorConfig(clones=5, bins=512, vote_threshold=4)
+        )
+        assert config.detector.clones == 5
+
+
+class TestTable3:
+    def test_covers_all_paper_parameters(self):
+        symbols = {row.symbol for row in TABLE3_PARAMETERS}
+        assert {"n", "L", "k / m", "K (C)", "V", "s"} <= symbols
+
+    def test_rows_have_descriptions_and_ranges(self):
+        for row in TABLE3_PARAMETERS:
+            assert row.description
+            assert row.paper_range
+            assert row.repro_default

@@ -1,0 +1,54 @@
+"""Unit tests for classification-cost reduction."""
+
+import pytest
+
+from repro.core.cost import cost_curve, cost_reduction
+from repro.errors import ConfigError
+
+
+class TestCostReduction:
+    def test_paper_scale_example(self):
+        # 1.5 M flows summarized in 2 item-sets -> reduction 750k,
+        # inside the paper's 600k-800k band.
+        assert cost_reduction(1_500_000, 2) == 750_000
+
+    def test_zero_itemsets(self):
+        assert cost_reduction(1000, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            cost_reduction(-1, 1)
+        with pytest.raises(ConfigError):
+            cost_reduction(1, -1)
+
+
+class TestCostCurve:
+    def test_aggregation(self):
+        curve = cost_curve(
+            {
+                1000: [(10_000, 10), (20_000, 10)],
+                5000: [(10_000, 2), (20_000, 2)],
+            }
+        )
+        assert [p.min_support for p in curve] == [1000, 5000]
+        assert curve[0].mean_reduction == pytest.approx(1500.0)
+        assert curve[1].mean_reduction == pytest.approx(7500.0)
+        assert curve[1].mean_itemsets == 2.0
+        assert curve[0].intervals == 2
+
+    def test_reduction_grows_with_support(self):
+        # Fewer item-sets at higher support -> larger reduction, the
+        # Fig. 10 shape.
+        curve = cost_curve(
+            {
+                1000: [(100_000, 20)],
+                3000: [(100_000, 5)],
+                10_000: [(100_000, 2)],
+            }
+        )
+        reductions = [p.mean_reduction for p in curve]
+        assert reductions == sorted(reductions)
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ConfigError):
+            cost_curve({1000: []})

@@ -1,0 +1,59 @@
+"""Unit tests for flow prefiltering (union vs intersection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefilter import prefilter
+from repro.detection.features import Feature
+from repro.detection.metadata import Metadata
+from repro.errors import ExtractionError
+
+
+@pytest.fixture()
+def metadata():
+    meta = Metadata()
+    meta.add(Feature.DST_PORT, np.array([80], dtype=np.uint64))
+    meta.add(Feature.SRC_IP, np.array([13], dtype=np.uint64))
+    return meta
+
+
+class TestPrefilter:
+    def test_union_keeps_any_match(self, metadata, tiny_flows):
+        result = prefilter(tiny_flows, metadata, mode="union")
+        assert result.selected_flows == 5
+        assert result.mode == "union"
+        assert result.input_flows == len(tiny_flows)
+
+    def test_intersection_requires_all_features(self, metadata, tiny_flows):
+        result = prefilter(tiny_flows, metadata, mode="intersection")
+        # No flow has both dst_port=80 and src_ip=13.
+        assert result.selected_flows == 0
+
+    def test_union_is_superset_of_intersection(self, metadata, tiny_flows):
+        union = prefilter(tiny_flows, metadata, "union")
+        inter = prefilter(tiny_flows, metadata, "intersection")
+        assert union.selected_flows >= inter.selected_flows
+
+    def test_selectivity(self, metadata, tiny_flows):
+        result = prefilter(tiny_flows, metadata, "union")
+        assert result.selectivity == pytest.approx(5 / 6)
+
+    def test_selectivity_of_empty_input(self, metadata):
+        from repro.flows.table import FlowTable
+
+        result = prefilter(FlowTable.empty(), metadata, "union")
+        assert result.selectivity == 0.0
+
+    def test_unknown_mode_rejected(self, metadata, tiny_flows):
+        with pytest.raises(ExtractionError, match="unknown prefilter mode"):
+            prefilter(tiny_flows, metadata, mode="both")
+
+    def test_prefiltered_flows_match_metadata(self, metadata, tiny_flows):
+        result = prefilter(tiny_flows, metadata, "union")
+        for row in result.flows:
+            assert row.dst_port == 80 or row.src_ip == 13
+
+    def test_removes_normal_traffic(self, metadata, tiny_flows):
+        # Row 2 (dst_port 443, src 11) must be gone.
+        result = prefilter(tiny_flows, metadata, "union")
+        assert 443 not in result.flows.dst_port.tolist()

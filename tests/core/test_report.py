@@ -1,0 +1,93 @@
+"""Unit tests for report rendering and admin triage."""
+
+from repro.core.report import (
+    COMMON_SERVICE_PORTS,
+    render_itemset_table,
+    triage,
+    triage_all,
+)
+from repro.detection.features import Feature
+from repro.mining.items import FrequentItemset, encode_item
+
+
+def _itemset(pairs, support=100):
+    items = tuple(sorted(encode_item(f, v) for f, v in pairs))
+    return FrequentItemset(items=items, support=support)
+
+
+class TestTriage:
+    def test_uncommon_port_suspicious(self):
+        entry = triage(_itemset([(Feature.DST_PORT, 7000)]))
+        assert entry.hint == "suspicious"
+        assert not entry.looks_benign
+
+    def test_common_port_flagged_as_service(self):
+        entry = triage(_itemset([(Feature.DST_PORT, 80), (Feature.PROTOCOL, 6)]))
+        assert entry.hint == "common-service"
+        assert entry.looks_benign
+
+    def test_backscatter_signature_stays_suspicious(self):
+        entry = triage(
+            _itemset(
+                [
+                    (Feature.DST_PORT, 9022),
+                    (Feature.PACKETS, 1),
+                    (Feature.BYTES, 40),
+                ]
+            )
+        )
+        assert entry.hint == "suspicious"
+
+    def test_size_only_itemset_common(self):
+        entry = triage(_itemset([(Feature.PROTOCOL, 6), (Feature.PACKETS, 1)]))
+        assert entry.hint == "common-size"
+
+    def test_size_only_with_unusual_packets_suspicious(self):
+        entry = triage(_itemset([(Feature.PROTOCOL, 6), (Feature.PACKETS, 12)]))
+        assert entry.hint == "suspicious"
+
+    def test_endpoint_without_port_suspicious(self):
+        entry = triage(_itemset([(Feature.DST_IP, 42)]))
+        assert entry.hint == "suspicious"
+
+    def test_endpoint_with_common_port_is_service(self):
+        # Hosts A/B/C in Table II: proxies on port 80 - easy to identify.
+        entry = triage(
+            _itemset([(Feature.SRC_IP, 7), (Feature.DST_PORT, 80)])
+        )
+        assert entry.hint == "common-service"
+
+    def test_mixed_ports_suspicious_if_any_uncommon(self):
+        entry = triage(
+            _itemset([(Feature.SRC_PORT, 80), (Feature.DST_PORT, 31337)])
+        )
+        assert entry.hint == "suspicious"
+
+    def test_triage_all_preserves_order(self):
+        itemsets = [
+            _itemset([(Feature.DST_PORT, 7000)]),
+            _itemset([(Feature.DST_PORT, 80)]),
+        ]
+        hints = [t.hint for t in triage_all(itemsets)]
+        assert hints == ["suspicious", "common-service"]
+
+    def test_common_ports_include_paper_examples(self):
+        assert 80 in COMMON_SERVICE_PORTS
+        assert 25 in COMMON_SERVICE_PORTS
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "no frequent item-sets" in render_itemset_table([])
+
+    def test_contains_items_and_support(self):
+        table = render_itemset_table(
+            [_itemset([(Feature.DST_PORT, 7000)], support=1234)]
+        )
+        assert "dstPort=7000" in table
+        assert "1234" in table
+        assert "suspicious" in table
+
+    def test_header_row(self):
+        table = render_itemset_table([_itemset([(Feature.DST_PORT, 80)])])
+        assert table.splitlines()[0].startswith("item-set")

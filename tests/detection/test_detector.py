@@ -1,0 +1,170 @@
+"""Unit tests for the per-feature histogram detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import DetectorConfig, HistogramDetector
+from repro.detection.features import Feature
+from repro.errors import ConfigError
+from repro.flows.table import FlowTable
+
+
+def _interval(dst_ports, rng):
+    n = len(dst_ports)
+    return FlowTable.from_arrays(
+        src_ip=rng.integers(0, 1000, n),
+        dst_ip=rng.integers(0, 1000, n),
+        src_port=rng.integers(1024, 65536, n),
+        dst_port=dst_ports,
+        protocol=[6] * n,
+        packets=[1] * n,
+        bytes_=[40] * n,
+    )
+
+
+def _baseline_ports(rng, n=400):
+    return rng.integers(1, 1000, n)
+
+
+@pytest.fixture()
+def config():
+    return DetectorConfig(
+        clones=3, bins=128, vote_threshold=2, training_intervals=8,
+        multiplier=4.0,
+    )
+
+
+class TestDetectorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(clones=0),
+            dict(bins=1),
+            dict(vote_threshold=0),
+            dict(vote_threshold=4),
+            dict(training_intervals=1),
+            dict(multiplier=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(clones=3, bins=64, vote_threshold=2)
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            DetectorConfig(**base)
+
+
+class TestTrainingPhase:
+    def test_not_trained_initially(self, config):
+        detector = HistogramDetector(Feature.DST_PORT, config)
+        assert not detector.trained
+        with pytest.raises(ConfigError, match="not calibrated"):
+            detector.threshold(0)
+
+    def test_trained_after_training_intervals(self, config, rng):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=1)
+        for _ in range(config.training_intervals):
+            detector.observe(_interval(_baseline_ports(rng), rng))
+        assert detector.trained
+        assert detector.threshold(0).sigma > 0
+
+    def test_no_alarms_during_training(self, config, rng):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=1)
+        for _ in range(config.training_intervals - 1):
+            obs = detector.observe(_interval(_baseline_ports(rng), rng))
+            assert not obs.alarm
+
+    def test_series_lengths_track_intervals(self, config, rng):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=1)
+        for _ in range(5):
+            detector.observe(_interval(_baseline_ports(rng), rng))
+        assert len(detector.kl_series(0)) == 5
+        assert len(detector.diff_series(0)) == 5
+        assert detector.interval == 4
+
+
+class TestDetection:
+    def _run_with_anomaly(self, config, rng, anomaly_ports, seed=1):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=seed)
+        for _ in range(config.training_intervals + 4):
+            obs = detector.observe(_interval(_baseline_ports(rng), rng))
+        ports = np.concatenate([_baseline_ports(rng), anomaly_ports])
+        return detector, detector.observe(_interval(ports, rng))
+
+    def test_alarm_on_concentrated_disruption(self, config, rng):
+        detector, obs = self._run_with_anomaly(
+            config, rng, np.full(2000, 7000)
+        )
+        assert obs.alarm
+        assert obs.alarm_votes >= 2
+
+    def test_voted_values_contain_anomalous_port(self, config, rng):
+        _, obs = self._run_with_anomaly(config, rng, np.full(2000, 7000))
+        assert 7000 in obs.voted_values.tolist()
+
+    def test_voted_values_mostly_clean(self, config, rng):
+        _, obs = self._run_with_anomaly(config, rng, np.full(2000, 7000))
+        # Voting (V=2, m=128) should strip most colliding normal ports.
+        assert len(obs.voted_values) < 30
+
+    def test_no_alarm_on_stable_traffic(self, config, rng):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=1)
+        alarms = []
+        for _ in range(config.training_intervals + 10):
+            obs = detector.observe(_interval(_baseline_ports(rng), rng))
+            alarms.append(obs.alarm)
+        assert sum(alarms) <= 1  # allow one statistical fluke
+
+    def test_volume_doubling_without_shape_change_silent(self, config, rng):
+        detector = HistogramDetector(Feature.DST_PORT, config, seed=2)
+        for _ in range(config.training_intervals + 2):
+            detector.observe(_interval(_baseline_ports(rng), rng))
+        obs = detector.observe(_interval(_baseline_ports(rng, 800), rng))
+        assert not obs.alarm
+
+    def test_clone_observations_structure(self, config, rng):
+        detector, obs = self._run_with_anomaly(
+            config, rng, np.full(2000, 7000)
+        )
+        assert len(obs.clones) == config.clones
+        for clone in obs.clones:
+            if clone.alarm:
+                assert clone.bins  # localized at least one bin
+                assert clone.bin_identification is not None
+                assert clone.bin_identification.converged
+
+    def test_feature_recorded_in_observation(self, config, rng):
+        detector = HistogramDetector(Feature.SRC_IP, config, seed=1)
+        obs = detector.observe(_interval(_baseline_ports(rng), rng))
+        assert obs.feature is Feature.SRC_IP
+        assert obs.interval == 0
+
+    def test_hash_streams_stable_across_processes(self, config):
+        """Regression: the per-feature hash salt must not depend on
+        Python's randomized string hashing (PYTHONHASHSEED), or
+        detection results change between runs."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.detection.detector import HistogramDetector, "
+            "DetectorConfig\n"
+            "from repro.detection.features import Feature\n"
+            "d = HistogramDetector(Feature.DST_PORT, "
+            "DetectorConfig(training_intervals=2), seed=1)\n"
+            "print(d._clones[0].hash_fn.a)\n"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": str(seed), "PATH": "/usr/bin:/bin"},
+            ).stdout
+            for seed in (0, 1)
+        }
+        assert len(outputs) == 1
+
+    def test_distinct_features_use_distinct_hash_streams(self, config):
+        a = HistogramDetector(Feature.DST_PORT, config, seed=1)
+        b = HistogramDetector(Feature.SRC_PORT, config, seed=1)
+        assert a._clones[0].hash_fn != b._clones[0].hash_fn

@@ -1,0 +1,88 @@
+"""Unit tests for the entropy-based alternative detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.entropy import EntropyDetector, normalized_entropy
+from repro.detection.features import Feature
+from repro.errors import ConfigError
+from repro.flows.table import FlowTable
+
+
+def _interval(dst_ports, rng):
+    n = len(dst_ports)
+    return FlowTable.from_arrays(
+        src_ip=rng.integers(0, 1000, n),
+        dst_ip=rng.integers(0, 1000, n),
+        src_port=rng.integers(1024, 65536, n),
+        dst_port=dst_ports,
+        protocol=[6] * n,
+        packets=[1] * n,
+        bytes_=[40] * n,
+    )
+
+
+class TestNormalizedEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy(np.full(16, 10.0)) == pytest.approx(1.0)
+
+    def test_concentrated_is_zero(self):
+        counts = np.zeros(16)
+        counts[3] = 100.0
+        assert normalized_entropy(counts) == pytest.approx(0.0)
+
+    def test_empty_is_zero(self):
+        assert normalized_entropy(np.zeros(8)) == 0.0
+
+    def test_between_zero_and_one(self, rng):
+        counts = rng.integers(0, 100, size=64).astype(float)
+        assert 0.0 <= normalized_entropy(counts) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            normalized_entropy(np.array([1.0]))
+
+
+class TestEntropyDetector:
+    def test_trains_then_alarms_on_concentration(self, rng):
+        detector = EntropyDetector(
+            Feature.DST_PORT, bins=128, training_intervals=8, seed=1
+        )
+        for _ in range(10):
+            alarm, _ = detector.observe(
+                _interval(rng.integers(1, 1000, 400), rng)
+            )
+            assert not alarm or detector.trained
+        # Concentrated burst: entropy collapses.
+        ports = np.concatenate(
+            [rng.integers(1, 1000, 400), np.full(4000, 7000)]
+        )
+        alarm, suspicious = detector.observe(_interval(ports, rng))
+        assert alarm
+        assert 7000 in suspicious.tolist()
+
+    def test_stays_quiet_on_stable_traffic(self, rng):
+        detector = EntropyDetector(
+            Feature.DST_PORT, bins=128, training_intervals=8, seed=2
+        )
+        alarms = []
+        for _ in range(20):
+            alarm, _ = detector.observe(
+                _interval(rng.integers(1, 1000, 400), rng)
+            )
+            alarms.append(alarm)
+        assert sum(alarms) <= 1
+
+    def test_series_recorded(self, rng):
+        detector = EntropyDetector(
+            Feature.DST_PORT, bins=64, training_intervals=4, seed=0
+        )
+        for _ in range(6):
+            detector.observe(_interval(rng.integers(1, 100, 200), rng))
+        assert len(detector.entropy_series()) == 6
+        assert len(detector.diff_series()) == 6
+        assert (detector.entropy_series() <= 1.0).all()
+
+    def test_training_validation(self):
+        with pytest.raises(ConfigError):
+            EntropyDetector(Feature.DST_PORT, training_intervals=1)

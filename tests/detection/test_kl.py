@@ -1,0 +1,112 @@
+"""Unit tests for the KL distance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.detection.kl import first_difference, kl_distance, kl_from_counts
+from repro.errors import ConfigError
+
+
+class TestKlDistance:
+    def test_identical_distributions_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_distance(p, p) == pytest.approx(0.0)
+
+    def test_positive_for_different_distributions(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_distance(p, q) > 0
+
+    def test_known_value(self):
+        # D([1,0] || [0.5,0.5]) = log2(2) = 1 bit.
+        p = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert kl_distance(p, q) == pytest.approx(1.0)
+
+    def test_asymmetry(self):
+        p = np.array([0.8, 0.2])
+        q = np.array([0.3, 0.7])
+        assert kl_distance(p, q) != pytest.approx(kl_distance(q, p))
+
+    def test_zero_p_bins_contribute_nothing(self):
+        p = np.array([0.0, 1.0])
+        q = np.array([0.5, 0.5])
+        assert np.isfinite(kl_distance(p, q))
+
+    def test_zero_q_with_positive_p_is_infinite(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert kl_distance(p, q) == np.inf
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            kl_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_non_distribution_rejected(self):
+        with pytest.raises(ConfigError):
+            kl_distance(np.array([0.5, 0.4]), np.array([0.5, 0.5]))
+        with pytest.raises(ConfigError):
+            kl_distance(np.array([-0.5, 1.5]), np.array([0.5, 0.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigError):
+            kl_distance(np.ones((2, 2)) / 4, np.ones((2, 2)) / 4)
+
+
+class TestKlFromCounts:
+    def test_identical_counts_zero(self):
+        counts = np.array([10.0, 20.0, 30.0])
+        assert kl_from_counts(counts, counts) == pytest.approx(0.0)
+
+    def test_smoothing_keeps_finite(self):
+        current = np.array([100.0, 0.0])
+        reference = np.array([0.0, 100.0])
+        assert np.isfinite(kl_from_counts(current, reference, pseudocount=0.5))
+
+    def test_zero_pseudocount_can_be_infinite(self):
+        current = np.array([100.0, 0.0])
+        reference = np.array([0.0, 100.0])
+        assert kl_from_counts(current, reference, pseudocount=0.0) == np.inf
+
+    def test_both_empty_histograms(self):
+        zeros = np.zeros(4)
+        assert kl_from_counts(zeros, zeros, pseudocount=0.0) == 0.0
+
+    def test_spike_grows_with_disruption(self):
+        reference = np.full(16, 100.0)
+        small = reference.copy(); small[0] += 200
+        large = reference.copy(); large[0] += 2000
+        assert kl_from_counts(large, reference) > kl_from_counts(small, reference)
+
+    def test_volume_change_without_shape_change_is_silent(self):
+        # The paper's key robustness property: doubling all counts does
+        # not move the distribution, so the KL stays ~0.
+        reference = np.array([100.0, 200.0, 300.0])
+        assert kl_from_counts(2 * reference, reference) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_negative_pseudocount_rejected(self):
+        with pytest.raises(ConfigError):
+            kl_from_counts(np.ones(2), np.ones(2), pseudocount=-1.0)
+
+
+class TestFirstDifference:
+    def test_basic(self):
+        series = np.array([1.0, 3.0, 2.0])
+        assert list(first_difference(series)) == [0.0, 2.0, -1.0]
+
+    def test_empty(self):
+        assert len(first_difference(np.array([]))) == 0
+
+    def test_single_element(self):
+        assert list(first_difference(np.array([5.0]))) == [0.0]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigError):
+            first_difference(np.ones((2, 2)))
+
+    def test_reconstruction(self, rng):
+        series = rng.random(50)
+        diffs = first_difference(series)
+        assert np.allclose(np.cumsum(diffs) + series[0], series)

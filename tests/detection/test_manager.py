@@ -1,0 +1,70 @@
+"""Unit tests for the detector bank."""
+
+import pytest
+
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.detection.manager import DetectorBank
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def run(ddos_trace):
+    config = DetectorConfig(
+        clones=3, bins=256, vote_threshold=3, training_intervals=16
+    )
+    bank = DetectorBank(config, seed=1)
+    return bank.run(ddos_trace.flows, ddos_trace.interval_seconds, origin=0.0)
+
+
+class TestDetectorBank:
+    def test_monitors_the_five_paper_features(self):
+        bank = DetectorBank(DetectorConfig(training_intervals=4))
+        assert set(bank.detectors) == set(DETECTOR_FEATURES)
+
+    def test_needs_features(self):
+        with pytest.raises(ConfigError):
+            DetectorBank(features=())
+
+    def test_run_covers_all_intervals(self, run, ddos_trace):
+        assert run.n_intervals == ddos_trace.n_intervals
+
+    def test_ddos_interval_alarmed(self, run, ddos_trace):
+        assert 24 in run.alarm_intervals()
+
+    def test_ddos_report_features(self, run):
+        report = run.report(24)
+        assert report.alarm
+        # A DDoS disturbs at least dstIP; typically srcIP too.
+        assert Feature.DST_IP in report.alarmed_features
+
+    def test_metadata_contains_victim(self, run, ddos_trace, small_profile):
+        victim = small_profile.internal_base + 5
+        meta = run.report(24).metadata()
+        assert victim in meta.get(Feature.DST_IP).tolist()
+
+    def test_quiet_interval_produces_no_metadata(self, run):
+        report = run.report(20)
+        assert not report.alarm
+        assert report.metadata().is_empty()
+
+    def test_kl_series_accessible(self, run):
+        series = run.kl_series(Feature.DST_IP, clone=0)
+        assert len(series) == run.n_intervals
+        # The DDoS spike must dominate its neighbourhood.
+        assert series[24] > 3 * series[20]
+
+    def test_sigma_positive(self, run):
+        assert run.sigma(Feature.DST_IP, clone=0) > 0
+
+    def test_alarms_at_multiplier_monotone(self, run):
+        sensitive = run.interval_alarm_mask(multiplier=1.0).sum()
+        strict = run.interval_alarm_mask(multiplier=8.0).sum()
+        assert sensitive >= strict
+
+    def test_alarms_never_in_training_prefix(self, run):
+        mask = run.interval_alarm_mask(multiplier=0.5)
+        assert not mask[: run.config.training_intervals].any()
+
+    def test_flow_counts_recorded(self, run):
+        assert run.report(24).flow_count > 0

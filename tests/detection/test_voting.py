@@ -1,0 +1,72 @@
+"""Unit tests for clone voting."""
+
+import numpy as np
+import pytest
+
+from repro.detection.voting import vote, vote_matrix
+from repro.errors import ConfigError
+
+
+def _sets(*lists):
+    return [np.array(values, dtype=np.uint64) for values in lists]
+
+
+class TestVote:
+    def test_union_when_v_is_one(self):
+        result = vote(_sets([1, 2], [2, 3], [4]), min_votes=1)
+        assert sorted(result.tolist()) == [1, 2, 3, 4]
+
+    def test_intersection_when_v_equals_k(self):
+        result = vote(_sets([1, 2, 5], [2, 3, 5], [2, 4, 5]), min_votes=3)
+        assert sorted(result.tolist()) == [2, 5]
+
+    def test_majority(self):
+        result = vote(_sets([1, 2], [2, 3], [2, 3]), min_votes=2)
+        assert sorted(result.tolist()) == [2, 3]
+
+    def test_duplicates_within_one_clone_count_once(self):
+        result = vote(_sets([7, 7, 7], [8]), min_votes=2)
+        assert result.tolist() == []
+
+    def test_silent_clones_contribute_nothing(self):
+        result = vote(_sets([1, 2], [], []), min_votes=1)
+        assert sorted(result.tolist()) == [1, 2]
+
+    def test_all_silent(self):
+        assert vote(_sets([], [], []), min_votes=1).tolist() == []
+
+    def test_fewer_alarming_clones_than_votes(self):
+        assert vote(_sets([1], [], []), min_votes=2).tolist() == []
+
+    def test_monotone_in_v(self):
+        sets = _sets([1, 2, 3], [2, 3], [3])
+        previous = None
+        for v in (1, 2, 3):
+            current = set(vote(sets, v).tolist())
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            vote([], min_votes=1)
+        with pytest.raises(ConfigError):
+            vote(_sets([1]), min_votes=0)
+        with pytest.raises(ConfigError):
+            vote(_sets([1]), min_votes=2)
+
+    def test_output_sorted_unique(self):
+        result = vote(_sets([5, 1], [1, 5]), min_votes=1)
+        assert result.tolist() == [1, 5]
+
+
+class TestVoteMatrix:
+    def test_counts(self):
+        values, votes = vote_matrix(_sets([1, 2], [2, 3], [2]))
+        lookup = dict(zip(values.tolist(), votes.tolist()))
+        assert lookup == {1: 1, 2: 3, 3: 1}
+
+    def test_empty(self):
+        values, votes = vote_matrix(_sets([], []))
+        assert len(values) == 0
+        assert len(votes) == 0

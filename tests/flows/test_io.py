@@ -1,0 +1,113 @@
+"""Unit tests for trace serialization (CSV and NPZ)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.flows.io import (
+    iter_csv_records,
+    read_csv,
+    read_npz,
+    records_to_csv,
+    write_csv,
+    write_npz,
+)
+from repro.flows.record import FlowRecord
+from repro.flows.table import FlowTable
+
+
+class TestCsv:
+    def test_round_trip(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        assert read_csv(path) == tiny_flows
+
+    def test_round_trip_preserves_float_start(self, tmp_path):
+        table = FlowTable.from_arrays(
+            [1], [2], [3], [4], [6], [1], [40], start=[123.456789]
+        )
+        path = tmp_path / "trace.csv"
+        write_csv(table, path)
+        assert read_csv(path).start[0] == pytest.approx(123.456789)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            read_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        with open(path, "a") as handle:
+            handle.write("1,2,3\n")
+        with pytest.raises(TraceFormatError, match="fields"):
+            read_csv(path)
+
+    def test_non_numeric_cell_rejected(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        with open(path, "a") as handle:
+            handle.write("x," + ",".join(["1"] * 8) + "\n")
+        with pytest.raises(TraceFormatError, match="bad value"):
+            read_csv(path)
+
+    def test_trailing_blank_lines_tolerated(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert read_csv(path) == tiny_flows
+
+    def test_iter_csv_records(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        records = list(iter_csv_records(path))
+        assert records == list(tiny_flows)
+
+    def test_records_to_csv(self, tmp_path):
+        records = [FlowRecord(1, 2, 3, 4, 6, 1, 40, start=0.5)]
+        path = tmp_path / "records.csv"
+        records_to_csv(records, path)
+        assert read_csv(path).row(0) == records[0]
+
+
+class TestNpz:
+    def test_round_trip(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz(tiny_flows, path)
+        assert read_npz(path) == tiny_flows
+
+    def test_round_trip_empty(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        write_npz(FlowTable.empty(), path)
+        assert len(read_npz(path)) == 0
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, src_ip=np.array([1]))
+        with pytest.raises(TraceFormatError, match="missing columns"):
+            read_npz(path)
+
+    def test_large_trace_round_trip(self, tmp_path, rng):
+        n = 5000
+        table = FlowTable.from_arrays(
+            rng.integers(0, 2**32, n),
+            rng.integers(0, 2**32, n),
+            rng.integers(0, 2**16, n),
+            rng.integers(0, 2**16, n),
+            rng.integers(0, 256, n),
+            rng.integers(1, 1000, n),
+            rng.integers(40, 10**6, n),
+            start=rng.uniform(0, 900, n),
+            label=rng.integers(-1, 5, n),
+        )
+        path = tmp_path / "big.npz"
+        write_npz(table, path)
+        assert read_npz(path) == table

@@ -1,0 +1,109 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--intervals", "3", "--out", "x.npz"]
+        )
+        assert args.intervals == 3
+        assert args.out == "x.npz"
+
+
+class TestCommands:
+    def test_generate_and_detect_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        code = main(
+            [
+                "generate",
+                "--intervals", "4",
+                "--flows-per-interval", "300",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+        code = main(
+            [
+                "detect", str(out),
+                "--bins", "64",
+                "--training", "3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "intervals" in captured.out
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(
+            ["generate", "--intervals", "2", "--flows-per-interval", "100",
+             "--out", str(out)]
+        ) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("src_ip,")
+
+    def test_table2_command(self, capsys):
+        code = main(["table2", "--scale", "0.01"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "min support" in captured.out
+        assert "dstPort=7000" in captured.out
+
+    def test_extract_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        main(
+            ["generate", "--intervals", "4", "--flows-per-interval", "200",
+             "--out", str(out)]
+        )
+        code = main(
+            [
+                "extract", str(out),
+                "--bins", "64",
+                "--training", "3",
+                "--min-support", "50",
+            ]
+        )
+        assert code == 0
+
+    def test_topk_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        main(
+            ["generate", "--intervals", "2", "--flows-per-interval", "300",
+             "--out", str(out)]
+        )
+        capsys.readouterr()
+        code = main(["topk", str(out), "-k", "5"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "top-5" in captured.out
+        assert "support" in captured.out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "repro-extract" in proc.stdout
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,trace\n")
+        code = main(["detect", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

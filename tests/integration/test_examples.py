@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts run to completion.
+
+Each example is executed in-process via runpy so coverage and import
+state behave normally.  Only the fast examples run here; the two-week
+campaign is exercised by the benchmark suite instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_sasser_worm(self, capsys):
+        out = _run("sasser_worm.py", capsys)
+        assert "union" in out
+        assert "intersection" in out
+        assert "445" in out and "9996" in out and "5554" in out
+
+    def test_range_anomaly(self, capsys):
+        out = _run("range_anomaly.py", capsys)
+        assert "/24" in out
+        assert "surfaces at level" in out
+
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "ground truth" in out
+        assert "cost reduction" in out
+
+    def test_offline_forensics(self, capsys):
+        out = _run("offline_forensics.py", capsys)
+        assert "support schedule" in out
+        assert "dstPort=7000" in out
+
+    def test_detector_tuning(self, capsys):
+        out = _run("detector_tuning.py", capsys)
+        assert "ROC sweep" in out
+        assert "recommendation" in out
+
+    def test_examples_are_executable_files(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        for script in scripts:
+            first = script.read_text().splitlines()[0]
+            assert first.startswith("#!"), f"{script.name} missing shebang"

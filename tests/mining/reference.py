@@ -1,0 +1,46 @@
+"""Brute-force reference miner used to validate the real miners.
+
+Enumerates every subset of every transaction (each transaction has just
+seven items, so 127 non-empty subsets) and counts exact supports.  Only
+usable on small inputs - which is the point: an implementation simple
+enough to be obviously correct.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from repro.mining.transactions import TransactionSet
+
+
+def brute_force_frequent(
+    transactions: TransactionSet, min_support: int
+) -> dict[tuple[int, ...], int]:
+    """Exact {itemset: support} for all frequent item-sets."""
+    counter: Counter[tuple[int, ...]] = Counter()
+    for row in transactions.matrix:
+        items = sorted(int(x) for x in row)
+        for size in range(1, len(items) + 1):
+            for subset in combinations(items, size):
+                counter[subset] += 1
+    return {
+        itemset: support
+        for itemset, support in counter.items()
+        if support >= min_support
+    }
+
+
+def brute_force_maximal(
+    frequent: dict[tuple[int, ...], int],
+) -> dict[tuple[int, ...], int]:
+    """Quadratic-time maximality filter (first-principles definition)."""
+    maximal = {}
+    for items, support in frequent.items():
+        item_set = set(items)
+        if not any(
+            len(other) > len(items) and item_set < set(other)
+            for other in frequent
+        ):
+            maximal[items] = support
+    return maximal

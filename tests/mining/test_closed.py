@@ -1,0 +1,124 @@
+"""Unit tests for closed item-set mining."""
+
+import numpy as np
+import pytest
+
+from repro.detection.features import Feature
+from repro.flows.table import FlowTable
+from repro.mining.apriori import apriori
+from repro.mining.closed import (
+    closed_itemsets,
+    filter_closed,
+    is_closed_in,
+    support_of_itemset,
+)
+from repro.mining.items import encode_item
+from repro.mining.maximal import filter_maximal
+from repro.mining.transactions import TransactionSet
+
+A = encode_item(Feature.SRC_IP, 1)
+B = encode_item(Feature.DST_IP, 2)
+C = encode_item(Feature.DST_PORT, 80)
+
+
+def _sorted(*items):
+    return tuple(sorted(items))
+
+
+class TestFilterClosed:
+    def test_equal_support_subset_removed(self):
+        frequent = {
+            _sorted(A): 10,
+            _sorted(B): 10,
+            _sorted(A, B): 10,  # A and B always co-occur
+        }
+        closed = filter_closed(frequent)
+        assert closed == {_sorted(A, B): 10}
+
+    def test_differing_support_subset_kept(self):
+        frequent = {
+            _sorted(A): 15,
+            _sorted(B): 10,
+            _sorted(A, B): 10,
+        }
+        closed = filter_closed(frequent)
+        assert _sorted(A) in closed        # support differs: closed
+        assert _sorted(B) not in closed    # same support as superset
+        assert _sorted(A, B) in closed
+
+    def test_empty(self):
+        assert filter_closed({}) == {}
+
+    def test_closed_superset_of_maximal(self):
+        frequent = {
+            _sorted(A): 15,
+            _sorted(B): 10,
+            _sorted(C): 12,
+            _sorted(A, B): 10,
+            _sorted(A, C): 12,
+        }
+        closed = filter_closed(frequent)
+        maximal = filter_maximal(frequent)
+        assert set(maximal) <= set(closed)
+
+    def test_reference_agreement(self):
+        frequent = {
+            _sorted(A): 15,
+            _sorted(B): 10,
+            _sorted(C): 15,
+            _sorted(A, B): 10,
+            _sorted(A, C): 15,
+            _sorted(B, C): 10,
+            _sorted(A, B, C): 10,
+        }
+        closed = filter_closed(frequent)
+        for items in frequent:
+            assert (items in closed) == is_closed_in(items, frequent)
+
+
+class TestOnRealData:
+    @pytest.fixture(scope="class")
+    def mined(self):
+        rng = np.random.default_rng(3)
+        n = 200
+        flows = FlowTable.from_arrays(
+            src_ip=rng.integers(0, 4, n),
+            dst_ip=rng.integers(0, 4, n),
+            src_port=rng.integers(0, 4, n),
+            dst_port=rng.integers(0, 4, n),
+            protocol=[6] * n,
+            packets=rng.integers(1, 3, n),
+            bytes_=rng.integers(40, 43, n),
+        )
+        transactions = TransactionSet.from_flows(flows)
+        return apriori(transactions, 20).all_frequent
+
+    def test_all_closed_are_truly_closed(self, mined):
+        closed = filter_closed(mined)
+        for items in closed:
+            assert is_closed_in(items, mined)
+
+    def test_no_closed_itemset_missed(self, mined):
+        closed = filter_closed(mined)
+        for items in mined:
+            if is_closed_in(items, mined):
+                assert items in closed
+
+    def test_support_recovery(self, mined):
+        """Any frequent item-set's support is recoverable from the
+        closed family (the losslessness property)."""
+        closed = filter_closed(mined)
+        for items, support in mined.items():
+            assert support_of_itemset(items, closed) == support
+
+    def test_closed_itemsets_ordering(self, mined):
+        report = closed_itemsets(mined)
+        supports = [s.support for s in report]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_support_of_missing_itemset(self, mined):
+        closed = filter_closed(mined)
+        impossible = _sorted(
+            encode_item(Feature.SRC_IP, 999_999),
+        )
+        assert support_of_itemset(impossible, closed) is None

@@ -1,0 +1,73 @@
+"""Unit tests for maximal item-set filtering."""
+
+from repro.detection.features import Feature
+from repro.mining.items import encode_item
+from repro.mining.maximal import filter_maximal, is_maximal_in
+
+A = encode_item(Feature.SRC_IP, 1)
+B = encode_item(Feature.DST_IP, 2)
+C = encode_item(Feature.DST_PORT, 80)
+
+
+def _sorted(*items):
+    return tuple(sorted(items))
+
+
+class TestFilterMaximal:
+    def test_removes_subsets(self):
+        frequent = {
+            _sorted(A): 10,
+            _sorted(B): 9,
+            _sorted(A, B): 8,
+        }
+        maximal = filter_maximal(frequent)
+        assert maximal == {_sorted(A, B): 8}
+
+    def test_keeps_incomparable_sets(self):
+        frequent = {
+            _sorted(A): 10,
+            _sorted(B): 9,
+            _sorted(C): 8,
+            _sorted(A, B): 7,
+        }
+        maximal = filter_maximal(frequent)
+        assert set(maximal) == {_sorted(A, B), _sorted(C)}
+
+    def test_empty(self):
+        assert filter_maximal({}) == {}
+
+    def test_single_itemset(self):
+        frequent = {_sorted(A): 5}
+        assert filter_maximal(frequent) == frequent
+
+    def test_chain_keeps_only_top(self):
+        frequent = {
+            _sorted(A): 10,
+            _sorted(A, B): 9,
+            _sorted(A, B, C): 8,
+            _sorted(B): 10,
+            _sorted(C): 10,
+            _sorted(B, C): 9,
+            _sorted(A, C): 9,
+        }
+        maximal = filter_maximal(frequent)
+        assert maximal == {_sorted(A, B, C): 8}
+
+    def test_supports_preserved(self):
+        frequent = {_sorted(A): 10, _sorted(A, B): 3, _sorted(B): 5}
+        maximal = filter_maximal(frequent)
+        assert maximal[_sorted(A, B)] == 3
+
+
+class TestIsMaximalIn:
+    def test_reference_agrees_with_filter(self):
+        frequent = {
+            _sorted(A): 10,
+            _sorted(B): 9,
+            _sorted(C): 8,
+            _sorted(A, B): 7,
+            _sorted(B, C): 6,
+        }
+        maximal = filter_maximal(frequent)
+        for items in frequent:
+            assert (items in maximal) == is_maximal_in(items, frequent)

@@ -1,0 +1,122 @@
+"""Unit tests for prefix-aggregated (multi-level) mining."""
+
+import numpy as np
+import pytest
+
+from repro.detection.features import Feature
+from repro.errors import MiningError
+from repro.flows.record import ip_to_int
+from repro.flows.table import FlowTable
+from repro.mining.multilevel import (
+    aggregate_prefixes,
+    mine_multilevel,
+    prefix_mask,
+)
+
+
+class TestPrefixMask:
+    def test_known_masks(self):
+        assert prefix_mask(32) == 0xFFFFFFFF
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(16) == 0xFFFF0000
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            prefix_mask(33)
+        with pytest.raises(MiningError):
+            prefix_mask(-1)
+
+
+def _scattered_scan_flows():
+    """A scan hitting one /24 but a different host per flow: invisible
+    at host level, a heavy hitter at /24 level."""
+    rng = np.random.default_rng(9)
+    n = 300
+    block = ip_to_int("130.59.7.0")
+    dst = block + np.arange(n) % 250
+    return FlowTable.from_arrays(
+        src_ip=rng.integers(0, 2**32, n),
+        dst_ip=dst,
+        src_port=rng.integers(1024, 65536, n),
+        dst_port=np.full(n, 445),
+        protocol=[6] * n,
+        packets=[1] * n,
+        bytes_=[48] * n,
+    )
+
+
+class TestAggregatePrefixes:
+    def test_identity_at_32(self):
+        flows = _scattered_scan_flows()
+        assert aggregate_prefixes(flows, 32, 32) == flows
+
+    def test_masks_addresses(self):
+        flows = _scattered_scan_flows()
+        view = aggregate_prefixes(flows, 24, 24)
+        assert (view.dst_ip == ip_to_int("130.59.7.0")).all()
+        # Non-address columns untouched.
+        assert np.array_equal(view.dst_port, flows.dst_port)
+        assert np.array_equal(view.label, flows.label)
+
+    def test_src_and_dst_independent(self):
+        flows = _scattered_scan_flows()
+        view = aggregate_prefixes(flows, 16, 32)
+        assert np.array_equal(view.dst_ip, flows.dst_ip)
+        assert (view.src_ip & np.uint64(0xFFFF)).max() == 0
+
+
+class TestMineMultilevel:
+    def test_range_anomaly_surfaces_at_24(self):
+        flows = _scattered_scan_flows()
+        merged, per_level = mine_multilevel(
+            flows, min_support=250, levels=((32, 32), (24, 24))
+        )
+        # Host level: no single dst_ip reaches support 250.
+        host = per_level[(32, 32)]
+        host_dst_items = [
+            s for s in host.itemsets if Feature.DST_IP in s.as_dict()
+        ]
+        assert host_dst_items == []
+        # /24 level: the whole block is a frequent item.
+        block_entries = [
+            e for e in merged
+            if e.itemset.as_dict().get(Feature.DST_IP)
+            == ip_to_int("130.59.7.0")
+        ]
+        assert block_entries
+        assert block_entries[0].src_prefix in (24, 32)
+        assert block_entries[0].dst_prefix == 24
+
+    def test_merged_sorted_by_support(self):
+        flows = _scattered_scan_flows()
+        merged, _ = mine_multilevel(flows, min_support=100)
+        supports = [e.itemset.support for e in merged]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_level_tags(self):
+        flows = _scattered_scan_flows()
+        merged, _ = mine_multilevel(
+            flows, min_support=250, levels=((24, 24),)
+        )
+        assert all(e.level == "/24-/24" for e in merged)
+
+    def test_address_free_itemsets_not_duplicated(self):
+        flows = _scattered_scan_flows()
+        merged, per_level = mine_multilevel(
+            flows, min_support=250, levels=((32, 32), (24, 24), (16, 16))
+        )
+        # {dstPort=445, ...} appears once in the merged report even
+        # though all three levels mined it.
+        portsets = [
+            e for e in merged
+            if e.itemset.as_dict().get(Feature.DST_PORT) == 445
+            and Feature.DST_IP not in e.itemset.as_dict()
+            and Feature.SRC_IP not in e.itemset.as_dict()
+        ]
+        assert len(portsets) <= 1
+
+    def test_needs_levels(self):
+        with pytest.raises(MiningError):
+            mine_multilevel(_scattered_scan_flows(), 10, levels=())

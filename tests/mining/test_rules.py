@@ -1,0 +1,81 @@
+"""Unit tests for association rule derivation."""
+
+import pytest
+
+from repro.detection.features import Feature
+from repro.errors import MiningError
+from repro.mining.items import encode_item
+from repro.mining.rules import derive_rules
+
+A = encode_item(Feature.SRC_IP, 1)
+B = encode_item(Feature.DST_PORT, 80)
+C = encode_item(Feature.PROTOCOL, 6)
+
+
+def _sorted(*items):
+    return tuple(sorted(items))
+
+
+@pytest.fixture()
+def frequent():
+    # 100 transactions; A:40, B:50, AB:40, C:80, BC:45, ABC absent.
+    return {
+        _sorted(A): 40,
+        _sorted(B): 50,
+        _sorted(C): 80,
+        _sorted(A, B): 40,
+        _sorted(B, C): 45,
+    }
+
+
+class TestDeriveRules:
+    def test_confidence_computation(self, frequent):
+        rules = derive_rules(frequent, n_transactions=100, min_confidence=0.9)
+        by_pair = {(r.antecedent, r.consequent): r for r in rules}
+        rule = by_pair[(_sorted(A), _sorted(B))]
+        assert rule.confidence == pytest.approx(1.0)  # 40/40
+        assert rule.support == 40
+
+    def test_lift_computation(self, frequent):
+        rules = derive_rules(frequent, n_transactions=100, min_confidence=0.5)
+        rule = {(r.antecedent, r.consequent): r for r in rules}[
+            (_sorted(A), _sorted(B))
+        ]
+        # lift = confidence / P(B) = 1.0 / 0.5 = 2.
+        assert rule.lift == pytest.approx(2.0)
+
+    def test_min_confidence_filters(self, frequent):
+        strict = derive_rules(frequent, 100, min_confidence=0.95)
+        loose = derive_rules(frequent, 100, min_confidence=0.5)
+        assert len(strict) < len(loose)
+        assert all(r.confidence >= 0.95 for r in strict)
+
+    def test_sorted_by_confidence(self, frequent):
+        rules = derive_rules(frequent, 100, min_confidence=0.1)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_single_items_yield_no_rules(self):
+        assert derive_rules({_sorted(A): 10}, 100) == []
+
+    def test_both_directions_considered(self, frequent):
+        rules = derive_rules(frequent, 100, min_confidence=0.1)
+        pairs = {(r.antecedent, r.consequent) for r in rules}
+        assert (_sorted(A), _sorted(B)) in pairs
+        assert (_sorted(B), _sorted(A)) in pairs
+
+    def test_non_closed_family_rejected(self):
+        with pytest.raises(MiningError, match="downward closed"):
+            derive_rules({_sorted(A, B): 10}, 100, min_confidence=0.1)
+
+    def test_validation(self, frequent):
+        with pytest.raises(MiningError):
+            derive_rules(frequent, 100, min_confidence=0.0)
+        with pytest.raises(MiningError):
+            derive_rules(frequent, 0)
+
+    def test_str_rendering(self, frequent):
+        rules = derive_rules(frequent, 100, min_confidence=0.9)
+        text = str(rules[0])
+        assert "=>" in text
+        assert "confidence=" in text

@@ -1,0 +1,97 @@
+"""Unit tests for the sliding-window miner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MiningError
+from repro.flows.table import FlowTable
+from repro.mining.streaming import SlidingWindowMiner
+from repro.mining.transactions import TransactionSet
+from repro.mining.eclat import eclat
+
+
+def _batch(dst_port, n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return FlowTable.from_arrays(
+        src_ip=rng.integers(0, 2**31, n),
+        dst_ip=rng.integers(0, 2**31, n),
+        src_port=rng.integers(1024, 65536, n),
+        dst_port=np.full(n, dst_port),
+        protocol=[6] * n,
+        packets=[1] * n,
+        bytes_=[40] * n,
+    )
+
+
+class TestSlidingWindowMiner:
+    def test_not_ready_until_window_full(self):
+        miner = SlidingWindowMiner(window=3, min_support=10)
+        miner.push(_batch(80))
+        assert not miner.ready
+        miner.push(_batch(80, seed=1))
+        miner.push(_batch(80, seed=2))
+        assert miner.ready
+
+    def test_window_eviction(self):
+        miner = SlidingWindowMiner(window=2, min_support=150)
+        miner.push(_batch(7000, seed=0))  # the anomaly...
+        miner.push(_batch(80, seed=1))
+        miner.push(_batch(80, seed=2))    # ...slides out here
+        result = miner.mine()
+        ports = {
+            s.as_dict().get(list(s.as_dict())[0])
+            for s in result.itemsets
+        }
+        assert miner.flows_in_window == 200
+        # Port 7000 no longer reaches support 150 inside the window.
+        from repro.detection.features import Feature
+
+        port_values = {
+            s.as_dict().get(Feature.DST_PORT) for s in result.itemsets
+        }
+        assert 7000 not in port_values
+        assert 80 in port_values
+
+    def test_mine_matches_batch_concat(self):
+        miner = SlidingWindowMiner(window=2, min_support=50)
+        batches = [_batch(80, seed=0), _batch(443, seed=1)]
+        for batch in batches:
+            miner.push(batch)
+        direct = eclat(
+            TransactionSet.from_flows(FlowTable.concat(batches)), 50
+        )
+        assert miner.mine().all_frequent == direct.all_frequent
+
+    def test_incremental_counts_survive_eviction(self):
+        miner = SlidingWindowMiner(window=2, min_support=120)
+        for seed in range(6):
+            miner.push(_batch(80, seed=seed))
+        # Window holds 200 flows of port 80.
+        assert miner.frequent_item_count() > 0
+        assert miner.flows_in_window == 200
+
+    def test_screen_skips_quiet_windows(self):
+        miner = SlidingWindowMiner(window=2, min_support=10_000)
+        miner.push(_batch(80, seed=0))
+        miner.push(_batch(80, seed=1))
+        assert miner.frequent_item_count() == 0
+        assert miner.mine_if_candidates() is None
+
+    def test_screen_triggers_on_burst(self):
+        miner = SlidingWindowMiner(window=2, min_support=150)
+        miner.push(_batch(7000, seed=0))
+        miner.push(_batch(7000, seed=1))
+        result = miner.mine_if_candidates()
+        assert result is not None
+        assert result.itemsets
+
+    def test_mine_before_push_rejected(self):
+        miner = SlidingWindowMiner(window=2, min_support=10)
+        with pytest.raises(MiningError):
+            miner.mine()
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            SlidingWindowMiner(window=0, min_support=10)
+        with pytest.raises(MiningError):
+            SlidingWindowMiner(window=1, min_support=0)

@@ -1,0 +1,67 @@
+"""Unit tests for top-k item-set mining."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.flows.table import FlowTable
+from repro.mining.apriori import apriori
+from repro.mining.eclat import eclat
+from repro.mining.topk import mine_top_k, support_for_top_k
+from repro.mining.transactions import TransactionSet
+
+
+@pytest.fixture(scope="module")
+def transactions(table2_small):
+    return TransactionSet.from_flows(table2_small.flows)
+
+
+class TestMineTopK:
+    def test_returns_k_itemsets(self, transactions):
+        top, _ = mine_top_k(transactions, k=5)
+        assert len(top) == 5
+
+    def test_ordered_by_support(self, transactions):
+        top, _ = mine_top_k(transactions, k=8)
+        supports = [s.support for s in top]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_top_k_prefix_stable(self, transactions):
+        """The top-3 is a prefix of the top-6 (nested families)."""
+        top3, _ = mine_top_k(transactions, k=3)
+        top6, _ = mine_top_k(transactions, k=6)
+        assert [s.items for s in top3] == [s.items for s in top6[:3]]
+
+    def test_result_carries_final_support(self, transactions):
+        top, result = mine_top_k(transactions, k=5)
+        assert result.min_support <= top[-1].support
+
+    def test_works_with_other_miners(self, transactions):
+        top_apriori, _ = mine_top_k(transactions, k=4, miner=apriori)
+        top_eclat, _ = mine_top_k(transactions, k=4, miner=eclat)
+        assert [s.items for s in top_apriori] == [s.items for s in top_eclat]
+
+    def test_k_larger_than_everything(self):
+        flows = FlowTable.from_arrays(
+            [1, 2], [3, 4], [5, 6], [7, 8], [6, 17], [1, 2], [40, 80]
+        )
+        transactions = TransactionSet.from_flows(flows)
+        top, _ = mine_top_k(transactions, k=1000)
+        # Every maximal item-set at support 1 - bounded by the input.
+        assert 1 <= len(top) <= 1000
+
+    def test_validation(self, transactions):
+        with pytest.raises(MiningError):
+            mine_top_k(transactions, k=0)
+        with pytest.raises(MiningError):
+            mine_top_k(transactions, k=1, initial_fraction=0.0)
+        with pytest.raises(MiningError):
+            mine_top_k(transactions, k=1, shrink=1.0)
+        empty = TransactionSet.from_flows(FlowTable.empty())
+        with pytest.raises(MiningError):
+            mine_top_k(empty, k=1)
+
+
+class TestSupportForTopK:
+    def test_matches_kth_support(self, transactions):
+        top, _ = mine_top_k(transactions, k=5)
+        assert support_for_top_k(transactions, 5) == top[-1].support

@@ -1,0 +1,98 @@
+"""Unit tests for transaction sets."""
+
+import numpy as np
+import pytest
+
+from repro.detection.features import Feature
+from repro.errors import MiningError
+from repro.mining.items import encode_item
+from repro.mining.transactions import TRANSACTION_WIDTH, TransactionSet
+
+
+@pytest.fixture()
+def transactions(tiny_flows):
+    return TransactionSet.from_flows(tiny_flows)
+
+
+class TestConstruction:
+    def test_width_is_seven(self, transactions, tiny_flows):
+        assert transactions.matrix.shape == (len(tiny_flows), TRANSACTION_WIDTH)
+
+    def test_bad_matrix_shape_rejected(self):
+        with pytest.raises(MiningError):
+            TransactionSet(np.zeros((3, 4), dtype=np.int64))
+
+    def test_items_decode_back_to_flow_values(self, transactions, tiny_flows):
+        row = transactions.matrix[0]
+        expected = [
+            encode_item(Feature.SRC_IP, 10),
+            encode_item(Feature.DST_IP, 20),
+            encode_item(Feature.SRC_PORT, 1024),
+            encode_item(Feature.DST_PORT, 80),
+            encode_item(Feature.PROTOCOL, 6),
+            encode_item(Feature.PACKETS, 1),
+            encode_item(Feature.BYTES, 40),
+        ]
+        assert row.tolist() == expected
+
+
+class TestSupports:
+    def test_item_supports_total(self, transactions, tiny_flows):
+        items, counts = transactions.item_supports()
+        assert counts.sum() == len(tiny_flows) * TRANSACTION_WIDTH
+
+    def test_frequent_items_thresholding(self, transactions):
+        port80 = encode_item(Feature.DST_PORT, 80)
+        frequent = transactions.frequent_items(min_support=4)
+        assert frequent[port80] == 4
+        port25 = encode_item(Feature.DST_PORT, 25)
+        assert port25 not in frequent
+
+    def test_frequent_items_validation(self, transactions):
+        with pytest.raises(MiningError):
+            transactions.frequent_items(0)
+
+    def test_tidset_matches_manual_scan(self, transactions, tiny_flows):
+        item = encode_item(Feature.DST_PORT, 80)
+        tids = transactions.tidset(item)
+        manual = [i for i, r in enumerate(tiny_flows) if r.dst_port == 80]
+        assert tids.tolist() == manual
+
+    def test_tidsets_bulk_matches_single(self, transactions):
+        items = [
+            encode_item(Feature.DST_PORT, 80),
+            encode_item(Feature.SRC_IP, 10),
+            encode_item(Feature.PACKETS, 1),
+        ]
+        bulk = transactions.tidsets(items)
+        for item in items:
+            assert bulk[item].tolist() == transactions.tidset(item).tolist()
+
+    def test_contains_mask_multi_item(self, transactions):
+        items = (
+            encode_item(Feature.SRC_IP, 10),
+            encode_item(Feature.DST_PORT, 80),
+        )
+        mask = transactions.contains_mask(items)
+        assert mask.tolist() == [True, True, False, False, False, True]
+
+    def test_support_of(self, transactions):
+        items = (
+            encode_item(Feature.SRC_IP, 10),
+            encode_item(Feature.DST_PORT, 80),
+        )
+        assert transactions.support_of(items) == 3
+        assert transactions.support_of(()) == len(transactions)
+
+    def test_rows_as_sets(self, transactions):
+        rows = transactions.rows_as_sets()
+        assert len(rows) == len(transactions)
+        assert all(len(row) == TRANSACTION_WIDTH for row in rows)
+
+    def test_empty_flows(self):
+        from repro.flows.table import FlowTable
+
+        transactions = TransactionSet.from_flows(FlowTable.empty())
+        assert len(transactions) == 0
+        items, counts = transactions.item_supports()
+        assert len(items) == 0

@@ -1,0 +1,61 @@
+"""Property-based tests for closed item-set mining."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.table import FlowTable
+from repro.mining.apriori import apriori
+from repro.mining.closed import filter_closed, is_closed_in, support_of_itemset
+from repro.mining.maximal import filter_maximal
+from repro.mining.transactions import TransactionSet
+
+
+@st.composite
+def frequent_families(draw):
+    """Frequent families mined from random dense transaction sets."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    cardinality = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    min_support = draw(st.integers(min_value=1, max_value=8))
+    rng = np.random.default_rng(seed)
+    flows = FlowTable.from_arrays(
+        src_ip=rng.integers(0, cardinality, n),
+        dst_ip=rng.integers(0, cardinality, n),
+        src_port=rng.integers(0, cardinality, n),
+        dst_port=rng.integers(0, cardinality, n),
+        protocol=rng.integers(0, 2, n),
+        packets=rng.integers(1, cardinality + 1, n),
+        bytes_=rng.integers(40, 40 + cardinality, n),
+    )
+    transactions = TransactionSet.from_flows(flows)
+    return apriori(transactions, min_support).all_frequent
+
+
+@settings(max_examples=60, deadline=None)
+@given(frequent=frequent_families())
+def test_filter_closed_matches_reference(frequent):
+    closed = filter_closed(frequent)
+    for items in frequent:
+        assert (items in closed) == is_closed_in(items, frequent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(frequent=frequent_families())
+def test_maximal_subset_of_closed(frequent):
+    closed = filter_closed(frequent)
+    maximal = filter_maximal(frequent)
+    assert set(maximal) <= set(closed)
+    # Supports preserved through both filters.
+    for items, support in maximal.items():
+        assert closed[items] == support
+
+
+@settings(max_examples=40, deadline=None)
+@given(frequent=frequent_families())
+def test_closed_family_is_lossless(frequent):
+    """Every frequent item-set's support is recoverable from its
+    smallest closed superset - the defining property of closed sets."""
+    closed = filter_closed(frequent)
+    for items, support in frequent.items():
+        assert support_of_itemset(items, closed) == support

@@ -1,0 +1,61 @@
+"""Property-based tests for universal hashing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.hashing import MERSENNE_PRIME, UniversalHash
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=1, max_value=MERSENNE_PRIME - 1),
+    b=st.integers(min_value=0, max_value=MERSENNE_PRIME - 1),
+    bins=st.integers(min_value=1, max_value=1 << 20),
+    values=st.lists(
+        st.integers(min_value=0, max_value=2**63 - 1),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_vectorized_equals_scalar(a, b, bins, values):
+    """The uint64 split-multiply must match exact Python arithmetic."""
+    fn = UniversalHash(a=a, b=b, bins=bins)
+    array = np.array(values, dtype=np.uint64)
+    assert fn.hash_array(array).tolist() == [fn(v) for v in values]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=1, max_value=MERSENNE_PRIME - 1),
+    b=st.integers(min_value=0, max_value=MERSENNE_PRIME - 1),
+    bins=st.integers(min_value=1, max_value=4096),
+    value=st.integers(min_value=0, max_value=2**48),
+)
+def test_output_in_range(a, b, bins, value):
+    fn = UniversalHash(a=a, b=b, bins=bins)
+    assert 0 <= fn(value) < bins
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=1, max_value=MERSENNE_PRIME - 1),
+    b=st.integers(min_value=0, max_value=MERSENNE_PRIME - 1),
+    value=st.integers(min_value=0, max_value=2**48),
+)
+def test_definition_matches_formula(a, b, value):
+    fn = UniversalHash(a=a, b=b, bins=977)
+    assert fn(value) == ((a * value + b) % MERSENNE_PRIME) % 977
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    bins=st.integers(min_value=2, max_value=2048),
+)
+def test_family_reproducible(seed, bins):
+    from repro.sketch.hashing import HashFamily
+
+    first = HashFamily(bins=bins, seed=seed).take(2)
+    second = HashFamily(bins=bins, seed=seed).take(2)
+    assert first == second

@@ -1,0 +1,117 @@
+"""Property-based tests: the miners against first principles.
+
+Hypothesis generates small random transaction sets; we assert that the
+production miners agree with an obviously-correct brute-force reference
+and with each other, and that the structural invariants of frequent
+item-set families hold (anti-monotonicity, downward closure,
+maximality).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.table import FlowTable
+from repro.mining.apriori import apriori
+from repro.mining.eclat import eclat
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.maximal import filter_maximal, is_maximal_in
+from repro.mining.transactions import TransactionSet
+from tests.mining.reference import brute_force_frequent, brute_force_maximal
+
+
+@st.composite
+def transaction_sets(draw):
+    """Random small flow tables with dense value collisions."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    cardinality = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    flows = FlowTable.from_arrays(
+        src_ip=rng.integers(0, cardinality, n),
+        dst_ip=rng.integers(0, cardinality, n),
+        src_port=rng.integers(0, cardinality, n),
+        dst_port=rng.integers(0, cardinality, n),
+        protocol=rng.integers(0, cardinality, n),
+        packets=rng.integers(1, cardinality + 1, n),
+        bytes_=rng.integers(40, 40 + cardinality, n),
+    )
+    return TransactionSet.from_flows(flows)
+
+
+support_strategy = st.integers(min_value=1, max_value=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_apriori_equals_brute_force(transactions, min_support):
+    result = apriori(transactions, min_support)
+    assert result.all_frequent == brute_force_frequent(
+        transactions, min_support
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_three_miners_agree(transactions, min_support):
+    a = apriori(transactions, min_support).all_frequent
+    f = fpgrowth(transactions, min_support).all_frequent
+    e = eclat(transactions, min_support).all_frequent
+    assert a == f == e
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_counting_backends_agree(transactions, min_support):
+    vertical = apriori(transactions, min_support, counting="vertical")
+    horizontal = apriori(transactions, min_support, counting="horizontal")
+    assert vertical.all_frequent == horizontal.all_frequent
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_supports_are_exact_and_antimonotone(transactions, min_support):
+    frequent = apriori(transactions, min_support).all_frequent
+    for items, support in frequent.items():
+        assert support == transactions.support_of(items)
+        assert support >= min_support
+        if len(items) >= 2:
+            for drop in range(len(items)):
+                subset = items[:drop] + items[drop + 1:]
+                assert subset in frequent  # downward closure
+                assert frequent[subset] >= support  # anti-monotone
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_maximal_filter_is_correct(transactions, min_support):
+    frequent = apriori(transactions, min_support).all_frequent
+    maximal = filter_maximal(frequent)
+    assert maximal == brute_force_maximal(frequent)
+    for items in frequent:
+        assert (items in maximal) == is_maximal_in(items, frequent)
+
+
+@settings(max_examples=40, deadline=None)
+@given(transactions=transaction_sets(), min_support=support_strategy)
+def test_every_frequent_itemset_is_subset_of_a_maximal_one(
+    transactions, min_support
+):
+    result = apriori(transactions, min_support)
+    maximal_sets = [set(s.items) for s in result.itemsets]
+    for items in result.all_frequent:
+        assert any(set(items) <= m for m in maximal_sets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions=transaction_sets(),
+    low=st.integers(min_value=1, max_value=6),
+    delta=st.integers(min_value=1, max_value=6),
+)
+def test_higher_support_yields_subset(transactions, low, delta):
+    loose = apriori(transactions, low).all_frequent
+    strict = apriori(transactions, low + delta).all_frequent
+    assert set(strict) <= set(loose)
+    for items, support in strict.items():
+        assert loose[items] == support

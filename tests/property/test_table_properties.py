@@ -1,0 +1,86 @@
+"""Property-based tests for FlowTable and interval windowing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.io import read_csv, read_npz, write_csv, write_npz
+from repro.flows.stream import split_intervals
+from repro.flows.table import FlowTable
+
+
+@st.composite
+def flow_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=50))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return FlowTable.from_arrays(
+        src_ip=rng.integers(0, 2**32, n),
+        dst_ip=rng.integers(0, 2**32, n),
+        src_port=rng.integers(0, 2**16, n),
+        dst_port=rng.integers(0, 2**16, n),
+        protocol=rng.integers(0, 256, n),
+        packets=rng.integers(1, 10**6, n),
+        bytes_=rng.integers(40, 10**9, n),
+        start=rng.uniform(0.0, 5000.0, n),
+        label=rng.integers(-1, 10, n),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=flow_tables())
+def test_csv_round_trip(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    write_csv(table, path)
+    assert read_csv(path) == table
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=flow_tables())
+def test_npz_round_trip(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("npz") / "t.npz"
+    write_npz(table, path)
+    assert read_npz(path) == table
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=flow_tables())
+def test_concat_split_identity(table):
+    if len(table) == 0:
+        return
+    half = len(table) // 2
+    first = table.select(np.arange(half))
+    second = table.select(np.arange(half, len(table)))
+    assert FlowTable.concat([first, second]) == table
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=flow_tables(), interval=st.floats(min_value=10.0, max_value=2000.0))
+def test_windowing_partitions_flows(table, interval):
+    if len(table) == 0:
+        return
+    views = split_intervals(table, interval, origin=0.0)
+    assert sum(len(v) for v in views) == len(table)
+    for view in views:
+        if len(view):
+            assert (view.flows.start >= view.start).all()
+            assert (view.flows.start < view.end).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=flow_tables())
+def test_sort_by_start_is_permutation(table):
+    ordered = table.sort_by_start()
+    assert len(ordered) == len(table)
+    assert (np.diff(ordered.start) >= 0).all()
+    assert sorted(table.packets.tolist()) == sorted(ordered.packets.tolist())
+
+
+@settings(max_examples=100, deadline=None)
+@given(table=flow_tables())
+def test_anomalous_mask_consistent_with_events(table):
+    mask_count = int(table.anomalous_mask.sum())
+    by_event = sum(
+        len(table.flows_of_event(int(e))) for e in table.event_labels()
+    )
+    assert mask_count == by_event

@@ -1,0 +1,83 @@
+"""Property-based tests for clone voting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.voting import vote, vote_matrix
+
+clone_sets = st.lists(
+    st.lists(st.integers(min_value=0, max_value=50), max_size=20),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _as_arrays(sets):
+    return [np.array(values, dtype=np.uint64) for values in sets]
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets)
+def test_vote_v1_is_union(sets):
+    arrays = _as_arrays(sets)
+    expected = sorted(set().union(*[set(s) for s in sets]))
+    assert vote(arrays, 1).tolist() == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets)
+def test_vote_vk_is_intersection_of_contributing(sets):
+    arrays = _as_arrays(sets)
+    k = len(arrays)
+    result = set(vote(arrays, k).tolist())
+    non_empty = [set(s) for s in sets if s]
+    if len(non_empty) < k:
+        assert result == set()
+    else:
+        assert result == set.intersection(*non_empty)
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets)
+def test_vote_monotone_decreasing_in_v(sets):
+    arrays = _as_arrays(sets)
+    previous = None
+    for v in range(1, len(arrays) + 1):
+        current = set(vote(arrays, v).tolist())
+        if previous is not None:
+            assert current <= previous
+        previous = current
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets, v=st.integers(min_value=1, max_value=6))
+def test_vote_subset_of_union(sets, v):
+    arrays = _as_arrays(sets)
+    if v > len(arrays):
+        return
+    union = set().union(*[set(s) for s in sets])
+    assert set(vote(arrays, v).tolist()) <= union
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets, v=st.integers(min_value=1, max_value=6))
+def test_vote_agrees_with_vote_matrix(sets, v):
+    arrays = _as_arrays(sets)
+    if v > len(arrays):
+        return
+    values, votes = vote_matrix(arrays)
+    expected = sorted(
+        int(value) for value, count in zip(values, votes) if count >= v
+    )
+    assert vote(arrays, v).tolist() == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(sets=clone_sets, v=st.integers(min_value=1, max_value=6))
+def test_vote_output_sorted_unique(sets, v):
+    arrays = _as_arrays(sets)
+    if v > len(arrays):
+        return
+    result = vote(arrays, v).tolist()
+    assert result == sorted(set(result))

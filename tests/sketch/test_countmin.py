@@ -1,0 +1,87 @@
+"""Unit tests for the Count-Min sketch substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestCountMin:
+    def test_estimate_never_underestimates(self, rng):
+        sketch = CountMinSketch(width=64, depth=4, seed=1)
+        values = rng.integers(0, 1000, size=5000)
+        truth: dict[int, int] = {}
+        for value in values:
+            sketch.update(int(value))
+            truth[int(value)] = truth.get(int(value), 0) + 1
+        for value, count in truth.items():
+            assert sketch.estimate(value) >= count
+
+    def test_exact_for_single_item(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        sketch.update(42, count=7)
+        assert sketch.estimate(42) == 7
+
+    def test_unknown_item_estimate_bounded(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for value in range(100):
+            sketch.update(value)
+        # An item never inserted can only collide.
+        assert sketch.estimate(10**6) <= 100
+
+    def test_update_array_matches_scalar_updates(self, rng):
+        values = rng.integers(0, 50, size=300).astype(np.uint64)
+        a = CountMinSketch(width=64, depth=3, seed=9)
+        b = CountMinSketch(width=64, depth=3, seed=9)
+        a.update_array(values)
+        for value in values:
+            b.update(int(value))
+        for probe in range(50):
+            assert a.estimate(probe) == b.estimate(probe)
+        assert a.total == b.total == 300
+
+    def test_from_error_bounds_sizing(self):
+        sketch = CountMinSketch.from_error_bounds(epsilon=0.01, delta=0.01)
+        assert sketch.width >= int(np.e / 0.01)
+        assert sketch.depth >= int(np.log(100))
+
+    def test_error_bound_holds_in_practice(self, rng):
+        epsilon, delta = 0.02, 0.05
+        sketch = CountMinSketch.from_error_bounds(epsilon, delta, seed=3)
+        values = rng.zipf(1.3, size=20_000) % 10_000
+        sketch.update_array(values.astype(np.uint64))
+        truth = np.bincount(values, minlength=10_000)
+        errors = [
+            sketch.estimate(v) - int(truth[v]) for v in range(0, 10_000, 97)
+        ]
+        violating = sum(1 for e in errors if e > epsilon * sketch.total)
+        assert violating / len(errors) <= delta
+
+    def test_heavy_hitters_sorted(self):
+        sketch = CountMinSketch(width=256, depth=4)
+        sketch.update(1, count=100)
+        sketch.update(2, count=50)
+        sketch.update(3, count=2)
+        hits = sketch.heavy_hitters(np.array([1, 2, 3]), threshold=10)
+        assert [value for value, _ in hits] == [1, 2]
+
+    def test_decrement_rejected(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(ConfigError):
+            sketch.update(1, count=-1)
+
+    @pytest.mark.parametrize("width,depth", [(0, 1), (1, 0)])
+    def test_bad_dimensions(self, width, depth):
+        with pytest.raises(ConfigError):
+            CountMinSketch(width=width, depth=depth)
+
+    @pytest.mark.parametrize("eps,delta", [(0.0, 0.1), (1.5, 0.1), (0.1, 0.0), (0.1, 1.0)])
+    def test_bad_error_bounds(self, eps, delta):
+        with pytest.raises(ConfigError):
+            CountMinSketch.from_error_bounds(eps, delta)
+
+    def test_empty_array_update(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        sketch.update_array(np.array([], dtype=np.uint64))
+        assert sketch.total == 0

@@ -1,0 +1,118 @@
+"""Unit tests for hashed histograms and snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketch.hashing import HashFamily
+from repro.sketch.histogram import HashedHistogram, HistogramSnapshot
+
+
+@pytest.fixture()
+def histogram():
+    fn = HashFamily(bins=32, seed=7).fresh()
+    return HashedHistogram(fn)
+
+
+class TestHashedHistogram:
+    def test_update_counts_total(self, histogram):
+        histogram.update(np.array([1, 2, 3, 1, 1], dtype=np.uint64))
+        assert histogram.total == 5.0
+
+    def test_counts_land_in_hashed_bins(self, histogram):
+        histogram.update(np.array([42], dtype=np.uint64))
+        expected_bin = histogram.hash_fn(42)
+        assert histogram.counts[expected_bin] == 1.0
+
+    def test_observed_values_distinct(self, histogram):
+        histogram.update(np.array([5, 5, 6], dtype=np.uint64))
+        assert sorted(histogram.observed_values()) == [5, 6]
+
+    def test_reset_clears_state(self, histogram):
+        histogram.update(np.array([1, 2], dtype=np.uint64))
+        histogram.reset()
+        assert histogram.total == 0.0
+        assert len(histogram.observed_values()) == 0
+
+    def test_update_empty_is_noop(self, histogram):
+        histogram.update(np.array([], dtype=np.uint64))
+        assert histogram.total == 0.0
+
+    def test_values_in_bins_back_map(self, histogram):
+        values = np.arange(100, dtype=np.uint64)
+        histogram.update(values)
+        target_bin = histogram.hash_fn(17)
+        found = histogram.values_in_bins([target_bin])
+        assert 17 in found
+        assert all(histogram.hash_fn(int(v)) == target_bin for v in found)
+
+    def test_values_in_bins_empty_request(self, histogram):
+        histogram.update(np.array([1], dtype=np.uint64))
+        assert len(histogram.values_in_bins([])) == 0
+
+    def test_values_in_bins_range_checked(self, histogram):
+        histogram.update(np.array([1], dtype=np.uint64))
+        with pytest.raises(ConfigError):
+            histogram.values_in_bins([99])
+
+    def test_distribution_sums_to_one(self, histogram):
+        histogram.update(np.arange(50, dtype=np.uint64))
+        assert histogram.distribution().sum() == pytest.approx(1.0)
+        assert histogram.distribution(pseudocount=0.5).sum() == pytest.approx(1.0)
+
+    def test_distribution_of_empty_histogram_is_uniform(self, histogram):
+        dist = histogram.distribution()
+        assert np.allclose(dist, 1.0 / histogram.bins)
+
+    def test_negative_pseudocount_rejected(self, histogram):
+        with pytest.raises(ConfigError):
+            histogram.distribution(pseudocount=-0.1)
+
+    def test_counts_property_is_copy(self, histogram):
+        histogram.update(np.array([1], dtype=np.uint64))
+        counts = histogram.counts
+        counts[:] = 0
+        assert histogram.total == 1.0
+
+
+class TestSnapshot:
+    def test_snapshot_freezes_state(self, histogram):
+        histogram.update(np.array([1, 2, 3], dtype=np.uint64))
+        snap = histogram.snapshot()
+        histogram.reset()
+        assert snap.total == 3.0
+        assert len(snap.observed) == 3
+
+    def test_snapshot_counts_read_only(self, histogram):
+        histogram.update(np.array([1], dtype=np.uint64))
+        snap = histogram.snapshot()
+        with pytest.raises(ValueError):
+            snap.counts[0] = 5
+
+    def test_snapshot_values_in_bins(self, histogram):
+        histogram.update(np.arange(64, dtype=np.uint64))
+        snap = histogram.snapshot()
+        bin_of_7 = snap.hash_fn(7)
+        assert 7 in snap.values_in_bins([bin_of_7])
+
+    def test_with_counts_replaces(self, histogram):
+        histogram.update(np.array([1], dtype=np.uint64))
+        snap = histogram.snapshot()
+        new = snap.with_counts(np.zeros(snap.bins))
+        assert new.total == 0.0
+        assert np.array_equal(new.observed, snap.observed)
+
+    def test_length_mismatch_rejected(self, histogram):
+        with pytest.raises(ConfigError):
+            HistogramSnapshot(
+                histogram.hash_fn,
+                counts=np.zeros(3),
+                observed=np.array([], dtype=np.uint64),
+            )
+
+    def test_distribution_matches_histogram(self, histogram):
+        histogram.update(np.arange(20, dtype=np.uint64))
+        snap = histogram.snapshot()
+        assert np.allclose(
+            snap.distribution(0.5), histogram.distribution(0.5)
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for diurnal rate modulation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.diurnal import (
+    SECONDS_PER_DAY,
+    diurnal_factor,
+    interval_flow_count,
+)
+
+
+class TestDiurnalFactor:
+    def test_peak_hour_is_maximum(self):
+        peak = diurnal_factor(15 * 3600.0, peak_hour=15.0)
+        trough = diurnal_factor(3 * 3600.0, peak_hour=15.0)
+        assert peak > trough
+        assert peak == pytest.approx(1.35)
+        assert trough == pytest.approx(0.65)
+
+    def test_always_positive(self):
+        for hour in range(0, 24 * 14):
+            assert diurnal_factor(hour * 3600.0) > 0
+
+    def test_weekday_has_no_dip(self):
+        monday_noon = 12 * 3600.0
+        assert diurnal_factor(monday_noon, amplitude=0.0) == pytest.approx(1.0)
+
+    def test_weekend_dip_applied(self):
+        saturday_noon = 5 * SECONDS_PER_DAY + 12 * 3600.0
+        weekday = diurnal_factor(12 * 3600.0, amplitude=0.0, weekend_dip=0.25)
+        weekend = diurnal_factor(saturday_noon, amplitude=0.0, weekend_dip=0.25)
+        assert weekend == pytest.approx(0.75 * weekday)
+
+    def test_sunday_also_dips(self):
+        sunday = 6 * SECONDS_PER_DAY + 12 * 3600.0
+        assert diurnal_factor(sunday, amplitude=0.0, weekend_dip=0.5) == pytest.approx(0.5)
+
+    def test_periodic_over_weeks(self):
+        t = 10 * 3600.0
+        week = 7 * SECONDS_PER_DAY
+        assert diurnal_factor(t) == pytest.approx(diurnal_factor(t + week))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(amplitude=1.0),
+            dict(amplitude=-0.1),
+            dict(weekend_dip=1.0),
+            dict(weekend_dip=-0.2),
+            dict(peak_hour=24.0),
+            dict(peak_hour=-1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            diurnal_factor(0.0, **kwargs)
+
+
+class TestIntervalFlowCount:
+    def test_scales_base_rate(self):
+        count = interval_flow_count(1000, 15 * 3600.0 - 450.0, 900.0)
+        assert count == pytest.approx(1350.0, rel=1e-3)
+
+    def test_uses_interval_midpoint(self):
+        direct = 1000 * diurnal_factor(450.0)
+        assert interval_flow_count(1000, 0.0, 900.0) == pytest.approx(direct)

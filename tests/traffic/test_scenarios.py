@@ -1,0 +1,107 @@
+"""Unit tests for the canned evaluation scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies.schedule import anomalous_interval_indices
+from repro.errors import ConfigError
+from repro.traffic.profiles import switch_like
+from repro.traffic.scenarios import (
+    TABLE2_PAPER_COUNTS,
+    TABLE4_OCCURRENCES,
+    table2_interval,
+    two_day_trace,
+    two_week_schedule,
+    worm_outbreak_trace,
+)
+
+
+class TestTable2Scenario:
+    def test_component_mix_matches_paper_ratios(self, table2_small):
+        counts = table2_small.component_counts
+        scale = table2_small.scale
+        for key in ("flooding_dport_7000", "port_80", "port_9022", "port_25"):
+            expected = int(TABLE2_PAPER_COUNTS[key] * scale)
+            assert counts[key] == pytest.approx(expected, abs=1)
+        assert counts["total"] == len(table2_small.flows)
+
+    def test_port_composition(self, table2_small):
+        flows = table2_small.flows
+        ports, counts = np.unique(flows.dst_port, return_counts=True)
+        by_port = dict(zip(ports.tolist(), counts.tolist()))
+        assert by_port[80] == table2_small.component_counts["port_80"]
+        assert by_port[7000] == table2_small.component_counts["flooding_dport_7000"]
+        assert by_port[9022] == table2_small.component_counts["port_9022"]
+        assert by_port[25] == table2_small.component_counts["port_25"]
+
+    def test_flooding_flows_are_labelled(self, table2_small):
+        flows = table2_small.flows
+        flooding = flows.select(flows.dst_port == 7000)
+        assert flooding.anomalous_mask.all()
+
+    def test_http_flows_are_benign(self, table2_small):
+        flows = table2_small.flows
+        http = flows.select(flows.dst_port == 80)
+        assert not http.anomalous_mask.any()
+
+    def test_proxies_carry_port_80(self, table2_small):
+        flows = table2_small.flows
+        http = flows.select(flows.dst_port == 80)
+        proxies = set(table2_small.proxy_hosts)
+        assert set(np.unique(http.src_ip).tolist()) == proxies
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigError):
+            table2_interval(scale=0.0)
+        with pytest.raises(ConfigError):
+            table2_interval(scale=1.5)
+
+    def test_min_support_scales(self, table2_small):
+        assert table2_small.min_support == int(10_000 * table2_small.scale)
+
+
+class TestTwoWeekSchedule:
+    def test_event_mix(self):
+        profile = switch_like(100)
+        schedule = two_week_schedule(profile, scale=0.01, seed=3)
+        assert len(schedule) == sum(TABLE4_OCCURRENCES.values()) == 36
+        kinds = [occ.injector.kind for occ in schedule.occurrences]
+        for kind, count in TABLE4_OCCURRENCES.items():
+            assert kinds.count(kind) == count
+
+    def test_31_distinct_intervals(self):
+        profile = switch_like(100)
+        schedule = two_week_schedule(profile, scale=0.01, seed=3)
+        flows, events = schedule.materialize(np.random.default_rng(0))
+        touched = anomalous_interval_indices(events, 900.0, 1344)
+        assert len(touched) == 31
+
+    def test_training_prefix_clean(self):
+        profile = switch_like(100)
+        schedule = two_week_schedule(
+            profile, scale=0.01, seed=3, training_intervals=96
+        )
+        firsts = [occ.start // 900.0 for occ in schedule.occurrences]
+        assert min(firsts) > 96
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            two_week_schedule(switch_like(100), n_intervals=100)
+
+
+class TestOtherScenarios:
+    def test_two_day_trace_has_two_events(self):
+        trace = two_day_trace(flows_per_interval=200, seed=1)
+        assert trace.n_intervals == 192
+        assert len(trace.events) == 2
+        assert trace.anomalous_intervals() == {60, 150}
+
+    def test_worm_outbreak_trace(self):
+        trace = worm_outbreak_trace(flows_per_interval=200, seed=1)
+        assert len(trace.events) == 1
+        assert trace.events[0].kind == "worm"
+        assert trace.anomalous_intervals() == {8}
+        # All three stage ports present in the labelled flows.
+        worm_flows = trace.flows.select(trace.flows.anomalous_mask)
+        ports = set(np.unique(worm_flows.dst_port).tolist())
+        assert {445, 9996, 5554} <= ports
