@@ -13,6 +13,7 @@ Examples:
     repro-extract generate --intervals 8 --out trace.npz
     repro-extract detect trace.npz
     repro-extract extract trace.npz --min-support 500
+    repro-extract extract trace.npz --jobs 4 --backend thread
     repro-extract table2 --scale 0.05
 """
 
@@ -23,17 +24,24 @@ import sys
 
 from repro.core import AnomalyExtractor, ExtractionConfig, suggest_min_support
 from repro.detection import DetectorBank, DetectorConfig
-from repro.errors import ReproError
+from repro.errors import ReproError, TraceFormatError
 from repro.flows import read_csv, read_npz, write_csv, write_npz
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.mining import TransactionSet, apriori
+from repro.parallel import EXECUTOR_BACKENDS, ParallelEngine
 from repro.traffic import TraceGenerator, switch_like, table2_interval
 
 
 def _load_trace(path: str):
     if path.endswith(".npz"):
         return read_npz(path)
-    return read_csv(path)
+    if path.endswith(".csv"):
+        # Parses through the chunked iter_csv reader; the decoded table
+        # is still fully materialized for interval windowing.
+        return read_csv(path)
+    raise TraceFormatError(
+        f"{path}: unknown trace format (expected a .npz or .csv file)"
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -71,8 +79,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         vote_threshold=args.votes,
         training_intervals=args.training,
     )
-    bank = DetectorBank(config, seed=args.seed)
-    run = bank.run(flows, args.interval_seconds, origin=0.0)
+    if args.jobs > 1:
+        with ParallelEngine(backend=args.backend, jobs=args.jobs) as engine:
+            bank = engine.bank(config, seed=args.seed)
+            run = bank.run(flows, args.interval_seconds, origin=0.0)
+    else:
+        bank = DetectorBank(config, seed=args.seed)
+        run = bank.run(flows, args.interval_seconds, origin=0.0)
     alarms = run.alarm_intervals()
     print(f"{run.n_intervals} intervals, {len(alarms)} alarms")
     for interval in alarms:
@@ -94,9 +107,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         prefilter_mode=args.prefilter,
         miner=args.miner,
+        jobs=args.jobs,
+        backend=args.backend,
+        partitions=args.partitions,
     )
-    extractor = AnomalyExtractor(config, seed=args.seed)
-    result = extractor.run_trace(flows, args.interval_seconds)
+    with AnomalyExtractor(config, seed=args.seed) as extractor:
+        result = extractor.run_trace(flows, args.interval_seconds)
     if not result.extractions:
         print("no extractions (no alarms with usable meta-data)")
         return 0
@@ -138,6 +154,22 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
+    return value
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker count; > 1 enables the parallel "
+                        "partitioned engine")
+    parser.add_argument("--backend", choices=EXECUTOR_BACKENDS,
+                        default="thread",
+                        help="executor backend used when --jobs > 1")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-extract",
@@ -163,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--bins", type=int, default=1024)
     det.add_argument("--votes", type=int, default=3)
     det.add_argument("--training", type=int, default=96)
+    _add_parallel_args(det)
     det.set_defaults(func=_cmd_detect)
 
     ext = sub.add_parser("extract", help="full online extraction")
@@ -176,8 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     ext.add_argument("--min-support", type=int, default=1000)
     ext.add_argument("--prefilter", choices=("union", "intersection"),
                      default="union")
-    ext.add_argument("--miner", choices=("apriori", "fpgrowth", "eclat"),
+    ext.add_argument("--miner",
+                     choices=("apriori", "fpgrowth", "eclat", "son"),
                      default="apriori")
+    _add_parallel_args(ext)
+    ext.add_argument("--partitions", type=_positive_int, default=None,
+                     help="transaction shards per mining call "
+                     "(default: one per worker)")
     ext.set_defaults(func=_cmd_extract)
 
     t2 = sub.add_parser("table2", help="regenerate the Table II example")

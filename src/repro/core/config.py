@@ -29,7 +29,14 @@ class ExtractionConfig:
         prefilter_mode: "union" (the paper's choice) or "intersection"
             (the ablation).
         maximal_only: emit only maximal item-sets.
-        miner: "apriori" (paper), "fpgrowth", or "eclat".
+        miner: "apriori" (paper), "fpgrowth", "eclat", or "son"
+            (partitioned two-pass).
+        jobs: worker count; ``jobs > 1`` routes detection and mining
+            through the partitioned engine (:mod:`repro.parallel`).
+        backend: executor backend for ``jobs > 1`` ("serial", "thread",
+            or "process").
+        partitions: transaction shards per mining call (``None`` = one
+            per worker).
     """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
@@ -38,6 +45,9 @@ class ExtractionConfig:
     prefilter_mode: str = "union"
     maximal_only: bool = True
     miner: str = "apriori"
+    jobs: int = 1
+    backend: str = "thread"
+    partitions: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -54,6 +64,19 @@ class ExtractionConfig:
         if self.miner not in MINERS:
             raise ConfigError(
                 f"unknown miner {self.miner!r}; choose from {sorted(MINERS)}"
+            )
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1: {self.jobs}")
+        from repro.parallel.executor import EXECUTOR_BACKENDS
+
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {EXECUTOR_BACKENDS}"
+            )
+        if self.partitions is not None and self.partitions < 1:
+            raise ConfigError(
+                f"partitions must be >= 1: {self.partitions}"
             )
 
 

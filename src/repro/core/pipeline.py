@@ -86,17 +86,54 @@ class TraceExtraction:
 
 
 class AnomalyExtractor:
-    """End-to-end online/offline anomaly extraction."""
+    """End-to-end online/offline anomaly extraction.
+
+    When the config asks for more than one worker (``jobs > 1``) the
+    extractor builds a :class:`~repro.parallel.engine.ParallelEngine`
+    and routes both parallel stages - the per-feature detector bank and
+    the item-set mining (partitioned SON) - through its shared executor.
+    Results are identical to the serial path; call :meth:`close` (or use
+    the extractor as a context manager) to release the pool.
+    """
 
     def __init__(self, config: ExtractionConfig | None = None, seed: int = 0):
         self.config = config or ExtractionConfig()
-        self._bank = DetectorBank(
-            self.config.detector, features=self.config.features, seed=seed
-        )
+        self._engine = None
+        if self.config.jobs > 1:
+            from repro.parallel.engine import ParallelEngine
+
+            self._engine = ParallelEngine(
+                backend=self.config.backend,
+                jobs=self.config.jobs,
+                partitions=self.config.partitions,
+            )
+            self._bank = self._engine.bank(
+                self.config.detector, features=self.config.features, seed=seed
+            )
+        else:
+            self._bank = DetectorBank(
+                self.config.detector, features=self.config.features, seed=seed
+            )
 
     @property
     def detector_bank(self) -> DetectorBank:
         return self._bank
+
+    @property
+    def engine(self):
+        """The parallel engine, or None on the serial path."""
+        return self._engine
+
+    def close(self) -> None:
+        """Release the parallel engine's worker pool (idempotent)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "AnomalyExtractor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Online operation
@@ -173,8 +210,15 @@ class AnomalyExtractor:
         )
 
     def _mine(self, flows: FlowTable, min_support: int) -> MiningResult:
-        miner = MINERS[self.config.miner]
         transactions = TransactionSet.from_flows(flows)
+        if self._engine is not None:
+            return self._engine.mine(
+                transactions,
+                max(1, min_support),
+                maximal_only=self.config.maximal_only,
+                local_miner=self.config.miner,
+            )
+        miner = MINERS[self.config.miner]
         if len(transactions) == 0:
             # Empty prefilter output (e.g. intersection mode on a
             # multi-stage anomaly): an empty-but-valid mining result.

@@ -40,11 +40,29 @@ def _format_cell(name: str, cell: object) -> object:
     return int(cell)
 
 
-def read_csv(path: str | os.PathLike[str]) -> FlowTable:
-    """Read a flow table previously written by :func:`write_csv`.
+#: Rows per chunk yielded by :func:`iter_csv` (bounds parser memory).
+DEFAULT_CHUNK_ROWS = 65_536
 
-    Raises :class:`TraceFormatError` on a malformed header or ragged rows.
+
+def _columns_to_table(columns: dict[str, list[float]]) -> FlowTable:
+    return FlowTable(
+        {name: np.asarray(values) for name, values in columns.items()}
+    )
+
+
+def iter_csv(
+    path: str | os.PathLike[str], chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[FlowTable]:
+    """Stream a CSV trace as :class:`FlowTable` chunks.
+
+    Yields tables of at most ``chunk_rows`` flows in file order, so very
+    large traces can be windowed, partitioned, or re-serialized without
+    materializing every row at once.  Validation matches
+    :func:`read_csv`: a malformed header, ragged row, or non-numeric
+    cell raises :class:`TraceFormatError` with the offending line.
     """
+    if chunk_rows < 1:
+        raise TraceFormatError(f"chunk_rows must be >= 1: {chunk_rows}")
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         try:
@@ -56,6 +74,7 @@ def read_csv(path: str | os.PathLike[str]) -> FlowTable:
                 f"{path}: unexpected header {header!r}; expected {_CSV_HEADER!r}"
             )
         columns: dict[str, list[float]] = {name: [] for name in ALL_COLUMNS}
+        filled = 0
         for line_no, row in enumerate(reader, start=2):
             if not row:
                 continue  # allow trailing blank lines
@@ -71,9 +90,26 @@ def read_csv(path: str | os.PathLike[str]) -> FlowTable:
                     )
             except ValueError as exc:
                 raise TraceFormatError(f"{path}:{line_no}: bad value") from exc
-    return FlowTable(
-        {name: np.asarray(values) for name, values in columns.items()}
-    )
+            filled += 1
+            if filled == chunk_rows:
+                yield _columns_to_table(columns)
+                columns = {name: [] for name in ALL_COLUMNS}
+                filled = 0
+        if filled:
+            yield _columns_to_table(columns)
+
+
+def read_csv(path: str | os.PathLike[str]) -> FlowTable:
+    """Read a flow table previously written by :func:`write_csv`.
+
+    Raises :class:`TraceFormatError` on a malformed header or ragged rows.
+    """
+    chunks = list(iter_csv(path))
+    if not chunks:
+        return FlowTable.empty()
+    if len(chunks) == 1:
+        return chunks[0]
+    return FlowTable.concat(chunks)
 
 
 def write_npz(table: FlowTable, path: str | os.PathLike[str]) -> None:
@@ -96,8 +132,8 @@ def read_npz(path: str | os.PathLike[str]) -> FlowTable:
 def iter_csv_records(path: str | os.PathLike[str]) -> Iterator[FlowRecord]:
     """Stream :class:`FlowRecord` rows from a CSV trace without loading the
     whole file (useful for very large traces)."""
-    table = read_csv(path)
-    yield from table
+    for chunk in iter_csv(path):
+        yield from chunk
 
 
 def records_to_csv(

@@ -23,15 +23,37 @@ from repro.mining.items import (
     itemsets_sorted,
 )
 from repro.mining.maximal import filter_maximal, is_maximal_in
+from repro.mining.partition import (
+    count_candidates,
+    local_min_support,
+    merge_candidates,
+    merge_results,
+    partition_transactions,
+)
 from repro.mining.result import LevelStats, MiningResult
 from repro.mining.rules import AssociationRule, derive_rules
 from repro.mining.transactions import TRANSACTION_WIDTH, TransactionSet
+
+
+def _son_miner(transactions, min_support, maximal_only=True, **kwargs):
+    """Partitioned SON miner (serial by default; see :mod:`repro.parallel`).
+
+    Imported lazily - :mod:`repro.parallel.son` imports the serial
+    miners from this package's submodules.
+    """
+    from repro.parallel.son import son
+
+    return son(
+        transactions, min_support, maximal_only=maximal_only, **kwargs
+    )
+
 
 #: Miners by name (used by the CLI and the scaling bench).
 MINERS = {
     "apriori": apriori,
     "fpgrowth": fpgrowth,
     "eclat": eclat,
+    "son": _son_miner,
 }
 
 __all__ = [
@@ -59,6 +81,11 @@ __all__ = [
     "itemsets_sorted",
     "filter_maximal",
     "is_maximal_in",
+    "partition_transactions",
+    "local_min_support",
+    "merge_candidates",
+    "merge_results",
+    "count_candidates",
     "LevelStats",
     "MiningResult",
     "AssociationRule",

@@ -1,0 +1,117 @@
+"""Shard-aware partitioning and merging for distributed mining.
+
+The SON two-pass scheme (Savasere-Omiecinski-Navathe; the "partition
+algorithm" family the paper's Section III-E points toward for scaling)
+splits the transaction set into shards, mines each shard with a
+proportionally scaled support threshold, and verifies the union of the
+locally frequent candidates with one exact global counting pass.  This
+module holds the algorithm-agnostic pieces: splitting a
+:class:`~repro.mining.transactions.TransactionSet` into shards, scaling
+the threshold, deduplicating candidate item-sets across shards, and
+merging per-shard exact counts back into a canonical, re-ranked
+:class:`~repro.mining.result.MiningResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import MiningError
+from repro.mining.maximal import filter_maximal
+from repro.mining.result import MiningResult, build_result
+from repro.mining.transactions import TransactionSet
+
+
+def partition_transactions(
+    transactions: TransactionSet, n_partitions: int
+) -> list[TransactionSet]:
+    """Split a transaction set into ``n_partitions`` contiguous shards.
+
+    Shards are row-contiguous views of near-equal size (within one row),
+    so concatenating them in order reproduces the input exactly.  Empty
+    shards (more partitions than transactions) are dropped.
+    """
+    if n_partitions < 1:
+        raise MiningError(f"n_partitions must be >= 1: {n_partitions}")
+    parts = np.array_split(transactions.matrix, n_partitions)
+    return [TransactionSet(part) for part in parts if part.shape[0]]
+
+
+def local_min_support(
+    min_support: int, shard_size: int, total_size: int
+) -> int:
+    """Per-shard support threshold: ``ceil(s * |shard| / |D|)``.
+
+    The SON guarantee: an item-set with global support >= ``s`` must
+    reach this proportional threshold in at least one shard (otherwise
+    the per-shard supports would sum below ``s``), so mining every shard
+    at the scaled threshold produces a candidate superset of the global
+    answer - no false negatives by construction.
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1: {min_support}")
+    if shard_size < 0 or total_size < shard_size:
+        raise MiningError(
+            f"invalid shard sizing: shard {shard_size} of {total_size}"
+        )
+    if total_size == 0:
+        return 1
+    return max(1, -((-min_support * shard_size) // total_size))
+
+
+def merge_candidates(
+    shard_candidates: Iterable[Iterable[tuple[int, ...]]],
+) -> list[tuple[int, ...]]:
+    """Deduplicated union of per-shard candidate item-sets.
+
+    Returns a sorted list so the global counting pass (and therefore
+    every downstream report) is deterministic regardless of shard
+    completion order.
+    """
+    merged: set[tuple[int, ...]] = set()
+    for candidates in shard_candidates:
+        merged.update(candidates)
+    return sorted(merged)
+
+
+def count_candidates(
+    shard: TransactionSet, candidates: Sequence[tuple[int, ...]]
+) -> dict[tuple[int, ...], int]:
+    """Exact support of every candidate on one shard."""
+    return {items: shard.support_of(items) for items in candidates}
+
+
+def merge_results(
+    shard_counts: Sequence[dict[tuple[int, ...], int]],
+    n_transactions: int,
+    min_support: int,
+    maximal_only: bool = True,
+    algorithm: str = "son",
+) -> MiningResult:
+    """Combine per-shard exact counts into one canonical result.
+
+    Every dict in ``shard_counts`` must cover the same candidate set
+    (the output of the global counting pass); supports are summed,
+    candidates below ``min_support`` are discarded, and the survivors
+    are maximal-filtered and re-ranked into the canonical report order
+    by :func:`~repro.mining.result.build_result`.
+    """
+    totals: dict[tuple[int, ...], int] = {}
+    for counts in shard_counts:
+        for items, support in counts.items():
+            totals[items] = totals.get(items, 0) + support
+    frequent = {
+        items: support
+        for items, support in totals.items()
+        if support >= min_support
+    }
+    kept = filter_maximal(frequent) if maximal_only else frequent
+    return build_result(
+        algorithm=algorithm,
+        all_frequent=frequent,
+        maximal=kept,
+        n_transactions=n_transactions,
+        min_support=min_support,
+    )

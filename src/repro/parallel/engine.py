@@ -1,0 +1,103 @@
+"""The partitioned extraction engine: one executor, every stage.
+
+:class:`ParallelEngine` owns a single executor (backend + worker count)
+and hands it to both parallel stages of the pipeline - the SON
+partitioned miner and the per-feature detector bank - so a multi-core
+extraction run shares one pool instead of spinning pools up per
+interval.  :class:`~repro.core.pipeline.AnomalyExtractor` builds one
+when its config says ``jobs > 1``; the CLI builds one for ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.mining.result import MiningResult
+from repro.mining.transactions import TransactionSet
+from repro.parallel.bank import ParallelDetectorBank
+from repro.parallel.executor import Executor, get_executor, resolve_jobs
+from repro.parallel.son import SON_LOCAL_MINERS, son
+
+
+class ParallelEngine:
+    """Shared executor + the two parallel stages built on it.
+
+    Args:
+        backend: "serial", "thread", or "process".
+        jobs: worker count (``None`` = every core).
+        partitions: transaction shards per mining call (``None`` = one
+            per worker).
+    """
+
+    def __init__(
+        self,
+        backend: str = "thread",
+        jobs: int | None = None,
+        partitions: int | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.partitions = partitions
+        self._executor = get_executor(backend, self.jobs)
+
+    @property
+    def backend(self) -> str:
+        return self._executor.backend
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    def mine(
+        self,
+        transactions: TransactionSet,
+        min_support: int,
+        maximal_only: bool = True,
+        local_miner: str = "apriori",
+    ) -> MiningResult:
+        """Partitioned SON mining on the engine's executor."""
+        if local_miner == "son":
+            # "son" routed through the engine mines shards with apriori
+            # (anything else unknown is rejected by son itself).
+            local_miner = "apriori"
+        return son(
+            transactions,
+            min_support,
+            maximal_only=maximal_only,
+            # The serial executor always reports jobs=1; partition by the
+            # engine's configured width so shard counts (and thus shard
+            # mining behavior) match across backends.
+            partitions=(
+                self.partitions if self.partitions is not None else self.jobs
+            ),
+            executor=self._executor,
+            local_miner=local_miner,
+        )
+
+    def bank(
+        self,
+        config: DetectorConfig | None = None,
+        features: tuple[Feature, ...] = DETECTOR_FEATURES,
+        seed: int = 0,
+    ) -> ParallelDetectorBank:
+        """A detector bank fanning observations out on this engine."""
+        return ParallelDetectorBank(
+            config, features=features, seed=seed, executor=self._executor
+        )
+
+    def close(self) -> None:
+        """Release the executor's pool (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelEngine(backend={self.backend!r}, jobs={self.jobs}, "
+            f"partitions={self.partitions})"
+        )

@@ -1,0 +1,149 @@
+"""Pluggable executor layer for the partitioned extraction engine.
+
+Three interchangeable backends expose the same two-method surface
+(``map`` + ``close``), so every parallel code path in the library - the
+SON miner, the parallel detector bank, the benchmarks - runs unchanged
+on any of them:
+
+* ``serial`` - plain in-process loop; deterministic, zero overhead, the
+  backend the test suite uses to pin down semantics.
+* ``thread`` - :class:`concurrent.futures.ThreadPoolExecutor`; the
+  numpy-heavy kernels (tidset intersection, hashing, histogram updates)
+  release the GIL, so threads give real speedup without pickling.
+* ``process`` - :class:`concurrent.futures.ProcessPoolExecutor`; full
+  CPU parallelism for pure-Python-bound work at the cost of pickling
+  the shards (every payload type in this library pickles cleanly).
+
+Worker functions submitted through the layer must be module-level
+callables taking a single argument, which keeps them picklable for the
+process backend.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Names accepted by :func:`get_executor` and the ``backend`` config knob.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit value, or every core the machine has."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1: {jobs}")
+    return jobs
+
+
+class Executor:
+    """Common surface of the three backends.
+
+    ``map`` preserves input order and propagates worker exceptions to
+    the caller; ``close`` releases pool resources (idempotent).  All
+    backends are usable as context managers.
+    """
+
+    backend: str = "abstract"
+    jobs: int = 1
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """In-process reference backend (also the ``jobs=1`` fast path)."""
+
+    backend = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared plumbing of the two pool-backed executors."""
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+        self._pool = self._make_pool(self.jobs)
+        self._closed = False
+        # Safety net for callers that drop the executor without close():
+        # shut the pool down when the executor is garbage-collected so
+        # worker processes/threads don't accumulate across a batch loop.
+        self._finalizer = weakref.finalize(
+            self, self._pool.shutdown, wait=False
+        )
+
+    def _make_pool(self, jobs: int):
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        if self._closed:
+            raise ConfigError(f"{self.backend} executor already closed")
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._finalizer.detach()
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread pool; best default for the numpy-bound hot paths."""
+
+    backend = "thread"
+
+    def _make_pool(self, jobs: int):
+        return ThreadPoolExecutor(max_workers=jobs)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process pool; payloads and worker functions must pickle."""
+
+    backend = "process"
+
+    def _make_pool(self, jobs: int):
+        return ProcessPoolExecutor(max_workers=jobs)
+
+
+def get_executor(backend: str = "serial", jobs: int | None = None) -> Executor:
+    """Build an executor by backend name.
+
+    Args:
+        backend: one of :data:`EXECUTOR_BACKENDS`.
+        jobs: worker count; ``None`` means ``os.cpu_count()``.  Ignored
+            by the serial backend.
+    """
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(jobs)
+    if backend == "process":
+        return ProcessExecutor(jobs)
+    raise ConfigError(
+        f"unknown executor backend {backend!r}; "
+        f"choose from {EXECUTOR_BACKENDS}"
+    )

@@ -1,0 +1,131 @@
+"""SON two-pass partitioned frequent item-set mining.
+
+The Savasere-Omiecinski-Navathe scheme turns any exact in-memory miner
+into a data-parallel one:
+
+1. **Candidate pass** - split the transactions into shards and mine each
+   shard independently at the proportionally scaled threshold
+   ``ceil(s * |shard| / |D|)``.  Every globally frequent item-set is
+   locally frequent in at least one shard (pigeonhole over the per-shard
+   supports), so the union of the local answers is a candidate superset.
+2. **Counting pass** - count the exact global support of every candidate
+   with one vectorized scan per shard and keep those meeting ``s``.
+
+Both passes are embarrassingly parallel and run on the pluggable
+executor layer (:mod:`repro.parallel.executor`).  The output is provably
+identical - same item-sets, same supports - to running ``apriori`` /
+``eclat`` / ``fpgrowth`` on the unpartitioned input, which the property
+suite asserts; only the ``algorithm`` tag of the result differs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori
+from repro.mining.eclat import eclat
+from repro.mining.fpgrowth import fpgrowth
+from repro.mining.partition import (
+    count_candidates,
+    local_min_support,
+    merge_candidates,
+    merge_results,
+    partition_transactions,
+)
+from repro.mining.result import MiningResult
+from repro.mining.transactions import TransactionSet
+from repro.parallel.executor import Executor, SerialExecutor
+
+#: Exact miners usable for the per-shard candidate pass.
+SON_LOCAL_MINERS = {
+    "apriori": apriori,
+    "eclat": eclat,
+    "fpgrowth": fpgrowth,
+}
+
+
+def _mine_shard(
+    task: tuple[TransactionSet, int, str],
+) -> list[tuple[int, ...]]:
+    """Candidate-pass worker: locally frequent item-sets of one shard.
+
+    Module-level with a single tuple argument so the process backend can
+    pickle it.
+    """
+    shard, shard_support, local_miner = task
+    result = SON_LOCAL_MINERS[local_miner](
+        shard, shard_support, maximal_only=False
+    )
+    return list(result.all_frequent)
+
+
+def _count_shard(
+    task: tuple[TransactionSet, list[tuple[int, ...]]],
+) -> dict[tuple[int, ...], int]:
+    """Counting-pass worker: exact candidate supports on one shard."""
+    shard, candidates = task
+    return count_candidates(shard, candidates)
+
+
+def son(
+    transactions: TransactionSet,
+    min_support: int,
+    maximal_only: bool = True,
+    partitions: int | None = None,
+    executor: Executor | None = None,
+    local_miner: str = "apriori",
+) -> MiningResult:
+    """Mine frequent item-sets with the partitioned two-pass scheme.
+
+    Args:
+        transactions: encoded flow transactions.
+        min_support: absolute minimum support ``s`` (flow count).
+        maximal_only: emit only maximal item-sets (the paper's modified
+            output).
+        partitions: number of transaction shards; defaults to the
+            executor's worker count (1 shard degenerates to the local
+            miner plus a verification pass).
+        executor: executor to fan the passes out on; defaults to a
+            fresh :class:`~repro.parallel.executor.SerialExecutor`.
+        local_miner: exact miner for the candidate pass
+            ("apriori", "eclat", or "fpgrowth").
+
+    Returns:
+        A :class:`~repro.mining.result.MiningResult` equivalent to the
+        serial miners' output (``algorithm`` is tagged "son").
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1: {min_support}")
+    if local_miner not in SON_LOCAL_MINERS:
+        raise MiningError(
+            f"unknown local miner {local_miner!r}; "
+            f"choose from {sorted(SON_LOCAL_MINERS)}"
+        )
+    own_executor = executor is None
+    if executor is None:
+        executor = SerialExecutor()
+    try:
+        n = len(transactions)
+        if partitions is None:
+            partitions = max(1, executor.jobs)
+        shards = partition_transactions(transactions, partitions)
+        candidate_lists = executor.map(
+            _mine_shard,
+            [
+                (shard, local_min_support(min_support, len(shard), n),
+                 local_miner)
+                for shard in shards
+            ],
+        )
+        candidates = merge_candidates(candidate_lists)
+        shard_counts = executor.map(
+            _count_shard, [(shard, candidates) for shard in shards]
+        )
+        return merge_results(
+            shard_counts,
+            n_transactions=n,
+            min_support=min_support,
+            maximal_only=maximal_only,
+        )
+    finally:
+        if own_executor:
+            executor.close()

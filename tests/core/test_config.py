@@ -25,11 +25,29 @@ class TestExtractionConfig:
             dict(prefilter_mode="both"),
             dict(features=()),
             dict(miner="magic"),
+            dict(jobs=0),
+            dict(backend="gpu"),
+            dict(partitions=0),
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ConfigError):
             ExtractionConfig(**kwargs)
+
+    def test_parallel_defaults(self):
+        config = ExtractionConfig()
+        assert config.jobs == 1
+        assert config.backend == "thread"
+        assert config.partitions is None
+
+    def test_parallel_knobs(self):
+        config = ExtractionConfig(jobs=4, backend="process", partitions=8)
+        assert config.jobs == 4
+        assert config.backend == "process"
+        assert config.partitions == 8
+
+    def test_son_miner_accepted(self):
+        assert ExtractionConfig(miner="son").miner == "son"
 
     def test_custom_detector_config(self):
         config = ExtractionConfig(

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import TraceFormatError
 from repro.flows.io import (
+    iter_csv,
     iter_csv_records,
     read_csv,
     read_npz,
@@ -76,6 +77,55 @@ class TestCsv:
         path = tmp_path / "records.csv"
         records_to_csv(records, path)
         assert read_csv(path).row(0) == records[0]
+
+
+class TestIterCsv:
+    def test_chunks_reassemble_to_full_table(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        chunks = list(iter_csv(path, chunk_rows=2))
+        assert len(chunks) == 3
+        assert all(len(chunk) == 2 for chunk in chunks)
+        assert FlowTable.concat(chunks) == tiny_flows
+
+    def test_ragged_tail_chunk(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        chunks = list(iter_csv(path, chunk_rows=4))
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+        assert FlowTable.concat(chunks) == tiny_flows
+
+    def test_header_only_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(FlowTable.empty(), path)
+        assert list(iter_csv(path)) == []
+        assert len(read_csv(path)) == 0
+
+    def test_error_carries_line_number_mid_stream(
+        self, tiny_flows, tmp_path
+    ):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        with open(path, "a") as handle:
+            handle.write("1,2,3\n")
+        chunks = iter_csv(path, chunk_rows=2)
+        next(chunks)  # rows 1-2 parse fine
+        next(chunks)  # rows 3-4 parse fine
+        with pytest.raises(TraceFormatError, match="fields"):
+            list(chunks)
+
+    def test_invalid_chunk_rows_rejected(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        with pytest.raises(TraceFormatError, match="chunk_rows"):
+            list(iter_csv(path, chunk_rows=0))
+
+    def test_matches_read_csv(self, tiny_flows, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        assert FlowTable.concat(list(iter_csv(path, chunk_rows=1))) == (
+            read_csv(path)
+        )
 
 
 class TestNpz:

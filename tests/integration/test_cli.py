@@ -107,3 +107,63 @@ class TestCommands:
         code = main(["detect", str(bad)])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_unknown_extension_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "trace.pcap"
+        bad.write_text("whatever")
+        code = main(["detect", str(bad)])
+        assert code == 2
+        assert "unknown trace format" in capsys.readouterr().err
+
+
+class TestParallelFlags:
+    @pytest.fixture(scope="class")
+    def anomalous_trace(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_npz
+
+        path = tmp_path_factory.mktemp("cli") / "trace.npz"
+        write_npz(ddos_trace.flows, str(path))
+        return str(path)
+
+    _EXTRACT_ARGS = [
+        "--bins", "128", "--training", "8", "--min-support", "60",
+    ]
+
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["extract", "t.npz", "--jobs", "4", "--backend", "process"]
+        )
+        assert args.jobs == 4
+        assert args.backend == "process"
+        assert args.partitions is None
+
+    def test_detect_with_jobs(self, anomalous_trace, capsys):
+        code = main(
+            ["detect", anomalous_trace, "--bins", "128", "--training", "8",
+             "--jobs", "2"]
+        )
+        assert code == 0
+        assert "alarms" in capsys.readouterr().out
+
+    def test_extract_jobs_matches_serial(self, anomalous_trace, capsys):
+        assert main(
+            ["extract", anomalous_trace, *self._EXTRACT_ARGS, "--jobs", "1"]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert "interval" in serial
+        assert main(
+            ["extract", anomalous_trace, *self._EXTRACT_ARGS,
+             "--jobs", "4", "--backend", "thread"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_extract_son_miner(self, anomalous_trace, capsys):
+        assert main(
+            ["extract", anomalous_trace, *self._EXTRACT_ARGS, "--jobs", "1"]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["extract", anomalous_trace, *self._EXTRACT_ARGS,
+             "--miner", "son"]
+        ) == 0
+        assert capsys.readouterr().out == serial

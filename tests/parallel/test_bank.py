@@ -1,0 +1,69 @@
+"""ParallelDetectorBank: identical detection on every backend."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import DetectorConfig
+from repro.detection.manager import DetectorBank
+from repro.parallel.bank import ParallelDetectorBank
+from repro.parallel.executor import EXECUTOR_BACKENDS, get_executor
+
+_CONFIG = DetectorConfig(
+    clones=3, bins=128, vote_threshold=3, training_intervals=8
+)
+
+
+@pytest.fixture(scope="module")
+def serial_run(ddos_trace):
+    bank = DetectorBank(_CONFIG, seed=1)
+    return bank.run(ddos_trace.flows, 900.0, origin=0.0)
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+def test_matches_serial_bank(ddos_trace, serial_run, backend):
+    with get_executor(backend, jobs=3) as executor:
+        bank = ParallelDetectorBank(_CONFIG, seed=1, executor=executor)
+        run = bank.run(ddos_trace.flows, 900.0, origin=0.0)
+    assert run.n_intervals == serial_run.n_intervals
+    assert run.alarm_intervals() == serial_run.alarm_intervals()
+    for interval in range(run.n_intervals):
+        parallel_report = run.report(interval)
+        serial_report = serial_run.report(interval)
+        assert parallel_report.flow_count == serial_report.flow_count
+        for feature in bank.features:
+            ours = parallel_report.observations[feature]
+            theirs = serial_report.observations[feature]
+            assert ours.alarm == theirs.alarm
+            assert np.array_equal(ours.voted_values, theirs.voted_values)
+
+
+@pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+def test_metadata_matches_serial(ddos_trace, serial_run, backend):
+    with get_executor(backend, jobs=2) as executor:
+        bank = ParallelDetectorBank(_CONFIG, seed=1, executor=executor)
+        run = bank.run(ddos_trace.flows, 900.0, origin=0.0)
+    for interval in run.alarm_intervals():
+        ours = run.report(interval).metadata()
+        theirs = serial_run.report(interval).metadata()
+        assert set(ours.features()) == set(theirs.features())
+        for feature in ours.features():
+            assert np.array_equal(
+                np.sort(ours.get(feature)), np.sort(theirs.get(feature))
+            )
+
+
+def test_kl_series_match_serial(ddos_trace, serial_run):
+    with get_executor("thread", jobs=2) as executor:
+        bank = ParallelDetectorBank(_CONFIG, seed=1, executor=executor)
+        run = bank.run(ddos_trace.flows, 900.0, origin=0.0)
+    for feature in bank.features:
+        assert np.array_equal(
+            run.kl_series(feature), serial_run.kl_series(feature)
+        )
+
+
+def test_defaults_to_serial_executor(ddos_trace):
+    bank = ParallelDetectorBank(_CONFIG, seed=1)
+    assert bank.executor.backend == "serial"
+    report = bank.observe(ddos_trace.flows)
+    assert report.interval == 0

@@ -1,0 +1,86 @@
+"""Unit tests for the pluggable executor layer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestResolveJobs:
+    def test_defaults_to_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_value(self):
+        assert resolve_jobs(5) == 5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            resolve_jobs(0)
+
+
+class TestGetExecutor:
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_builds_every_backend(self, backend):
+        with get_executor(backend, jobs=2) as executor:
+            assert executor.backend == backend
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            get_executor("gpu")
+
+    def test_serial_ignores_jobs(self):
+        assert get_executor("serial", jobs=8).jobs == 1
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "executor_cls", [SerialExecutor, ThreadExecutor, ProcessExecutor]
+    )
+    def test_map_preserves_order(self, executor_cls):
+        with executor_cls() as executor:
+            assert executor.map(_square, list(range(20))) == [
+                i * i for i in range(20)
+            ]
+
+    @pytest.mark.parametrize(
+        "executor_cls", [SerialExecutor, ThreadExecutor, ProcessExecutor]
+    )
+    def test_map_propagates_exceptions(self, executor_cls):
+        with executor_cls() as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.map(_fail, [1])
+
+    def test_map_on_empty_input(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_closed_pool_rejected(self):
+        executor = ThreadExecutor(jobs=2)
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ConfigError, match="closed"):
+            executor.map(_square, [1])
+
+    def test_dropped_executor_shuts_pool_down(self):
+        import gc
+
+        executor = ThreadExecutor(jobs=2)
+        pool = executor._pool
+        del executor
+        gc.collect()
+        assert pool._shutdown

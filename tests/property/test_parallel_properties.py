@@ -1,0 +1,59 @@
+"""Property-based cross-miner equivalence including the SON engine.
+
+The correctness backstop of the parallel subsystem: on random
+transaction sets, all four miners - apriori, eclat, fpgrowth, and the
+partitioned two-pass SON engine - must produce identical item-set /
+support families, for any partition count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import apriori
+from repro.mining.eclat import eclat
+from repro.mining.fpgrowth import fpgrowth
+from repro.parallel.son import son
+from tests.property.test_mining_properties import transaction_sets
+
+support_strategy = st.integers(min_value=1, max_value=12)
+partition_strategy = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    transactions=transaction_sets(),
+    min_support=support_strategy,
+    partitions=partition_strategy,
+)
+def test_four_miners_agree(transactions, min_support, partitions):
+    reference = apriori(transactions, min_support)
+    others = [
+        fpgrowth(transactions, min_support),
+        eclat(transactions, min_support),
+        son(transactions, min_support, partitions=partitions),
+    ]
+    for result in others:
+        assert result.all_frequent == reference.all_frequent
+        assert [(s.items, s.support) for s in result.itemsets] == [
+            (s.items, s.support) for s in reference.itemsets
+        ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions=transaction_sets(),
+    min_support=support_strategy,
+    partitions=partition_strategy,
+    local_miner=st.sampled_from(["apriori", "eclat", "fpgrowth"]),
+)
+def test_son_local_miner_is_invisible(
+    transactions, min_support, partitions, local_miner
+):
+    reference = apriori(transactions, min_support).all_frequent
+    result = son(
+        transactions,
+        min_support,
+        partitions=partitions,
+        local_miner=local_miner,
+    )
+    assert result.all_frequent == reference
