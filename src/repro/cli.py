@@ -7,6 +7,8 @@ Subcommands mirror the workflow of the paper:
   alarmed intervals;
 * ``extract`` - run the full online pipeline and print the item-set
   report for every flagged interval;
+* ``stream`` - same pipeline, but chunk-by-chunk over a CSV file or
+  stdin with bounded memory (reports print as intervals complete);
 * ``table2`` - regenerate the Table II running example at any scale.
 
 Examples:
@@ -14,6 +16,8 @@ Examples:
     repro-extract detect trace.npz
     repro-extract extract trace.npz --min-support 500
     repro-extract extract trace.npz --jobs 4 --backend thread
+    repro-extract stream trace.csv --min-support 500
+    cat trace.csv | repro-extract stream - --window 4
     repro-extract table2 --scale 0.05
 """
 
@@ -25,10 +29,19 @@ import sys
 from repro.core import AnomalyExtractor, ExtractionConfig, suggest_min_support
 from repro.detection import DetectorBank, DetectorConfig
 from repro.errors import ReproError, TraceFormatError
-from repro.flows import read_csv, read_npz, write_csv, write_npz
+from repro.flows import (
+    iter_csv,
+    iter_csv_handle,
+    read_csv,
+    read_npz,
+    write_csv,
+    write_npz,
+)
+from repro.flows.io import DEFAULT_CHUNK_ROWS
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.mining import TransactionSet, apriori
 from repro.parallel import EXECUTOR_BACKENDS, ParallelEngine
+from repro.streaming import StreamingExtractor
 from repro.traffic import TraceGenerator, switch_like, table2_interval
 
 
@@ -71,14 +84,32 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    flows = _load_trace(args.trace)
-    config = DetectorConfig(
+def _detector_config(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
         clones=args.clones,
         bins=args.bins,
         vote_threshold=args.votes,
         training_intervals=args.training,
     )
+
+
+def _extraction_config(
+    args: argparse.Namespace, **extra: object
+) -> ExtractionConfig:
+    """Config from the shared detector + mining CLI args, plus the
+    subcommand-specific knobs in ``extra``."""
+    return ExtractionConfig(
+        detector=_detector_config(args),
+        min_support=args.min_support,
+        prefilter_mode=args.prefilter,
+        miner=args.miner,
+        **extra,
+    )
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    flows = _load_trace(args.trace)
+    config = _detector_config(args)
     if args.jobs > 1:
         with ParallelEngine(backend=args.backend, jobs=args.jobs) as engine:
             bank = engine.bank(config, seed=args.seed)
@@ -97,16 +128,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 def _cmd_extract(args: argparse.Namespace) -> int:
     flows = _load_trace(args.trace)
-    config = ExtractionConfig(
-        detector=DetectorConfig(
-            clones=args.clones,
-            bins=args.bins,
-            vote_threshold=args.votes,
-            training_intervals=args.training,
-        ),
-        min_support=args.min_support,
-        prefilter_mode=args.prefilter,
-        miner=args.miner,
+    config = _extraction_config(
+        args,
         jobs=args.jobs,
         backend=args.backend,
         partitions=args.partitions,
@@ -119,6 +142,56 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     for extraction in result.extractions:
         print(extraction.render())
         print()
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.trace == "-":
+        chunks = iter_csv_handle(
+            sys.stdin, chunk_rows=args.chunk_rows, name="<stdin>"
+        )
+    elif args.trace.endswith(".csv"):
+        chunks = iter_csv(args.trace, chunk_rows=args.chunk_rows)
+    else:
+        raise TraceFormatError(
+            f"{args.trace}: stream reads a .csv trace (or '-' for stdin)"
+        )
+    config = _extraction_config(
+        args,
+        window_intervals=args.window,
+        max_delay_seconds=args.max_delay,
+        max_pending_intervals=args.max_pending,
+    )
+    with StreamingExtractor(
+        config,
+        seed=args.seed,
+        interval_seconds=args.interval_seconds,
+        origin=args.origin,
+        # The CLI prints reports as they complete and never builds a
+        # post-hoc DetectionRun, so per-interval reports need not
+        # accumulate - this is what keeps day-long pipes flat.
+        keep_reports=False,
+    ) as streamer:
+        for chunk in chunks:
+            for extraction in streamer.process_chunk(chunk):
+                print(extraction.render())
+                print()
+        for extraction in streamer.flush():
+            print(extraction.render())
+            print()
+        result = streamer.result()
+    summary = (
+        f"{result.intervals} intervals, {result.flows} flows, "
+        f"{len(result.extractions)} extractions"
+    )
+    if result.late_dropped:
+        summary += f", {result.late_dropped} late flows dropped"
+    if config.window_intervals > 1:
+        summary += (
+            f"; windows mined {result.windows_mined}, "
+            f"skipped {result.windows_skipped}"
+        )
+    print(summary)
     return 0
 
 
@@ -161,6 +234,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interval-seconds", type=float,
+                        default=DEFAULT_INTERVAL_SECONDS)
+    parser.add_argument("--clones", type=int, default=3)
+    parser.add_argument("--bins", type=int, default=1024)
+    parser.add_argument("--votes", type=int, default=3)
+    parser.add_argument("--training", type=int, default=96)
+
+
+def _add_mining_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--min-support", type=int, default=1000)
+    parser.add_argument("--prefilter", choices=("union", "intersection"),
+                        default="union")
+    parser.add_argument("--miner",
+                        choices=("apriori", "fpgrowth", "eclat", "son"),
+                        default="apriori")
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker count; > 1 enables the parallel "
@@ -189,34 +280,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     det = sub.add_parser("detect", help="run the detector bank")
     det.add_argument("trace")
-    det.add_argument("--interval-seconds", type=float,
-                     default=DEFAULT_INTERVAL_SECONDS)
-    det.add_argument("--clones", type=int, default=3)
-    det.add_argument("--bins", type=int, default=1024)
-    det.add_argument("--votes", type=int, default=3)
-    det.add_argument("--training", type=int, default=96)
+    _add_detector_args(det)
     _add_parallel_args(det)
     det.set_defaults(func=_cmd_detect)
 
     ext = sub.add_parser("extract", help="full online extraction")
     ext.add_argument("trace")
-    ext.add_argument("--interval-seconds", type=float,
-                     default=DEFAULT_INTERVAL_SECONDS)
-    ext.add_argument("--clones", type=int, default=3)
-    ext.add_argument("--bins", type=int, default=1024)
-    ext.add_argument("--votes", type=int, default=3)
-    ext.add_argument("--training", type=int, default=96)
-    ext.add_argument("--min-support", type=int, default=1000)
-    ext.add_argument("--prefilter", choices=("union", "intersection"),
-                     default="union")
-    ext.add_argument("--miner",
-                     choices=("apriori", "fpgrowth", "eclat", "son"),
-                     default="apriori")
+    _add_detector_args(ext)
+    _add_mining_args(ext)
     _add_parallel_args(ext)
     ext.add_argument("--partitions", type=_positive_int, default=None,
                      help="transaction shards per mining call "
                      "(default: one per worker)")
     ext.set_defaults(func=_cmd_extract)
+
+    stream = sub.add_parser(
+        "stream",
+        help="bounded-memory extraction over a CSV file or stdin ('-')",
+    )
+    stream.add_argument("trace",
+                        help="path to a .csv trace, or '-' for stdin")
+    _add_detector_args(stream)
+    _add_mining_args(stream)
+    stream.add_argument("--chunk-rows", type=_positive_int,
+                        default=DEFAULT_CHUNK_ROWS,
+                        help="flows parsed per chunk (bounds parser memory)")
+    stream.add_argument("--origin", type=float, default=0.0,
+                        help="timestamp of interval 0 (set this to the "
+                        "capture start for traces with absolute/epoch "
+                        "timestamps)")
+    stream.add_argument("--window", type=_positive_int, default=1,
+                        help="sliding mining window in intervals "
+                        "(1 = mine each alarmed interval alone)")
+    stream.add_argument("--max-delay", type=float, default=0.0,
+                        help="seconds an interval stays open for "
+                        "out-of-order flows")
+    stream.add_argument("--max-pending", type=_positive_int, default=None,
+                        help="cap on intervals buffered at once "
+                        "(default: unbounded)")
+    stream.set_defaults(func=_cmd_stream)
 
     t2 = sub.add_parser("table2", help="regenerate the Table II example")
     t2.add_argument("--scale", type=float, default=0.1)

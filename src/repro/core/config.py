@@ -37,6 +37,17 @@ class ExtractionConfig:
             or "process").
         partitions: transaction shards per mining call (``None`` = one
             per worker).
+        window_intervals: streaming only - mine the prefiltered flows
+            of the last N intervals together
+            (:class:`~repro.mining.streaming.SlidingWindowMiner`);
+            1 (default) mines each alarmed interval on its own,
+            byte-identical to the batch path.
+        max_delay_seconds: streaming only - how long an interval stays
+            open for out-of-order records before the watermark releases
+            it.
+        max_pending_intervals: streaming only - cap on intervals held
+            open at once (``None`` = unbounded); exceeding it
+            force-emits the oldest.
     """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
@@ -48,6 +59,9 @@ class ExtractionConfig:
     jobs: int = 1
     backend: str = "thread"
     partitions: int | None = None
+    window_intervals: int = 1
+    max_delay_seconds: float = 0.0
+    max_pending_intervals: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -77,6 +91,22 @@ class ExtractionConfig:
         if self.partitions is not None and self.partitions < 1:
             raise ConfigError(
                 f"partitions must be >= 1: {self.partitions}"
+            )
+        if self.window_intervals < 1:
+            raise ConfigError(
+                f"window_intervals must be >= 1: {self.window_intervals}"
+            )
+        if self.max_delay_seconds < 0:
+            raise ConfigError(
+                f"max_delay_seconds must be >= 0: {self.max_delay_seconds}"
+            )
+        if (
+            self.max_pending_intervals is not None
+            and self.max_pending_intervals < 1
+        ):
+            raise ConfigError(
+                f"max_pending_intervals must be >= 1: "
+                f"{self.max_pending_intervals}"
             )
 
 

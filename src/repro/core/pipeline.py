@@ -15,6 +15,7 @@ alarms in a post-mortem fashion").
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.config import ExtractionConfig
@@ -79,6 +80,13 @@ class TraceExtraction:
 
     extractions: list[ExtractionResult] = field(default_factory=list)
     detection: DetectionRun | None = None
+    #: Streaming only (:meth:`AnomalyExtractor.run_stream`): flows that
+    #: arrived after their interval was already emitted and were
+    #: dropped.  Always 0 on the batch path.  Non-zero means the
+    #: detectors saw incomplete intervals - raise
+    #: ``max_delay_seconds`` / ``max_pending_intervals`` to keep
+    #: intervals open longer.
+    late_dropped: int = 0
 
     @property
     def flagged_intervals(self) -> list[int]:
@@ -171,13 +179,48 @@ class AnomalyExtractor:
             result = self.process_interval(view.flows)
             if result is not None:
                 extractions.append(result)
-        detection = DetectionRun(
-            config=self.config.detector,
-            features=self.config.features,
-            reports=list(self._bank._reports),
-            detectors=self._bank.detectors,
+        return TraceExtraction(
+            extractions=extractions, detection=self._bank.detection_run()
         )
-        return TraceExtraction(extractions=extractions, detection=detection)
+
+    def run_stream(
+        self,
+        chunks: Iterable[FlowTable],
+        interval_seconds: float,
+        origin: float = 0.0,
+    ) -> TraceExtraction:
+        """Process an unbounded chunk stream (e.g. ``iter_csv``) online.
+
+        The bounded-memory counterpart of :meth:`run_trace`: chunks are
+        assembled into completed intervals and processed as they close,
+        so peak memory follows the interval/window size rather than the
+        trace length.
+
+        With the default ``window_intervals == 1`` the result is
+        identical to :meth:`run_trace` on the same trace *provided no
+        flows arrive late*: a flow older than an already-emitted
+        interval cannot be re-windowed (the batch path, which sees the
+        whole trace at once, has no such constraint) and is dropped and
+        counted in the returned :attr:`TraceExtraction.late_dropped`.
+        Check that field - a non-zero value means the detectors saw
+        incomplete intervals; raise ``config.max_delay_seconds`` to
+        keep intervals open long enough for the stream's reordering.
+        See :mod:`repro.streaming` for the richer streaming API
+        (per-chunk incremental results, full counters).
+        """
+        from repro.streaming import StreamingExtractor
+
+        streamer = StreamingExtractor(
+            extractor=self,
+            interval_seconds=interval_seconds,
+            origin=origin,
+        )
+        result = streamer.run(chunks)
+        return TraceExtraction(
+            extractions=result.extractions,
+            detection=result.detection,
+            late_dropped=result.late_dropped,
+        )
 
     # ------------------------------------------------------------------
     # Offline operation
@@ -219,12 +262,9 @@ class AnomalyExtractor:
                 local_miner=self.config.miner,
             )
         miner = MINERS[self.config.miner]
-        if len(transactions) == 0:
-            # Empty prefilter output (e.g. intersection mode on a
-            # multi-stage anomaly): an empty-but-valid mining result.
-            return miner(
-                TransactionSet.from_flows(flows), max(1, min_support)
-            )
+        # An empty prefilter output (e.g. intersection mode on a
+        # multi-stage anomaly) flows through the same call and yields an
+        # empty-but-valid mining result.
         return miner(
             transactions,
             max(1, min_support),

@@ -131,6 +131,30 @@ class DetectorBank:
     def detectors(self) -> dict[Feature, HistogramDetector]:
         return dict(self._detectors)
 
+    @property
+    def reports(self) -> list[IntervalReport]:
+        """Per-interval reports observed so far (copy; shared by
+        :class:`~repro.parallel.bank.ParallelDetectorBank`)."""
+        return list(self._reports)
+
+    def clear_reports(self) -> None:
+        """Drop the stored per-interval reports (detector state - the
+        trained histograms and KL series - is untouched).  Long-running
+        streams call this to keep memory bounded when no post-hoc
+        :class:`DetectionRun` is needed."""
+        self._reports.clear()
+
+    def detection_run(self) -> DetectionRun:
+        """Snapshot the bank's reports and detectors as a
+        :class:`DetectionRun` (the single construction point shared by
+        the batch, parallel, and streaming drivers)."""
+        return DetectionRun(
+            config=self.config,
+            features=self.features,
+            reports=self.reports,
+            detectors=self.detectors,
+        )
+
     def observe(self, flows: FlowTable) -> IntervalReport:
         """Feed one interval to every detector."""
         observations = {
@@ -157,9 +181,4 @@ class DetectorBank:
             trace, interval_seconds, origin=origin, include_empty=True
         ):
             self.observe(view.flows)
-        return DetectionRun(
-            config=self.config,
-            features=self.features,
-            reports=list(self._reports),
-            detectors=dict(self._detectors),
-        )
+        return self.detection_run()

@@ -10,7 +10,14 @@ from repro.flows.record import (
     ip_to_int,
 )
 from repro.flows.table import ALL_COLUMNS, FEATURE_COLUMNS, FlowTable
-from repro.flows.io import iter_csv, read_csv, read_npz, write_csv, write_npz
+from repro.flows.io import (
+    iter_csv,
+    iter_csv_handle,
+    read_csv,
+    read_npz,
+    write_csv,
+    write_npz,
+)
 from repro.flows.stream import (
     DEFAULT_INTERVAL_SECONDS,
     IntervalView,
@@ -32,6 +39,7 @@ __all__ = [
     "int_to_ip",
     "read_csv",
     "iter_csv",
+    "iter_csv_handle",
     "write_csv",
     "read_npz",
     "write_npz",

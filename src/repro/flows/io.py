@@ -11,6 +11,7 @@ Two formats are supported:
 from __future__ import annotations
 
 import csv
+import math
 import os
 from collections.abc import Iterable, Iterator
 
@@ -50,53 +51,79 @@ def _columns_to_table(columns: dict[str, list[float]]) -> FlowTable:
     )
 
 
-def iter_csv(
-    path: str | os.PathLike[str], chunk_rows: int = DEFAULT_CHUNK_ROWS
+def iter_csv_handle(
+    handle: Iterable[str],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    name: str = "<stream>",
 ) -> Iterator[FlowTable]:
-    """Stream a CSV trace as :class:`FlowTable` chunks.
+    """Stream CSV flow rows from an open text handle (file, pipe, stdin).
 
-    Yields tables of at most ``chunk_rows`` flows in file order, so very
-    large traces can be windowed, partitioned, or re-serialized without
-    materializing every row at once.  Validation matches
-    :func:`read_csv`: a malformed header, ragged row, or non-numeric
-    cell raises :class:`TraceFormatError` with the offending line.
+    The workhorse behind :func:`iter_csv`; use it directly when the
+    trace arrives on something that has no path, e.g.
+    ``repro-extract stream -`` reading from a shell pipeline.  ``name``
+    labels error messages.  Validation matches :func:`read_csv`: a
+    malformed header, ragged row, or non-numeric cell raises
+    :class:`TraceFormatError` with the offending line.
     """
     if chunk_rows < 1:
         raise TraceFormatError(f"chunk_rows must be >= 1: {chunk_rows}")
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration as exc:
-            raise TraceFormatError(f"{path}: empty trace file") from exc
-        if header != _CSV_HEADER:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise TraceFormatError(f"{name}: empty trace file") from exc
+    if header != _CSV_HEADER:
+        raise TraceFormatError(
+            f"{name}: unexpected header {header!r}; expected {_CSV_HEADER!r}"
+        )
+    columns: dict[str, list[float]] = {name_: [] for name_ in ALL_COLUMNS}
+    filled = 0
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue  # allow trailing blank lines
+        if len(row) != len(ALL_COLUMNS):
             raise TraceFormatError(
-                f"{path}: unexpected header {header!r}; expected {_CSV_HEADER!r}"
+                f"{name}:{line_no}: expected {len(ALL_COLUMNS)} fields, "
+                f"got {len(row)}"
             )
-        columns: dict[str, list[float]] = {name: [] for name in ALL_COLUMNS}
-        filled = 0
-        for line_no, row in enumerate(reader, start=2):
-            if not row:
-                continue  # allow trailing blank lines
-            if len(row) != len(ALL_COLUMNS):
-                raise TraceFormatError(
-                    f"{path}:{line_no}: expected {len(ALL_COLUMNS)} fields, "
-                    f"got {len(row)}"
-                )
-            try:
-                for name, cell in zip(ALL_COLUMNS, row):
-                    columns[name].append(
-                        float(cell) if name == "start" else int(cell)
-                    )
-            except ValueError as exc:
-                raise TraceFormatError(f"{path}:{line_no}: bad value") from exc
-            filled += 1
-            if filled == chunk_rows:
-                yield _columns_to_table(columns)
-                columns = {name: [] for name in ALL_COLUMNS}
-                filled = 0
-        if filled:
+        try:
+            for col, cell in zip(ALL_COLUMNS, row):
+                if col == "start":
+                    value = float(cell)
+                    # Catch nan/inf here, where the line number is
+                    # known - downstream interval binning would turn
+                    # them into a baffling negative-interval error.
+                    if not math.isfinite(value):
+                        raise TraceFormatError(
+                            f"{name}:{line_no}: non-finite start "
+                            f"timestamp {cell!r}"
+                        )
+                    columns[col].append(value)
+                else:
+                    columns[col].append(int(cell))
+        except ValueError as exc:
+            raise TraceFormatError(f"{name}:{line_no}: bad value") from exc
+        filled += 1
+        if filled == chunk_rows:
             yield _columns_to_table(columns)
+            columns = {name_: [] for name_ in ALL_COLUMNS}
+            filled = 0
+    if filled:
+        yield _columns_to_table(columns)
+
+
+def iter_csv(
+    path: str | os.PathLike[str], chunk_rows: int = DEFAULT_CHUNK_ROWS
+) -> Iterator[FlowTable]:
+    """Stream a CSV trace file as :class:`FlowTable` chunks.
+
+    Yields tables of at most ``chunk_rows`` flows in file order, so very
+    large traces can be windowed, partitioned, or re-serialized without
+    materializing every row at once.  See :func:`iter_csv_handle` for
+    sources without a path.
+    """
+    with open(path, newline="") as handle:
+        yield from iter_csv_handle(handle, chunk_rows, name=str(path))
 
 
 def read_csv(path: str | os.PathLike[str]) -> FlowTable:

@@ -117,6 +117,10 @@ def interval_of(
     origin: float | None = None,
 ) -> IntervalView:
     """Extract a single interval by index without walking the full trace."""
+    if interval_seconds <= 0:
+        raise ConfigError(f"interval length must be positive: {interval_seconds}")
+    if index < 0:
+        raise ConfigError(f"interval index must be >= 0: {index}")
     if len(trace) == 0:
         raise ConfigError("cannot index intervals of an empty trace")
     if origin is None:

@@ -10,6 +10,7 @@ for cheap candidate pre-screening, and mines the window on demand.
 
 from __future__ import annotations
 
+import inspect
 from collections import Counter, deque
 
 from repro.errors import MiningError
@@ -17,6 +18,17 @@ from repro.flows.table import FlowTable
 from repro.mining.eclat import eclat
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
+
+
+def _accepts_maximal_only(miner) -> bool:
+    try:
+        parameters = inspect.signature(miner).parameters
+    except (TypeError, ValueError):  # builtins without introspection
+        return False
+    return "maximal_only" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters.values()
+    )
 
 
 class SlidingWindowMiner:
@@ -31,13 +43,28 @@ class SlidingWindowMiner:
                 report = miner.mine()
     """
 
-    def __init__(self, window: int, min_support: int, miner=eclat):
+    def __init__(
+        self,
+        window: int,
+        min_support: int,
+        miner=eclat,
+        maximal_only: bool = True,
+    ):
         if window < 1:
             raise MiningError(f"window must be >= 1: {window}")
         if min_support < 1:
             raise MiningError(f"min_support must be >= 1: {min_support}")
+        if not maximal_only and not _accepts_maximal_only(miner):
+            # Fail here, not at the first mine(): a plain two-argument
+            # custom miner cannot honor the request, and silently
+            # returning maximal-only results would be worse.
+            raise MiningError(
+                "maximal_only=False requires a miner accepting the "
+                "maximal_only keyword argument"
+            )
         self.window = window
         self.min_support = min_support
+        self.maximal_only = maximal_only
         self._miner = miner
         self._batches: deque[FlowTable] = deque()
         self._item_counts: Counter[int] = Counter()
@@ -86,13 +113,22 @@ class SlidingWindowMiner:
             if count >= self.min_support
         )
 
+    def window_flows(self) -> FlowTable:
+        """The concatenated flows currently inside the window."""
+        return FlowTable.concat(list(self._batches))
+
     def mine(self) -> MiningResult:
         """Run the configured miner over the concatenated window."""
         if not self._batches:
             raise MiningError("push at least one interval before mining")
-        window_flows = FlowTable.concat(list(self._batches))
-        transactions = TransactionSet.from_flows(window_flows)
-        return self._miner(transactions, self.min_support)
+        transactions = TransactionSet.from_flows(self.window_flows())
+        if self.maximal_only:
+            # The miners' own default; omitting the kwarg keeps plain
+            # two-argument custom callables working as documented.
+            return self._miner(transactions, self.min_support)
+        return self._miner(
+            transactions, self.min_support, maximal_only=False
+        )
 
     def mine_if_candidates(self) -> MiningResult | None:
         """Mine only when the incremental screen finds frequent items -

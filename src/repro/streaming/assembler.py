@@ -1,0 +1,240 @@
+"""Watermark-driven interval assembly over a chunked flow stream.
+
+:class:`IntervalAssembler` is the streaming counterpart of
+:func:`repro.flows.stream.iter_intervals`: it consumes arbitrary
+:class:`~repro.flows.table.FlowTable` chunks (e.g. from
+:func:`repro.flows.io.iter_csv`) and emits completed
+:class:`~repro.flows.stream.IntervalView` windows in strictly increasing
+interval order without ever materializing the whole trace.
+
+Completion is decided by a *watermark* - the largest flow start time
+seen so far.  Interval ``k`` (covering ``[start_k, end_k)``) is complete
+once the watermark reaches ``end_k + max_delay_seconds``, so records
+that arrive out of order within the lateness allowance still land in
+the right window.  Records older than an already-emitted interval are
+counted in :attr:`IntervalAssembler.late_dropped` rather than
+corrupting downstream detector state.  A bounded number of intervals
+may be held open at once (``max_pending_intervals``); when a burst of
+out-of-order data would exceed it, the oldest pending interval is
+force-emitted (backpressure), trading lateness tolerance for bounded
+memory.
+
+Within each interval, flows keep their arrival order - the same order
+:func:`iter_intervals` produces with its stable sort - which is what
+makes the streaming pipeline's output byte-identical to the batch path
+on the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.flows.stream import (
+    DEFAULT_INTERVAL_SECONDS,
+    IntervalView,
+    interval_index,
+)
+from repro.flows.table import FlowTable
+
+
+class IntervalAssembler:
+    """Bin chunked flow records into completed measurement intervals.
+
+    Args:
+        interval_seconds: window length ``L`` (paper default: 900 s).
+        origin: time of interval 0.  Unlike the batch path the origin
+            cannot default to the earliest flow (the stream has no
+            "earliest" until it ends), so it must be known up front;
+            the CLI and :meth:`AnomalyExtractor.run_stream` use 0.0.
+        max_delay_seconds: lateness allowance.  Interval ``k`` stays
+            open until a flow with start time ``>= end_k + max_delay``
+            arrives (or the stream is flushed).
+        max_pending_intervals: maximum intervals held open at once;
+            ``None`` means unbounded.  Exceeding it force-emits the
+            oldest pending interval.
+        max_gap_intervals: sanity guard on untrusted input - a flow
+            whose interval index jumps more than this many intervals
+            past the emit cursor raises :class:`ConfigError` instead of
+            materializing millions of empty gap intervals (the classic
+            cause: epoch timestamps against the default ``origin=0.0``,
+            or milliseconds where seconds were expected).  ``None``
+            disables the guard.
+    """
+
+    #: Default :attr:`max_gap_intervals`: ~2.8 years of 900 s intervals,
+    #: far past any real measurement gap but far below the ~2M-interval
+    #: explosion a mis-set origin produces.
+    DEFAULT_MAX_GAP_INTERVALS = 100_000
+
+    def __init__(
+        self,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        origin: float = 0.0,
+        max_delay_seconds: float = 0.0,
+        max_pending_intervals: int | None = None,
+        max_gap_intervals: int | None = DEFAULT_MAX_GAP_INTERVALS,
+    ):
+        if not math.isfinite(interval_seconds) or interval_seconds <= 0:
+            raise ConfigError(
+                f"interval length must be finite and positive: "
+                f"{interval_seconds}"
+            )
+        if not math.isfinite(origin):
+            raise ConfigError(f"origin must be finite: {origin}")
+        if not math.isfinite(max_delay_seconds) or max_delay_seconds < 0:
+            raise ConfigError(
+                f"max_delay_seconds must be finite and >= 0: "
+                f"{max_delay_seconds}"
+            )
+        if max_pending_intervals is not None and max_pending_intervals < 1:
+            raise ConfigError(
+                f"max_pending_intervals must be >= 1: {max_pending_intervals}"
+            )
+        if max_gap_intervals is not None and max_gap_intervals < 1:
+            raise ConfigError(
+                f"max_gap_intervals must be >= 1: {max_gap_intervals}"
+            )
+        self.max_gap_intervals = max_gap_intervals
+        self.interval_seconds = float(interval_seconds)
+        self.origin = float(origin)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.max_pending_intervals = max_pending_intervals
+        self._pending: dict[int, list[FlowTable]] = {}
+        self._next_emit = 0
+        self._highest_seen = -1
+        self._watermark = -math.inf
+        #: Total flows accepted (late drops excluded).
+        self.flows_seen = 0
+        #: Flows that arrived after their interval was already emitted.
+        self.late_dropped = 0
+        #: Intervals emitted so far (including empty gap intervals).
+        self.intervals_emitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_intervals(self) -> int:
+        """Intervals currently held open (emit cursor to highest seen)."""
+        if self._highest_seen < self._next_emit:
+            return 0
+        return self._highest_seen - self._next_emit + 1
+
+    @property
+    def pending_flows(self) -> int:
+        """Flows buffered in not-yet-complete intervals."""
+        return sum(
+            len(part) for parts in self._pending.values() for part in parts
+        )
+
+    @property
+    def watermark(self) -> float:
+        """Largest flow start time seen (-inf before any flow)."""
+        return self._watermark
+
+    # ------------------------------------------------------------------
+    def push(self, chunk: FlowTable) -> list[IntervalView]:
+        """Absorb one chunk; return the intervals it completed, in order.
+
+        A flow starting before the configured origin raises
+        :class:`ConfigError` (matching :func:`iter_intervals`) only
+        while no flow has been accepted yet - that is a misconfigured
+        origin.  Once any data is in, a pre-origin flow is just an
+        extreme late arrival and is counted in :attr:`late_dropped`
+        like any other, without aborting the run or discarding the
+        chunk's valid rows.
+        """
+        if len(chunk) == 0:
+            return []
+        timestamps = chunk.start
+        indices = interval_index(
+            timestamps, self.origin, self.interval_seconds
+        )
+        if indices.min() < 0 and self.flows_seen == 0:
+            raise ConfigError(
+                "origin is later than the earliest flow; intervals would "
+                "be negative"
+            )
+        # One argsort pass splits the chunk into per-interval runs
+        # while preserving arrival order inside each interval (same
+        # stable-sort pattern as iter_intervals).
+        order = np.argsort(indices, kind="stable")
+        unique_ks, first = np.unique(indices[order], return_index=True)
+        boundaries = np.append(first, len(order))
+        # Guard before buffering anything, so a rejected push leaves the
+        # assembler untouched and the caller can drop the chunk and
+        # continue.
+        k_max = int(unique_ks.max())
+        if (
+            self.max_gap_intervals is not None
+            and k_max - self._next_emit > self.max_gap_intervals
+        ):
+            raise ConfigError(
+                f"flow at interval {k_max} jumps "
+                f"{k_max - self._next_emit} intervals past the emit "
+                f"cursor (> max_gap_intervals={self.max_gap_intervals}); "
+                f"check the stream's origin and timestamp units "
+                f"(epoch seconds vs milliseconds)"
+            )
+        for i, k in enumerate(int(k) for k in unique_ks.tolist()):
+            rows = chunk.select(order[boundaries[i]: boundaries[i + 1]])
+            if k < self._next_emit:
+                self.late_dropped += len(rows)
+                continue
+            self._pending.setdefault(k, []).append(rows)
+            self.flows_seen += len(rows)
+            if k > self._highest_seen:
+                self._highest_seen = k
+        self._watermark = max(self._watermark, float(timestamps.max()))
+        return self._drain()
+
+    def flush(self) -> list[IntervalView]:
+        """Emit every pending interval (end of stream).
+
+        Trailing records held back by the lateness allowance are
+        released, so after ``flush`` the assembler has emitted exactly
+        the intervals the batch path would have produced.  The
+        assembler stays usable: later pushes for already-flushed
+        intervals count as late drops.
+        """
+        return self._drain(force_all=True)
+
+    # ------------------------------------------------------------------
+    def _drain(self, force_all: bool = False) -> list[IntervalView]:
+        completed: list[IntervalView] = []
+        while self._next_emit <= self._highest_seen:
+            end = self.origin + (self._next_emit + 1) * self.interval_seconds
+            due = self._watermark >= end + self.max_delay_seconds
+            forced = (
+                self.max_pending_intervals is not None
+                and self.pending_intervals > self.max_pending_intervals
+            )
+            if not (due or forced or force_all):
+                break
+            completed.append(self._emit_next())
+        return completed
+
+    def _emit_next(self) -> IntervalView:
+        k = self._next_emit
+        parts = self._pending.pop(k, [])
+        if len(parts) == 1:
+            flows = parts[0]
+        else:
+            flows = FlowTable.concat(parts)
+        view = IntervalView(
+            index=k,
+            start=self.origin + k * self.interval_seconds,
+            end=self.origin + (k + 1) * self.interval_seconds,
+            flows=flows,
+        )
+        self._next_emit = k + 1
+        self.intervals_emitted += 1
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalAssembler(interval_seconds={self.interval_seconds}, "
+            f"pending={self.pending_intervals}, emitted="
+            f"{self.intervals_emitted}, late_dropped={self.late_dropped})"
+        )

@@ -121,6 +121,71 @@ class TestOfflinePipeline:
         assert result.itemsets == []
 
 
+class TestSatelliteFixes:
+    def test_reports_property_on_both_banks(self, tiny_flows):
+        from repro.detection.manager import DetectorBank
+        from repro.parallel.bank import ParallelDetectorBank
+
+        for bank in (
+            DetectorBank(DetectorConfig(bins=64), seed=0),
+            ParallelDetectorBank(DetectorConfig(bins=64), seed=0),
+        ):
+            assert bank.reports == []
+            bank.observe(tiny_flows)
+            assert len(bank.reports) == 1
+            # A copy, not the live list.
+            bank.reports.clear()
+            assert len(bank.reports) == 1
+
+    def test_run_trace_detection_uses_public_reports(self, tiny_flows):
+        extractor = AnomalyExtractor(_config(), seed=0)
+        result = extractor.run_trace(tiny_flows, 900.0)
+        public = extractor.detector_bank.reports
+        assert len(result.detection.reports) == len(public) == 1
+        assert all(
+            ours is theirs
+            for ours, theirs in zip(result.detection.reports, public)
+        )
+
+    def test_empty_prefilter_mine_respects_maximal_only(self, table2_small):
+        meta = Metadata()
+        meta.add(Feature.DST_PORT, np.array([7000], dtype=np.uint64))
+        meta.add(Feature.DST_IP, np.array([1], dtype=np.uint64))  # nonsense
+        for maximal_only in (True, False):
+            config = ExtractionConfig(
+                detector=DetectorConfig(
+                    clones=3, bins=256, vote_threshold=3,
+                    training_intervals=16,
+                ),
+                min_support=50,
+                prefilter_mode="intersection",
+                maximal_only=maximal_only,
+            )
+            extractor = AnomalyExtractor(config, seed=0)
+            result = extractor.extract_with_metadata(table2_small.flows, meta)
+            assert result.prefilter.selected_flows == 0
+            assert result.itemsets == []
+            assert result.mining.n_transactions == 0
+
+    def test_maximal_only_false_reaches_miner(self, table2_small):
+        meta = Metadata()
+        meta.add(Feature.DST_PORT, np.array([7000], dtype=np.uint64))
+        base = dict(
+            detector=DetectorConfig(
+                clones=3, bins=256, vote_threshold=3, training_intervals=16
+            ),
+            min_support=50,
+        )
+        maximal = AnomalyExtractor(
+            ExtractionConfig(**base, maximal_only=True), seed=0
+        ).extract_with_metadata(table2_small.flows, meta)
+        everything = AnomalyExtractor(
+            ExtractionConfig(**base, maximal_only=False), seed=0
+        ).extract_with_metadata(table2_small.flows, meta)
+        assert len(everything.itemsets) >= len(maximal.itemsets)
+        assert everything.mining.all_frequent == maximal.mining.all_frequent
+
+
 class TestSuggestMinSupport:
     def test_default_three_percent(self):
         assert suggest_min_support(100_000) == 3000

@@ -128,6 +128,51 @@ class TestIterCsv:
         )
 
 
+class TestIterCsvHandle:
+    def test_reads_pathless_text_stream(self, tiny_flows, tmp_path):
+        import io
+
+        from repro.flows.io import iter_csv_handle
+
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        handle = io.StringIO(path.read_text())
+        chunks = list(iter_csv_handle(handle, chunk_rows=4))
+        assert [len(chunk) for chunk in chunks] == [4, 2]
+        assert FlowTable.concat(chunks) == tiny_flows
+
+    def test_error_labelled_with_stream_name(self):
+        import io
+
+        from repro.flows.io import iter_csv_handle
+
+        handle = io.StringIO("not,a,trace\n")
+        with pytest.raises(TraceFormatError, match="<stdin>"):
+            list(iter_csv_handle(handle, name="<stdin>"))
+
+    def test_empty_stream_rejected(self):
+        import io
+
+        from repro.flows.io import iter_csv_handle
+
+        with pytest.raises(TraceFormatError, match="empty"):
+            list(iter_csv_handle(io.StringIO("")))
+
+    @pytest.mark.parametrize("bad_start", ["nan", "inf", "-inf"])
+    def test_non_finite_start_rejected_with_line_number(
+        self, tiny_flows, tmp_path, bad_start
+    ):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_flows, path)
+        lines = path.read_text().splitlines()
+        cells = lines[3].split(",")
+        cells[7] = bad_start  # the start column
+        lines[3] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match=r":4: non-finite"):
+            list(iter_csv(path))
+
+
 class TestNpz:
     def test_round_trip(self, tiny_flows, tmp_path):
         path = tmp_path / "trace.npz"

@@ -105,3 +105,15 @@ class TestIntervalOf:
     def test_empty_trace_rejected(self):
         with pytest.raises(ConfigError):
             interval_of(FlowTable.empty(), 0, 900.0)
+
+    def test_negative_index_rejected(self):
+        table = _table_with_starts([0.0, 950.0])
+        with pytest.raises(ConfigError, match="index"):
+            interval_of(table, -1, 900.0, origin=0.0)
+
+    def test_bad_interval_length_rejected(self):
+        table = _table_with_starts([0.0, 950.0])
+        with pytest.raises(ConfigError, match="positive"):
+            interval_of(table, 0, 0.0, origin=0.0)
+        with pytest.raises(ConfigError, match="positive"):
+            interval_of(table, 0, -900.0, origin=0.0)

@@ -116,6 +116,115 @@ class TestCommands:
         assert "unknown trace format" in capsys.readouterr().err
 
 
+class TestStreamCommand:
+    @pytest.fixture(scope="class")
+    def csv_trace(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_csv
+
+        path = tmp_path_factory.mktemp("stream-cli") / "trace.csv"
+        write_csv(ddos_trace.flows, str(path))
+        return str(path)
+
+    _STREAM_ARGS = [
+        "--bins", "256", "--training", "16", "--min-support", "300",
+    ]
+
+    def test_stream_matches_extract(self, csv_trace, capsys):
+        assert main(
+            ["--seed", "1", "extract", csv_trace, *self._STREAM_ARGS]
+        ) == 0
+        batch = capsys.readouterr().out
+        assert "interval 24" in batch
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._STREAM_ARGS,
+             "--chunk-rows", "700"]
+        ) == 0
+        streamed = capsys.readouterr().out
+        # Identical reports, plus the trailing stream summary line.
+        body, summary, _ = streamed.rsplit("\n", 2)
+        assert body + "\n" == batch
+        assert "intervals" in summary
+
+    def test_stream_from_stdin(self, csv_trace, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(open(csv_trace).read())
+        )
+        assert main(
+            ["--seed", "1", "stream", "-", *self._STREAM_ARGS]
+        ) == 0
+        assert "interval 24" in capsys.readouterr().out
+
+    def test_stream_window_flag(self, csv_trace, capsys):
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._STREAM_ARGS,
+             "--window", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "windows mined" in out
+
+    def test_stream_origin_flag_for_absolute_timestamps(
+        self, csv_trace, tmp_path, capsys
+    ):
+        """Epoch-style timestamps need --origin; without it the gap
+        guard fails fast instead of grinding millions of empty
+        intervals."""
+        from repro.flows import read_csv, write_csv
+        from repro.flows.table import ALL_COLUMNS, FlowTable
+
+        flows = read_csv(csv_trace)
+        epoch = 1.75e9
+        shifted = FlowTable(
+            {
+                name: (
+                    flows.column(name) + epoch
+                    if name == "start"
+                    else flows.column(name)
+                )
+                for name in ALL_COLUMNS
+            }
+        )
+        path = tmp_path / "epoch.csv"
+        write_csv(shifted, str(path))
+
+        assert main(["stream", str(path), *self._STREAM_ARGS]) == 2
+        assert "max_gap_intervals" in capsys.readouterr().err
+
+        assert main(
+            ["--seed", "1", "stream", str(path), *self._STREAM_ARGS,
+             "--origin", str(epoch)]
+        ) == 0
+        assert "interval 24" in capsys.readouterr().out
+
+    def test_stream_rejects_npz(self, tmp_path, capsys):
+        from repro.flows import FlowTable, write_npz
+
+        path = tmp_path / "trace.npz"
+        write_npz(FlowTable.empty(), str(path))
+        assert main(["stream", str(path)]) == 2
+        assert "stream reads" in capsys.readouterr().err
+
+    def test_stream_malformed_input_nonzero_exit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,trace\n1,2,3\n")
+        assert main(["stream", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_malformed_mid_file_nonzero_exit(
+        self, csv_trace, tmp_path, capsys
+    ):
+        bad = tmp_path / "truncated.csv"
+        with open(csv_trace) as src:
+            lines = src.readlines()[:50]
+        lines.append("1,2,3\n")  # ragged row after valid chunks
+        bad.write_text("".join(lines))
+        assert main(
+            ["stream", str(bad), *self._STREAM_ARGS, "--chunk-rows", "10"]
+        ) == 2
+        assert "fields" in capsys.readouterr().err
+
+
 class TestParallelFlags:
     @pytest.fixture(scope="class")
     def anomalous_trace(self, tmp_path_factory, ddos_trace):

@@ -95,3 +95,118 @@ class TestSlidingWindowMiner:
             SlidingWindowMiner(window=0, min_support=10)
         with pytest.raises(MiningError):
             SlidingWindowMiner(window=1, min_support=0)
+
+    def test_maximal_only_forwarded_to_miner(self):
+        batch = _batch(80)
+        maximal = SlidingWindowMiner(window=1, min_support=50)
+        everything = SlidingWindowMiner(
+            window=1, min_support=50, maximal_only=False
+        )
+        maximal.push(batch)
+        everything.push(batch)
+        all_result = everything.mine()
+        max_result = maximal.mine()
+        assert all_result.all_frequent == max_result.all_frequent
+        # Non-maximal subsets stay in the report when asked for.
+        assert len(all_result.itemsets) > len(max_result.itemsets)
+
+    def test_plain_two_argument_custom_miner_still_works(self):
+        """The documented miner= extension point takes (transactions,
+        min_support); the default maximal_only must not force a third
+        keyword onto such callables."""
+        calls = []
+
+        def custom(transactions, min_support):
+            calls.append(min_support)
+            return eclat(transactions, min_support)
+
+        miner = SlidingWindowMiner(window=1, min_support=50, miner=custom)
+        miner.push(_batch(80))
+        result = miner.mine()
+        assert calls == [50]
+        assert result.itemsets
+
+    def test_two_argument_miner_cannot_claim_maximal_only_false(self):
+        """A custom miner that cannot receive maximal_only must be
+        rejected up front rather than silently ignoring the request
+        (or blowing up at the first mine())."""
+
+        def custom(transactions, min_support):
+            return eclat(transactions, min_support)
+
+        with pytest.raises(MiningError, match="maximal_only"):
+            SlidingWindowMiner(
+                window=1, min_support=50, miner=custom, maximal_only=False
+            )
+        # Kwarg-capable custom miners are still accepted.
+        SlidingWindowMiner(
+            window=1,
+            min_support=50,
+            miner=lambda tx, s, **kw: eclat(tx, s, **kw),
+            maximal_only=False,
+        )
+
+
+class TestEvictionConsistency:
+    """ISSUE 2 satellite: incremental counts must stay exact across
+    arbitrarily many evictions, and the candidate screen must never
+    skip a window whose full mining result is non-empty."""
+
+    @staticmethod
+    def _recount(batches):
+        from collections import Counter
+
+        counts: Counter[int] = Counter()
+        for batch in batches:
+            items, supports = (
+                TransactionSet.from_flows(batch).item_supports()
+            )
+            for item, support in zip(items.tolist(), supports.tolist()):
+                counts[item] += support
+        return counts
+
+    @pytest.mark.parametrize("window", [1, 2, 3])
+    def test_counts_equal_recount_after_many_evictions(self, window):
+        ports = [80, 443, 7000, 80, 25, 53, 80, 8080, 443, 7000]
+        miner = SlidingWindowMiner(window=window, min_support=10)
+        batches = []
+        for i, port in enumerate(ports):
+            batch = _batch(port, n=50 + 10 * i, seed=i)
+            batches.append(batch)
+            miner.push(batch)
+            # Invariant holds after EVERY push, not only at the end.
+            assert miner._item_counts == self._recount(batches[-window:])
+        assert miner.batches == window
+        assert miner.flows_in_window == sum(
+            len(b) for b in batches[-window:]
+        )
+
+    def test_counts_with_empty_batches_interleaved(self):
+        miner = SlidingWindowMiner(window=2, min_support=10)
+        empty = _batch(80, n=1, seed=0).select(np.zeros(0, dtype=np.int64))
+        sequence = [_batch(80, seed=1), empty, _batch(443, seed=2), empty]
+        for i, batch in enumerate(sequence):
+            miner.push(batch)
+            assert miner._item_counts == self._recount(
+                sequence[max(0, i - 1): i + 1]
+            )
+
+    @pytest.mark.parametrize("min_support", [5, 50, 150, 400])
+    def test_screen_never_skips_nonempty_window(self, min_support):
+        """mine_if_candidates may only return None when mine() itself
+        would find nothing (any frequent item-set implies a frequent
+        single item, which the screen counts exactly)."""
+        miner = SlidingWindowMiner(window=2, min_support=min_support)
+        for i, port in enumerate([80, 80, 7000, 443, 7000, 7000]):
+            miner.push(_batch(port, seed=i))
+            full = miner.mine()
+            screened = miner.mine_if_candidates()
+            if full.itemsets:
+                assert screened is not None
+                assert screened.all_frequent == full.all_frequent
+            else:
+                # The screen may still mine (single frequent items with
+                # no item-sets is impossible here, but stay strict):
+                # whenever it does skip, the full result must be empty.
+                if screened is None:
+                    assert not full.itemsets

@@ -1,0 +1,135 @@
+"""Batch/stream equivalence: the streaming pipeline must reproduce the
+batch `run_trace` output byte for byte on the same trace (ISSUE 2
+acceptance criterion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExtractionConfig
+from repro.core.pipeline import AnomalyExtractor
+from repro.detection.detector import DetectorConfig
+from repro.flows.io import iter_csv, write_csv
+from repro.streaming import StreamingExtractor
+
+CHUNK_ROWS = 517  # deliberately misaligned with interval boundaries
+
+
+def _config(**overrides):
+    return ExtractionConfig(
+        detector=DetectorConfig(
+            clones=3, bins=256, vote_threshold=3, training_intervals=16
+        ),
+        min_support=300,
+        **overrides,
+    )
+
+
+def _chunked(table, rows):
+    for lo in range(0, len(table), rows):
+        yield table.select(np.arange(lo, min(lo + rows, len(table))))
+
+
+def _rendered(extractions):
+    return "\n\n".join(e.render() for e in extractions)
+
+
+@pytest.fixture(scope="module")
+def batch(ddos_trace):
+    with AnomalyExtractor(_config(), seed=1) as extractor:
+        return extractor.run_trace(
+            ddos_trace.flows, ddos_trace.interval_seconds
+        )
+
+
+@pytest.fixture(scope="module")
+def streamed(ddos_trace):
+    with AnomalyExtractor(_config(), seed=1) as extractor:
+        return extractor.run_stream(
+            _chunked(ddos_trace.flows, CHUNK_ROWS),
+            ddos_trace.interval_seconds,
+        )
+
+
+class TestRunStreamEquivalence:
+    def test_reports_byte_identical(self, batch, streamed):
+        assert _rendered(streamed.extractions) == _rendered(batch.extractions)
+        assert streamed.flagged_intervals == batch.flagged_intervals
+        assert streamed.flagged_intervals  # the DDoS was actually caught
+
+    def test_detection_run_identical(self, batch, streamed):
+        assert streamed.detection.n_intervals == batch.detection.n_intervals
+        assert (
+            streamed.detection.alarm_intervals()
+            == batch.detection.alarm_intervals()
+        )
+        for feature in batch.detection.features:
+            assert np.array_equal(
+                streamed.detection.kl_series(feature),
+                batch.detection.kl_series(feature),
+            )
+
+    def test_prefilter_and_mining_fields_identical(self, batch, streamed):
+        for got, want in zip(streamed.extractions, batch.extractions):
+            assert got.prefilter.flows == want.prefilter.flows
+            assert got.mining.all_frequent == want.mining.all_frequent
+            assert got.mining.min_support == want.mining.min_support
+
+
+class TestCsvStreamEquivalence:
+    def test_csv_chunked_stream_identical(
+        self, tmp_path_factory, ddos_trace, batch
+    ):
+        path = tmp_path_factory.mktemp("stream") / "trace.csv"
+        write_csv(ddos_trace.flows, path)
+        with StreamingExtractor(
+            _config(),
+            seed=1,
+            interval_seconds=ddos_trace.interval_seconds,
+        ) as streamer:
+            result = streamer.run(iter_csv(path, chunk_rows=777))
+        assert result.late_dropped == 0
+        assert result.flows == len(ddos_trace.flows)
+        assert _rendered(result.extractions) == _rendered(batch.extractions)
+
+
+class TestLateDropAccounting:
+    def test_run_stream_surfaces_late_drops(self, ddos_trace, rng):
+        """A stream reordered beyond the lateness allowance must not
+        pretend to equal the batch result: the dropped flows are
+        counted on the returned TraceExtraction."""
+        order = rng.permutation(len(ddos_trace.flows))
+        shuffled = ddos_trace.flows.select(order)
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            result = extractor.run_stream(
+                _chunked(shuffled, CHUNK_ROWS), ddos_trace.interval_seconds
+            )
+        assert result.late_dropped > 0
+
+    def test_batch_path_reports_zero_late_drops(self, batch):
+        assert batch.late_dropped == 0
+
+    def test_in_order_stream_reports_zero_late_drops(self, streamed):
+        assert streamed.late_dropped == 0
+
+
+class TestOutOfOrderEquivalence:
+    def test_shuffled_stream_matches_batch_on_shuffled_trace(
+        self, ddos_trace, rng
+    ):
+        """With enough lateness allowance, an arbitrarily reordered
+        stream still reproduces the batch result for the same (equally
+        reordered) trace."""
+        order = rng.permutation(len(ddos_trace.flows))
+        shuffled = ddos_trace.flows.select(order)
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            want = extractor.run_trace(
+                shuffled, ddos_trace.interval_seconds
+            )
+        with AnomalyExtractor(
+            _config(max_delay_seconds=1e9), seed=1
+        ) as extractor:
+            got = extractor.run_stream(
+                _chunked(shuffled, CHUNK_ROWS), ddos_trace.interval_seconds
+            )
+        assert _rendered(got.extractions) == _rendered(want.extractions)
+        assert got.flagged_intervals == want.flagged_intervals
