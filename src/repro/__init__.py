@@ -25,6 +25,7 @@ paper-vs-measured record of every table and figure.
 from repro.core import (
     AnomalyExtractor,
     ExtractionConfig,
+    ExtractionReport,
     ExtractionResult,
     TraceExtraction,
     suggest_min_support,
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnomalyExtractor",
     "ExtractionConfig",
+    "ExtractionReport",
     "ExtractionResult",
     "TraceExtraction",
     "suggest_min_support",

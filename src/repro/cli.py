@@ -9,7 +9,12 @@ Subcommands mirror the workflow of the paper:
   report for every flagged interval;
 * ``stream`` - same pipeline, but chunk-by-chunk over a CSV file or
   stdin with bounded memory (reports print as intervals complete);
+* ``incidents`` - correlate and rank the reports persisted by
+  ``--store`` into cross-interval incidents;
 * ``table2`` - regenerate the Table II running example at any scale.
+
+``detect``, ``extract`` and ``stream`` accept ``--format json`` for
+machine-readable output (one JSON document per alarmed interval).
 
 Examples:
     repro-extract generate --intervals 8 --out trace.npz
@@ -18,15 +23,24 @@ Examples:
     repro-extract extract trace.npz --jobs 4 --backend thread
     repro-extract stream trace.csv --min-support 500
     cat trace.csv | repro-extract stream - --window 4
+    repro-extract stream trace.csv --store incidents.db
+    repro-extract incidents incidents.db --top 5 --format json
     repro-extract table2 --scale 0.05
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.core import AnomalyExtractor, ExtractionConfig, suggest_min_support
+from repro.core import (
+    AnomalyExtractor,
+    ExtractionConfig,
+    ExtractionReport,
+    suggest_min_support,
+)
+from repro.core.pipeline import notify_sink_interval
 from repro.detection import DetectorBank, DetectorConfig
 from repro.errors import ReproError, TraceFormatError
 from repro.flows import (
@@ -118,12 +132,40 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         bank = DetectorBank(config, seed=args.seed)
         run = bank.run(flows, args.interval_seconds, origin=0.0)
     alarms = run.alarm_intervals()
+    if args.format == "json":
+        for interval in alarms:
+            report = run.report(interval)
+            print(json.dumps({
+                "interval": interval,
+                "start": interval * args.interval_seconds,
+                "end": (interval + 1) * args.interval_seconds,
+                "flow_count": report.flow_count,
+                "alarmed_features": [
+                    f.short_name for f in report.alarmed_features
+                ],
+            }, sort_keys=True))
+        return 0
     print(f"{run.n_intervals} intervals, {len(alarms)} alarms")
     for interval in alarms:
         report = run.report(interval)
         features = ", ".join(f.short_name for f in report.alarmed_features)
         print(f"  interval {interval}: {features}")
     return 0
+
+
+class _TeeSink:
+    """Fan one report stream out to several sinks (store + collector)."""
+
+    def __init__(self, *sinks):
+        self._sinks = sinks
+
+    def append(self, report: ExtractionReport) -> None:
+        for sink in self._sinks:
+            sink.append(report)
+
+    def note_interval(self, interval: int) -> None:
+        for sink in self._sinks:
+            notify_sink_interval(sink, interval)
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -133,9 +175,27 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         partitions=args.partitions,
+        store_path=args.store,
     )
     with AnomalyExtractor(config, seed=args.seed) as extractor:
-        result = extractor.run_trace(flows, args.interval_seconds)
+        if args.format == "json":
+            # Collect the reports run_trace builds anyway (teeing into
+            # the store when one is configured) instead of rebuilding
+            # each one for printing.
+            reports: list[ExtractionReport] = []
+            sink = (
+                _TeeSink(extractor.store, reports)
+                if extractor.store is not None else reports
+            )
+            result = extractor.run_trace(
+                flows, args.interval_seconds, sink=sink
+            )
+        else:
+            result = extractor.run_trace(flows, args.interval_seconds)
+    if args.format == "json":
+        for report in reports:
+            print(report.to_json())
+        return 0
     if not result.extractions:
         print("no extractions (no alarms with usable meta-data)")
         return 0
@@ -161,7 +221,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         window_intervals=args.window,
         max_delay_seconds=args.max_delay,
         max_pending_intervals=args.max_pending,
+        store_path=args.store,
     )
+
+    def emit(streamer, extraction) -> None:
+        if args.format == "json":
+            # report_for carries the true (window-aware) bounds.
+            print(streamer.report_for(extraction).to_json())
+        else:
+            print(extraction.render())
+            print()
+
     with StreamingExtractor(
         config,
         seed=args.seed,
@@ -174,11 +244,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     ) as streamer:
         for chunk in chunks:
             for extraction in streamer.process_chunk(chunk):
-                print(extraction.render())
-                print()
+                emit(streamer, extraction)
         for extraction in streamer.flush():
-            print(extraction.render())
-            print()
+            emit(streamer, extraction)
         result = streamer.result()
     summary = (
         f"{result.intervals} intervals, {result.flows} flows, "
@@ -191,7 +259,86 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"; windows mined {result.windows_mined}, "
             f"skipped {result.windows_skipped}"
         )
-    print(summary)
+    # In JSON mode stdout carries one document per alarmed interval and
+    # nothing else; the human summary goes to stderr.
+    print(summary, file=sys.stderr if args.format == "json" else sys.stdout)
+    return 0
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.incidents import open_store
+
+    with open_store(args.db, must_exist=True) as store:
+        ranked = store.incidents(
+            jaccard=args.jaccard,
+            quiet_gap=args.quiet_gap,
+            profile=args.profile,
+        )
+        if args.show is not None:
+            return _show_incident(store, ranked, args)
+        total = len(ranked)
+        if args.top is not None:
+            ranked = ranked[: args.top]
+        if args.format == "json":
+            print(json.dumps(
+                [r.to_dict() for r in ranked], sort_keys=True
+            ))
+            return 0
+        if not ranked:
+            if len(store) == 0:
+                print("no incidents (store holds no reports)")
+            else:
+                print(
+                    f"no incidents ({len(store)} reports stored, but "
+                    "none carried item-sets to correlate)"
+                )
+            return 0
+        shown = (
+            f"top {len(ranked)} of {total} incidents"
+            if len(ranked) < total else f"{total} incidents"
+        )
+        print(
+            f"{len(store)} reports over intervals "
+            f"{store.intervals()[0]}..{store.intervals()[-1]}, "
+            f"{shown} (profile: {args.profile})"
+        )
+        for entry in ranked:
+            print(f"  {entry.render()}")
+        return 0
+
+
+def _show_incident(store, ranked, args: argparse.Namespace) -> int:
+    from repro.errors import IncidentError
+
+    by_id = {r.incident.incident_id: r for r in ranked}
+    entry = by_id.get(args.show)
+    if entry is None:
+        have = (
+            f"{len(by_id)} incidents (ids {min(by_id)}..{max(by_id)})"
+            if by_id else "no incidents"
+        )
+        raise IncidentError(f"no incident #{args.show}; store has {have}")
+    # Bound to this incident's own span: a closed predecessor may share
+    # the same item-set key and its activity is not ours to show.
+    history = store.itemset_history(
+        entry.incident.key,
+        since=entry.incident.first_seen,
+        until=entry.incident.last_seen,
+    )
+    if args.format == "json":
+        data = entry.to_dict()
+        data["history"] = [
+            {"interval": i, "support": s, "hint": h}
+            for i, s, h in history
+        ]
+        print(json.dumps(data, sort_keys=True))
+        return 0
+    print(entry.render())
+    for name, value in sorted(entry.components.items()):
+        print(f"  {name}: {value:.3f}")
+    print("  key item-set history:")
+    for interval, support, hint in history:
+        print(f"    interval {interval}: support {support} ({hint})")
     return 0
 
 
@@ -252,6 +399,23 @@ def _add_mining_args(parser: argparse.ArgumentParser) -> None:
                         default="apriori")
 
 
+def _add_format_arg(
+    parser: argparse.ArgumentParser,
+    json_help: str = "one JSON document per alarmed interval",
+) -> None:
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help=f"output format: human-readable table or "
+                        f"{json_help}")
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="persist every alarmed interval's extraction report "
+                        "to a SQLite incident store at PATH (query it "
+                        "with 'repro-extract incidents PATH')")
+
+
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker count; > 1 enables the parallel "
@@ -282,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("trace")
     _add_detector_args(det)
     _add_parallel_args(det)
+    _add_format_arg(det)
     det.set_defaults(func=_cmd_detect)
 
     ext = sub.add_parser("extract", help="full online extraction")
@@ -292,6 +457,8 @@ def build_parser() -> argparse.ArgumentParser:
     ext.add_argument("--partitions", type=_positive_int, default=None,
                      help="transaction shards per mining call "
                      "(default: one per worker)")
+    _add_format_arg(ext)
+    _add_store_arg(ext)
     ext.set_defaults(func=_cmd_extract)
 
     stream = sub.add_parser(
@@ -318,7 +485,37 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--max-pending", type=_positive_int, default=None,
                         help="cap on intervals buffered at once "
                         "(default: unbounded)")
+    _add_format_arg(stream)
+    _add_store_arg(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    inc = sub.add_parser(
+        "incidents",
+        help="correlate and rank the reports of a --store database",
+    )
+    inc.add_argument("db", help="path to an incident store "
+                     "(written by extract/stream --store)")
+    inc.add_argument("--top", type=_positive_int, default=None,
+                     help="only the k best-ranked incidents")
+    inc.add_argument("--show", type=int, default=None, metavar="ID",
+                     help="detail view of one incident (score "
+                     "components + per-interval history)")
+    inc.add_argument("--profile", default="balanced",
+                     help="ranking weight profile "
+                     "(balanced, volume, campaign)")
+    inc.add_argument("--jaccard", type=float, default=None,
+                     help="item-set similarity threshold for merging "
+                     "intervals into one incident (1.0 = exact only; "
+                     "default: the value the store was written with, "
+                     "else 0.5)")
+    inc.add_argument("--quiet-gap", type=_positive_int, default=None,
+                     help="intervals of silence before an incident "
+                     "closes (reappearance then opens a new one; "
+                     "default: the value the store was written with, "
+                     "else 2)")
+    _add_format_arg(inc, json_help="a single JSON array of incidents "
+                    "(one JSON object with --show)")
+    inc.set_defaults(func=_cmd_incidents)
 
     t2 = sub.add_parser("table2", help="regenerate the Table II example")
     t2.add_argument("--scale", type=float, default=0.1)

@@ -5,12 +5,14 @@ from repro.core.cost import CostCurvePoint, cost_curve, cost_reduction
 from repro.core.pipeline import (
     AnomalyExtractor,
     ExtractionResult,
+    ReportSink,
     TraceExtraction,
     suggest_min_support,
 )
 from repro.core.prefilter import PrefilterResult, prefilter
 from repro.core.report import (
     COMMON_SERVICE_PORTS,
+    ExtractionReport,
     TriagedItemset,
     render_itemset_table,
     triage,
@@ -26,11 +28,13 @@ __all__ = [
     "cost_reduction",
     "AnomalyExtractor",
     "ExtractionResult",
+    "ReportSink",
     "TraceExtraction",
     "suggest_min_support",
     "PrefilterResult",
     "prefilter",
     "COMMON_SERVICE_PORTS",
+    "ExtractionReport",
     "TriagedItemset",
     "render_itemset_table",
     "triage",

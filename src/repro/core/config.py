@@ -48,6 +48,21 @@ class ExtractionConfig:
         max_pending_intervals: streaming only - cap on intervals held
             open at once (``None`` = unbounded); exceeding it
             force-emits the oldest.
+        store_path: when set, the extractor opens an
+            :class:`~repro.incidents.store.IncidentStore` at this path
+            and persists every alarmed interval's extraction report there
+            (batch ``run_trace`` and streaming ``run_stream`` alike).
+        incident_jaccard: item-set similarity threshold used by the
+            :class:`~repro.incidents.correlate.IncidentCorrelator` to
+            merge non-identical item-sets into one incident
+            (1.0 = exact matches only).  ``None`` (the default) keeps
+            whatever the store already persists (else 0.5); an explicit
+            value is written into the store and becomes its new
+            default.
+        incident_quiet_gap: intervals of silence after which an active
+            incident turns "quiet"; beyond the gap it is "closed" and a
+            reappearance starts a new incident.  ``None`` defers to the
+            store like ``incident_jaccard`` (else 2).
     """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
@@ -62,6 +77,9 @@ class ExtractionConfig:
     window_intervals: int = 1
     max_delay_seconds: float = 0.0
     max_pending_intervals: int | None = None
+    store_path: str | None = None
+    incident_jaccard: float | None = None
+    incident_quiet_gap: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -107,6 +125,22 @@ class ExtractionConfig:
             raise ConfigError(
                 f"max_pending_intervals must be >= 1: "
                 f"{self.max_pending_intervals}"
+            )
+        if (
+            self.incident_jaccard is not None
+            and not 0 < self.incident_jaccard <= 1
+        ):
+            raise ConfigError(
+                f"incident_jaccard must be in (0, 1]: "
+                f"{self.incident_jaccard}"
+            )
+        if (
+            self.incident_quiet_gap is not None
+            and self.incident_quiet_gap < 1
+        ):
+            raise ConfigError(
+                f"incident_quiet_gap must be >= 1: "
+                f"{self.incident_quiet_gap}"
             )
 
 

@@ -18,10 +18,12 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from typing import Protocol, runtime_checkable
+
 from repro.core.config import ExtractionConfig
 from repro.core.cost import cost_reduction
 from repro.core.prefilter import PrefilterResult, prefilter
-from repro.core.report import render_itemset_table
+from repro.core.report import ExtractionReport, render_itemset_table
 from repro.detection.features import Feature
 from repro.detection.manager import DetectionRun, DetectorBank
 from repro.detection.metadata import Metadata
@@ -32,6 +34,34 @@ from repro.mining import MINERS
 from repro.mining.items import FrequentItemset
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
+
+
+@runtime_checkable
+class ReportSink(Protocol):
+    """Anything that accepts per-interval extraction reports.
+
+    :class:`~repro.incidents.store.IncidentStore` is the canonical
+    implementation; a bare ``list``-backed collector satisfies it too
+    (``append`` is the whole contract).
+    """
+
+    def append(self, report: ExtractionReport) -> object: ...
+
+
+def notify_sink_interval(sink: object, interval: int | None) -> None:
+    """Tell a sink how far the pipeline processed, if it cares.
+
+    ``append`` is the whole :class:`ReportSink` contract, but sinks
+    that track incident lifecycle (the incident store) also need to see
+    clean intervals pass - a report-free tail must still age incidents
+    toward quiet/closed.  Optional by duck-typing so list-backed
+    collectors keep working.
+    """
+    if interval is None:
+        return
+    note = getattr(sink, "note_interval", None)
+    if note is not None:
+        note(interval)
 
 
 @dataclass(frozen=True)
@@ -106,22 +136,41 @@ class AnomalyExtractor:
 
     def __init__(self, config: ExtractionConfig | None = None, seed: int = 0):
         self.config = config or ExtractionConfig()
-        self._engine = None
-        if self.config.jobs > 1:
-            from repro.parallel.engine import ParallelEngine
+        self._store = None
+        if self.config.store_path is not None:
+            from repro.incidents.store import IncidentStore
 
-            self._engine = ParallelEngine(
-                backend=self.config.backend,
-                jobs=self.config.jobs,
-                partitions=self.config.partitions,
+            self._store = IncidentStore(
+                self.config.store_path,
+                jaccard=self.config.incident_jaccard,
+                quiet_gap=self.config.incident_quiet_gap,
             )
-            self._bank = self._engine.bank(
-                self.config.detector, features=self.config.features, seed=seed
-            )
-        else:
-            self._bank = DetectorBank(
-                self.config.detector, features=self.config.features, seed=seed
-            )
+        self._engine = None
+        try:
+            if self.config.jobs > 1:
+                from repro.parallel.engine import ParallelEngine
+
+                self._engine = ParallelEngine(
+                    backend=self.config.backend,
+                    jobs=self.config.jobs,
+                    partitions=self.config.partitions,
+                )
+                self._bank = self._engine.bank(
+                    self.config.detector, features=self.config.features,
+                    seed=seed,
+                )
+            else:
+                self._bank = DetectorBank(
+                    self.config.detector, features=self.config.features,
+                    seed=seed,
+                )
+        except BaseException:
+            # Engine/bank construction failed after the store connection
+            # was already opened: don't leak it (WAL sidecars keep the
+            # file locked on some platforms).
+            if self._store is not None:
+                self._store.close()
+            raise
 
     @property
     def detector_bank(self) -> DetectorBank:
@@ -132,10 +181,24 @@ class AnomalyExtractor:
         """The parallel engine, or None on the serial path."""
         return self._engine
 
+    @property
+    def store(self):
+        """The :class:`~repro.incidents.store.IncidentStore` opened via
+        ``config.store_path``, or None."""
+        return self._store
+
     def close(self) -> None:
-        """Release the parallel engine's worker pool (idempotent)."""
-        if self._engine is not None:
-            self._engine.close()
+        """Release the parallel engine's worker pool and the report
+        store (idempotent)."""
+        try:
+            if self._engine is not None:
+                self._engine.close()
+        finally:
+            # The store must close even when pool shutdown raises
+            # (e.g. a broken process pool) - same symmetry as the
+            # __init__ cleanup.
+            if self._store is not None:
+                self._store.close()
 
     def __enter__(self) -> "AnomalyExtractor":
         return self
@@ -170,15 +233,34 @@ class AnomalyExtractor:
         trace: FlowTable,
         interval_seconds: float,
         origin: float = 0.0,
+        sink: ReportSink | None = None,
     ) -> TraceExtraction:
-        """Window a trace and process every interval online."""
+        """Window a trace and process every interval online.
+
+        Every extraction is also pushed to ``sink`` (or, when no sink is
+        given, to the store opened via ``config.store_path``) as a
+        serializable :class:`~repro.core.report.ExtractionReport`.
+        """
+        if sink is None:
+            sink = self._store
         extractions = []
+        last_index = None
         for view in iter_intervals(
             trace, interval_seconds, origin=origin, include_empty=True
         ):
+            last_index = view.index
             result = self.process_interval(view.flows)
             if result is not None:
                 extractions.append(result)
+                if sink is not None:
+                    sink.append(ExtractionReport.from_result(
+                        result, interval_seconds, origin
+                    ))
+        # Each append arms the store's re-ingest guard atomically with
+        # the data it protects (so an interrupted run is already safe);
+        # this one note covers the trailing clean stretch, which holds
+        # no rows but must still age incidents toward quiet/closed.
+        notify_sink_interval(sink, last_index)
         return TraceExtraction(
             extractions=extractions, detection=self._bank.detection_run()
         )
@@ -188,6 +270,7 @@ class AnomalyExtractor:
         chunks: Iterable[FlowTable],
         interval_seconds: float,
         origin: float = 0.0,
+        sink: ReportSink | None = None,
     ) -> TraceExtraction:
         """Process an unbounded chunk stream (e.g. ``iter_csv``) online.
 
@@ -214,6 +297,7 @@ class AnomalyExtractor:
             extractor=self,
             interval_seconds=interval_seconds,
             origin=origin,
+            sink=sink,
         )
         result = streamer.run(chunks)
         return TraceExtraction(

@@ -10,10 +10,16 @@ specific endpoint, so they can be labelled for quick triage.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.detection.features import Feature
+from repro.errors import ExtractionError
 from repro.mining.items import FrequentItemset, format_item
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import ExtractionResult
 
 #: Ports whose appearance in an item-set suggests ordinary traffic that
 #: collided with the meta-data (the paper's examples: 80, 25).
@@ -36,6 +42,28 @@ class TriagedItemset:
     def looks_benign(self) -> bool:
         return self.hint != "suspicious"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe rendering: encoded items (the round-trip key),
+        their human-readable forms, support, and the triage hint."""
+        return {
+            "items": list(self.itemset.items),
+            "rendered": [format_item(i) for i in self.itemset.items],
+            "support": self.itemset.support,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TriagedItemset":
+        """Inverse of :meth:`to_dict` (``rendered`` is derived and
+        ignored)."""
+        return cls(
+            itemset=FrequentItemset(
+                items=tuple(int(i) for i in data["items"]),
+                support=int(data["support"]),
+            ),
+            hint=str(data["hint"]),
+        )
+
 
 def triage(itemset: FrequentItemset) -> TriagedItemset:
     """Attach the triage hint an administrator would apply.
@@ -43,9 +71,13 @@ def triage(itemset: FrequentItemset) -> TriagedItemset:
     Heuristic (mirrors the paper's discussion in Sections II-B/III-D):
 
     * an item-set naming a *specific endpoint* (source or destination
-      address) together with an uncommon port stays "suspicious";
-    * an item-set whose port items are all well-known service ports is
-      "common-service" (e.g. busy web proxies, mail relays);
+      address) is always "suspicious": the whole point of extraction is
+      that normal traffic does not concentrate on one host, so a flood
+      on ``{dstIP x, dstPort 80}`` must not be waved through just
+      because 80 is a well-known port;
+    * an endpoint-free item-set whose port items are all well-known
+      service ports is "common-service" (e.g. busy web proxies, mail
+      relays);
     * an item-set with neither addresses nor ports - only protocol and
       tiny size items - is "common-size".
     """
@@ -58,13 +90,13 @@ def triage(itemset: FrequentItemset) -> TriagedItemset:
     has_endpoint = any(
         feature in (Feature.SRC_IP, Feature.DST_IP) for feature in decoded
     )
-    if ports:
+    if has_endpoint:
+        hint = "suspicious"
+    elif ports:
         if all(port in COMMON_SERVICE_PORTS for port in ports):
             hint = "common-service"
         else:
             hint = "suspicious"
-    elif has_endpoint:
-        hint = "suspicious"
     else:
         packets = decoded.get(Feature.PACKETS)
         if packets is None or packets in COMMON_PACKET_COUNTS:
@@ -77,6 +109,128 @@ def triage(itemset: FrequentItemset) -> TriagedItemset:
 def triage_all(itemsets: list[FrequentItemset]) -> list[TriagedItemset]:
     """Triage a full report, preserving order."""
     return [triage(itemset) for itemset in itemsets]
+
+
+@dataclass(frozen=True)
+class ExtractionReport:
+    """Serializable snapshot of one interval's extraction.
+
+    This is the unit the incident layer (:mod:`repro.incidents`)
+    persists and correlates: everything an operator or a downstream
+    consumer needs from an
+    :class:`~repro.core.pipeline.ExtractionResult` - item-sets with
+    supports and triage hints, detector votes, interval bounds - without
+    the raw flow tables and detector state, so it round-trips through
+    JSON byte-for-byte.  Equality is plain dataclass equality, which is
+    what the replay-equivalence tests lean on.
+    """
+
+    interval: int
+    start: float
+    end: float
+    input_flows: int
+    selected_flows: int
+    prefilter_mode: str
+    algorithm: str
+    min_support: int
+    #: Short names of the features whose detectors alarmed - the
+    #: "detector votes" backing this extraction.
+    alarmed_features: tuple[str, ...]
+    itemsets: tuple[TriagedItemset, ...]
+
+    @property
+    def detector_votes(self) -> int:
+        """How many feature detectors agreed this interval is anomalous."""
+        return len(self.alarmed_features)
+
+    @property
+    def suspicious_itemsets(self) -> tuple[TriagedItemset, ...]:
+        return tuple(t for t in self.itemsets if not t.looks_benign)
+
+    @classmethod
+    def from_result(
+        cls,
+        result: "ExtractionResult",
+        interval_seconds: float,
+        origin: float = 0.0,
+        window_intervals: int = 1,
+    ) -> "ExtractionReport":
+        """Snapshot an in-memory extraction.
+
+        ``interval_seconds``/``origin`` recover the wall-clock bounds,
+        which the pipeline's per-interval result does not carry.
+        ``window_intervals`` is the number of intervals the extraction
+        actually mined (sliding-window streaming mode mines the last N
+        together); the bounds span the whole window so they stay
+        consistent with the window-wide flow counts and supports.
+        """
+        if interval_seconds <= 0:
+            raise ExtractionError(
+                f"interval length must be positive: {interval_seconds}"
+            )
+        if window_intervals < 1:
+            raise ExtractionError(
+                f"window_intervals must be >= 1: {window_intervals}"
+            )
+        end = origin + (result.interval + 1) * interval_seconds
+        return cls(
+            interval=result.interval,
+            start=end - window_intervals * interval_seconds,
+            end=end,
+            input_flows=result.prefilter.input_flows,
+            selected_flows=result.prefilter.selected_flows,
+            prefilter_mode=result.prefilter.mode,
+            algorithm=result.mining.algorithm,
+            min_support=result.mining.min_support,
+            alarmed_features=tuple(
+                f.short_name for f in result.alarmed_features
+            ),
+            itemsets=tuple(triage_all(result.mining.itemsets)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict (one document per interval)."""
+        return {
+            "interval": self.interval,
+            "start": self.start,
+            "end": self.end,
+            "input_flows": self.input_flows,
+            "selected_flows": self.selected_flows,
+            "prefilter_mode": self.prefilter_mode,
+            "algorithm": self.algorithm,
+            "min_support": self.min_support,
+            "alarmed_features": list(self.alarmed_features),
+            "itemsets": [t.to_dict() for t in self.itemsets],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExtractionReport":
+        return cls(
+            interval=int(data["interval"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            input_flows=int(data["input_flows"]),
+            selected_flows=int(data["selected_flows"]),
+            prefilter_mode=str(data["prefilter_mode"]),
+            algorithm=str(data["algorithm"]),
+            min_support=int(data["min_support"]),
+            alarmed_features=tuple(
+                str(f) for f in data["alarmed_features"]
+            ),
+            itemsets=tuple(
+                TriagedItemset.from_dict(t) for t in data["itemsets"]
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted keys, no whitespace) JSON - stable enough
+        for the byte-for-byte store replay guarantee."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExtractionReport":
+        return cls.from_dict(json.loads(text))
 
 
 def render_itemset_table(itemsets: list[FrequentItemset]) -> str:

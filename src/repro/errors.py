@@ -33,3 +33,7 @@ class MiningError(ReproError):
 
 class ExtractionError(ReproError):
     """The extraction pipeline was driven with inconsistent inputs."""
+
+
+class IncidentError(ReproError):
+    """Invalid incident-store operation (bad schema, path, or query)."""

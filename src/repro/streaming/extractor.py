@@ -19,8 +19,14 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.core.config import ExtractionConfig
-from repro.core.pipeline import AnomalyExtractor, ExtractionResult
+from repro.core.pipeline import (
+    AnomalyExtractor,
+    ExtractionResult,
+    notify_sink_interval,
+)
 from repro.core.prefilter import PrefilterResult, prefilter
+from repro.core.report import ExtractionReport
+from repro.errors import ExtractionError
 from repro.detection.manager import DetectionRun
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS, IntervalView
 from repro.flows.table import FlowTable
@@ -81,6 +87,13 @@ class StreamingExtractor:
             :class:`IntervalAssembler`).
         extractor: reuse an existing :class:`AnomalyExtractor` (its
             config wins); otherwise one is built and owned.
+        sink: optional report sink (anything with
+            ``append(ExtractionReport)``, e.g. an
+            :class:`~repro.incidents.store.IncidentStore`); every
+            extraction is pushed to it as it completes, giving the
+            streaming path the same persistence hook as
+            :meth:`AnomalyExtractor.run_trace`.  Defaults to the
+            extractor's ``config.store_path`` store when one is open.
         keep_reports: retain every per-interval
             :class:`~repro.detection.manager.IntervalReport` so
             :meth:`result` can attach a full
@@ -100,6 +113,7 @@ class StreamingExtractor:
         origin: float = 0.0,
         extractor: AnomalyExtractor | None = None,
         keep_reports: bool = True,
+        sink: object | None = None,
     ):
         self._owns_extractor = extractor is None
         self._extractor = (
@@ -108,6 +122,7 @@ class StreamingExtractor:
             else AnomalyExtractor(config, seed=seed)
         )
         self.config = self._extractor.config
+        self._sink = sink if sink is not None else self._extractor.store
         self.assembler = IntervalAssembler(
             interval_seconds,
             origin=origin,
@@ -130,6 +145,14 @@ class StreamingExtractor:
             )
         self.keep_reports = keep_reports
         self.extractions: list[ExtractionResult] = []
+        #: Per-extraction report state, keyed by object identity (safe:
+        #: ``extractions`` pins the objects): the window fill captured
+        #: at emission time - the fill, and hence the report bounds,
+        #: are only known then - replaced by the lazily built report
+        #: once :meth:`report_for` constructs it.  Sink-less runs never
+        #: pay for reports nothing reads.  Grows with alarms, like
+        #: ``extractions`` itself.
+        self._report_state: dict[int, int | ExtractionReport] = {}
         self.windows_mined = 0
         self.windows_skipped = 0
 
@@ -194,9 +217,48 @@ class StreamingExtractor:
             if extraction is not None:
                 results.append(extraction)
                 self.extractions.append(extraction)
+                # In window mode the extraction describes the whole
+                # mined window, so its report bounds must span it too;
+                # the deque length is the window's current fill, only
+                # known now - record it so report_for can build the
+                # report later.
+                window = 1
+                if self._window_miner is not None:
+                    window = max(1, len(self._window_raw_flows))
+                self._report_state[id(extraction)] = window
+                if self._sink is not None:
+                    self._sink.append(self.report_for(extraction))
             if not self.keep_reports:
                 self._extractor.detector_bank.clear_reports()
+        if views:
+            # Clean intervals leave no report but must still age
+            # incidents; the assembler emits views in interval order.
+            notify_sink_interval(self._sink, views[-1].index)
         return results
+
+    def report_for(self, extraction: ExtractionResult) -> ExtractionReport:
+        """The serializable report of an extraction this streamer
+        produced (the very object the sink received, when a sink is
+        attached) - bounds cover the mined window, not just the
+        triggering interval.  Built lazily and cached, so runs whose
+        reports nothing reads never pay for their construction."""
+        key = id(extraction)
+        state = self._report_state.get(key)
+        if isinstance(state, ExtractionReport):
+            return state
+        if state is None:
+            raise ExtractionError(
+                "unknown extraction: report_for only serves results "
+                "produced by this streamer"
+            )
+        report = ExtractionReport.from_result(
+            extraction,
+            self.assembler.interval_seconds,
+            self.assembler.origin,
+            window_intervals=state,
+        )
+        self._report_state[key] = report
+        return report
 
     def _process_interval(self, view: IntervalView) -> ExtractionResult | None:
         if self._window_miner is None:

@@ -28,11 +28,38 @@ class TestExtractionConfig:
             dict(jobs=0),
             dict(backend="gpu"),
             dict(partitions=0),
+            dict(incident_jaccard=0.0),
+            dict(incident_jaccard=1.5),
+            dict(incident_quiet_gap=0),
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ConfigError):
             ExtractionConfig(**kwargs)
+
+    def test_incident_defaults(self):
+        config = ExtractionConfig()
+        assert config.store_path is None
+        # None = defer to the knobs the store persists (else 0.5/2), so
+        # a later write run doesn't clobber a tuned store's settings.
+        assert config.incident_jaccard is None
+        assert config.incident_quiet_gap is None
+
+    def test_store_path_opens_store(self, tmp_path):
+        from repro.core.pipeline import AnomalyExtractor
+
+        path = str(tmp_path / "inc.db")
+        with AnomalyExtractor(
+            ExtractionConfig(store_path=path)
+        ) as extractor:
+            assert extractor.store is not None
+            assert extractor.store.path == path
+            assert len(extractor.store) == 0
+        # close() released the store connection too
+        from repro.errors import IncidentError
+
+        with pytest.raises(IncidentError, match="closed"):
+            len(extractor.store)
 
     def test_parallel_defaults(self):
         config = ExtractionConfig()

@@ -201,3 +201,31 @@ class TestSuggestMinSupport:
             suggest_min_support(100, fraction=0.0)
         with pytest.raises(ExtractionError):
             suggest_min_support(100, fraction=1.0)
+
+
+class TestInitCleanup:
+    def test_engine_init_failure_closes_store(self, tmp_path, monkeypatch):
+        """A store opened via config.store_path must not leak its
+        SQLite connection when engine construction fails afterwards."""
+        import repro.parallel.engine as engine_mod
+        from repro.incidents.store import IncidentStore
+
+        closed = []
+        real_close = IncidentStore.close
+
+        def tracking_close(self):
+            closed.append(self)
+            real_close(self)
+
+        monkeypatch.setattr(IncidentStore, "close", tracking_close)
+
+        def exploding_engine(**kwargs):
+            raise RuntimeError("no worker pool")
+
+        monkeypatch.setattr(engine_mod, "ParallelEngine", exploding_engine)
+        config = ExtractionConfig(
+            store_path=str(tmp_path / "inc.db"), jobs=2
+        )
+        with pytest.raises(RuntimeError, match="no worker pool"):
+            AnomalyExtractor(config)
+        assert len(closed) == 1

@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -223,6 +225,202 @@ class TestStreamCommand:
             ["stream", str(bad), *self._STREAM_ARGS, "--chunk-rows", "10"]
         ) == 2
         assert "fields" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    @pytest.fixture(scope="class")
+    def trace_npz(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_npz
+
+        path = tmp_path_factory.mktemp("json-cli") / "trace.npz"
+        write_npz(ddos_trace.flows, str(path))
+        return str(path)
+
+    _ARGS = ["--bins", "256", "--training", "16", "--min-support", "300"]
+
+    def test_detect_json(self, trace_npz, capsys):
+        assert main(
+            ["--seed", "1", "detect", trace_npz, "--bins", "256",
+             "--training", "16", "--format", "json"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            doc = json.loads(line)
+            assert {"interval", "start", "end", "flow_count",
+                    "alarmed_features"} <= set(doc)
+
+    def test_extract_json_one_document_per_interval(
+        self, trace_npz, capsys
+    ):
+        assert main(
+            ["--seed", "1", "extract", trace_npz, *self._ARGS,
+             "--format", "json"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert any(doc["interval"] == 24 for doc in docs)
+        for doc in docs:
+            assert "itemsets" in doc
+            assert doc["min_support"] == 300
+
+    def test_extract_json_matches_report_serialization(
+        self, trace_npz, capsys
+    ):
+        from repro.core.report import ExtractionReport
+
+        assert main(
+            ["--seed", "1", "extract", trace_npz, *self._ARGS,
+             "--format", "json"]
+        ) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            report = ExtractionReport.from_json(line)
+            assert report.to_json() == line
+
+    def test_stream_json_summary_on_stderr(
+        self, tmp_path, ddos_trace, capsys
+    ):
+        from repro.flows import write_csv
+
+        path = tmp_path / "trace.csv"
+        write_csv(ddos_trace.flows, str(path))
+        assert main(
+            ["--seed", "1", "stream", str(path), *self._ARGS,
+             "--format", "json"]
+        ) == 0
+        captured = capsys.readouterr()
+        for line in captured.out.strip().splitlines():
+            json.loads(line)
+        assert "intervals" in captured.err
+
+
+class TestIncidentCommands:
+    @pytest.fixture(scope="class")
+    def stored(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_npz
+
+        tmp = tmp_path_factory.mktemp("incidents-cli")
+        trace = tmp / "trace.npz"
+        write_npz(ddos_trace.flows, str(trace))
+        db = tmp / "incidents.db"
+        assert main(
+            ["--seed", "1", "extract", str(trace),
+             "--bins", "256", "--training", "16",
+             "--min-support", "300", "--store", str(db)]
+        ) == 0
+        return str(db)
+
+    def test_store_flag_persists_reports(self, stored):
+        from repro.incidents import IncidentStore
+
+        with IncidentStore(stored) as store:
+            assert len(store) > 0
+            assert 24 in store.intervals()
+
+    def test_incidents_table_listing(self, stored, capsys):
+        assert main(["incidents", stored]) == 0
+        out = capsys.readouterr().out
+        assert "incidents" in out
+        assert "score=" in out
+
+    def test_incidents_json_listing(self, stored, capsys):
+        assert main(["incidents", stored, "--format", "json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert docs
+        assert {"incident_id", "score", "state"} <= set(docs[0])
+
+    def test_incidents_top_k(self, stored, capsys):
+        assert main(
+            ["incidents", stored, "--top", "1", "--format", "json"]
+        ) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_incidents_top_k_header_keeps_total(self, stored, capsys):
+        total = len(json.loads(
+            (main(["incidents", stored, "--format", "json"]),
+             capsys.readouterr().out)[1]
+        ))
+        assert main(["incidents", stored, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        if total > 1:
+            # The header must report the store's total, not the slice.
+            assert f"top 1 of {total} incidents" in out
+        else:
+            assert f"{total} incidents" in out
+
+    def test_incidents_show_detail(self, stored, capsys):
+        assert main(
+            ["incidents", stored, "--format", "json"]
+        ) == 0
+        docs = json.loads(capsys.readouterr().out)
+        top = docs[0]["incident_id"]
+        assert main(
+            ["incidents", stored, "--show", str(top), "--format", "json"]
+        ) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["incident_id"] == top
+        assert detail["history"]
+
+    def test_incidents_show_table(self, stored, capsys):
+        assert main(["incidents", stored, "--show", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "history" in out
+
+    def test_show_history_bounded_to_own_span(self, tmp_path, capsys):
+        """A reappeared incident's drill-down must not print the
+        intervals of the earlier, closed incident with the same key."""
+        from repro.incidents import IncidentStore
+        from tests.incidents.test_store import PORT80, VICTIM, make_report
+
+        db = str(tmp_path / "split.db")
+        with IncidentStore(db) as store:
+            store.extend([
+                make_report(
+                    i, [((VICTIM, PORT80), 100 + i, "suspicious")]
+                )
+                for i in (1, 2, 10, 11)  # gap 8 > quiet_gap 2: two incidents
+            ])
+        assert main(
+            ["incidents", db, "--show", "2", "--format", "json"]
+        ) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["first_seen"] == 10
+        assert [h["interval"] for h in detail["history"]] == [10, 11]
+
+    def test_incidents_show_unknown_id(self, stored, capsys):
+        assert main(["incidents", stored, "--show", "9999"]) == 2
+        assert "no incident" in capsys.readouterr().err
+
+    def test_incidents_missing_db(self, tmp_path, capsys):
+        assert main(
+            ["incidents", str(tmp_path / "nope.db")]
+        ) == 2
+        assert "no incident store" in capsys.readouterr().err
+
+    def test_incidents_unknown_profile(self, stored, capsys):
+        assert main(
+            ["incidents", stored, "--profile", "nope"]
+        ) == 2
+        assert "unknown weight profile" in capsys.readouterr().err
+
+    def test_stream_store_matches_extract_store(
+        self, stored, tmp_path, ddos_trace
+    ):
+        from repro.flows import write_csv
+        from repro.incidents import IncidentStore
+
+        csv = tmp_path / "trace.csv"
+        write_csv(ddos_trace.flows, str(csv))
+        db = tmp_path / "stream.db"
+        assert main(
+            ["--seed", "1", "stream", str(csv),
+             "--bins", "256", "--training", "16",
+             "--min-support", "300", "--store", str(db)]
+        ) == 0
+        with IncidentStore(stored) as a, IncidentStore(str(db)) as b:
+            assert [r.to_json() for r in a.reports()] == [
+                r.to_json() for r in b.reports()
+            ]
 
 
 class TestParallelFlags:

@@ -42,6 +42,12 @@ class TestExamples:
         assert "support schedule" in out
         assert "dstPort=7000" in out
 
+    def test_incident_triage(self, capsys):
+        out = _run("incident_triage.py", capsys)
+        assert "correlated incidents" in out
+        assert "drill-down" in out
+        assert "ranked first" in out
+
     def test_detector_tuning(self, capsys):
         out = _run("detector_tuning.py", capsys)
         assert "ROC sweep" in out

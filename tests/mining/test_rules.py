@@ -79,3 +79,140 @@ class TestDeriveRules:
         text = str(rules[0])
         assert "=>" in text
         assert "confidence=" in text
+
+
+D = encode_item(Feature.PACKETS, 1)
+
+
+class TestDeriveRulesHandComputed:
+    """Every measure checked against hand-worked arithmetic."""
+
+    @pytest.fixture()
+    def family(self):
+        # 8 transactions: A:4, B:6, AB:3, ABD impossible (D absent).
+        return {
+            _sorted(A): 4,
+            _sorted(B): 6,
+            _sorted(A, B): 3,
+        }
+
+    def test_all_measures_a_implies_b(self, family):
+        rules = derive_rules(family, n_transactions=8, min_confidence=0.1)
+        rule = {(r.antecedent, r.consequent): r for r in rules}[
+            (_sorted(A), _sorted(B))
+        ]
+        assert rule.support == 3
+        # confidence = supp(AB)/supp(A) = 3/4
+        assert rule.confidence == pytest.approx(0.75)
+        # lift = confidence / P(B) = 0.75 / (6/8) = 1.0 (independent)
+        assert rule.lift == pytest.approx(1.0)
+
+    def test_all_measures_b_implies_a(self, family):
+        rules = derive_rules(family, n_transactions=8, min_confidence=0.1)
+        rule = {(r.antecedent, r.consequent): r for r in rules}[
+            (_sorted(B), _sorted(A))
+        ]
+        # confidence = 3/6; lift = 0.5 / (4/8) = 1.0
+        assert rule.confidence == pytest.approx(0.5)
+        assert rule.lift == pytest.approx(1.0)
+
+    def test_lift_above_and_below_one(self):
+        # 10 transactions; A and B co-occur always (attraction), A and C
+        # almost never (repulsion).
+        family = {
+            _sorted(A): 2,
+            _sorted(B): 2,
+            _sorted(C): 8,
+            _sorted(A, B): 2,
+            _sorted(A, C): 1,
+        }
+        rules = derive_rules(family, n_transactions=10, min_confidence=0.1)
+        by_pair = {(r.antecedent, r.consequent): r for r in rules}
+        attract = by_pair[(_sorted(A), _sorted(B))]
+        # lift = (2/2) / (2/10) = 5.0
+        assert attract.lift == pytest.approx(5.0)
+        repel = by_pair[(_sorted(A), _sorted(C))]
+        # lift = (1/2) / (8/10) = 0.625
+        assert repel.lift == pytest.approx(0.625)
+
+    def test_three_item_family_splits(self):
+        # 100 transactions, perfectly nested: every ABC holds AB, etc.
+        family = {
+            _sorted(A): 50,
+            _sorted(B): 40,
+            _sorted(C): 30,
+            _sorted(A, B): 40,
+            _sorted(A, C): 30,
+            _sorted(B, C): 30,
+            _sorted(A, B, C): 30,
+        }
+        rules = derive_rules(family, n_transactions=100, min_confidence=1.0)
+        pairs = {(r.antecedent, r.consequent) for r in rules}
+        # Exactly the implications that hold with confidence 1.
+        assert (_sorted(C), _sorted(A, B)) in pairs
+        assert (_sorted(B, C), _sorted(A)) in pairs
+        assert (_sorted(B), _sorted(A)) in pairs
+        assert (_sorted(A), _sorted(B)) not in pairs  # 40/50 < 1
+        assert all(r.confidence == pytest.approx(1.0) for r in rules)
+
+
+class TestDeriveRulesOrdering:
+    def test_tie_break_support_then_antecedent(self):
+        # Two rule pairs with identical confidence 1.0 but different
+        # supports; then equal-support ties fall back to the sorted
+        # antecedent tuple.
+        family = {
+            _sorted(A): 30,
+            _sorted(B): 30,
+            _sorted(C): 20,
+            _sorted(D): 20,
+            _sorted(A, B): 30,
+            _sorted(C, D): 20,
+        }
+        rules = derive_rules(family, n_transactions=60, min_confidence=1.0)
+        assert [r.support for r in rules] == [30, 30, 20, 20]
+        first_pair = [r.antecedent for r in rules[:2]]
+        assert first_pair == sorted(first_pair)
+        second_pair = [r.antecedent for r in rules[2:]]
+        assert second_pair == sorted(second_pair)
+
+    def test_full_sort_key_is_deterministic(self, frequent):
+        once = derive_rules(frequent, 100, min_confidence=0.1)
+        twice = derive_rules(dict(reversed(list(frequent.items()))),
+                             100, min_confidence=0.1)
+        assert once == twice
+
+
+class TestDeriveRulesValidation:
+    @pytest.fixture()
+    def family(self):
+        return {_sorted(A): 4, _sorted(B): 6, _sorted(A, B): 3}
+
+    def test_min_confidence_zero_rejected(self, family):
+        with pytest.raises(MiningError, match="min_confidence"):
+            derive_rules(family, 8, min_confidence=0.0)
+
+    def test_min_confidence_above_one_rejected(self, family):
+        with pytest.raises(MiningError, match="min_confidence"):
+            derive_rules(family, 8, min_confidence=1.2)
+
+    def test_min_confidence_negative_rejected(self, family):
+        with pytest.raises(MiningError, match="min_confidence"):
+            derive_rules(family, 8, min_confidence=-0.5)
+
+    def test_min_confidence_exactly_one_allowed(self, family):
+        rules = derive_rules(family, 8, min_confidence=1.0)
+        assert rules == []  # 3/4 and 3/6 both fall short of 1.0
+
+    def test_n_transactions_zero_rejected(self, family):
+        with pytest.raises(MiningError, match="n_transactions"):
+            derive_rules(family, 0)
+
+    def test_n_transactions_negative_rejected(self, family):
+        with pytest.raises(MiningError, match="n_transactions"):
+            derive_rules(family, -5)
+
+    def test_missing_antecedent_subset_rejected(self):
+        with pytest.raises(MiningError, match="downward closed"):
+            derive_rules({_sorted(A, B): 3, _sorted(A): 4}, 8,
+                         min_confidence=0.1)
