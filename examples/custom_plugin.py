@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Extending repro: register a custom miner and run it end to end.
+
+The pipeline's extension points - miners, detector feature sets, trace
+readers, report sinks - all resolve through `repro.registry`, so a
+plugin never edits repro internals.  This example registers a toy
+"two-shard" miner (a miniature of the SON scheme: mine each half of the
+transactions at a scaled threshold, union the candidates, verify exact
+supports in one counting pass), runs it on the Table II scenario, and
+shows its report is identical to the built-in apriori - the counting
+pass makes the partitioned answer provably exact.
+
+The same name then drives the whole pipeline: `ExtractionConfig(miner=
+"two-shard")`, `repro.api.extract(..., miner="two-shard")`, and
+`repro-extract extract --miner two-shard` on the CLI.
+
+Run:
+    python examples/custom_plugin.py
+"""
+
+import repro.api as api
+from repro.mining import TransactionSet, apriori
+from repro.mining.partition import (
+    count_candidates,
+    local_min_support,
+    merge_candidates,
+    merge_results,
+    partition_transactions,
+)
+from repro.registry import miners
+from repro.traffic import table2_interval
+
+
+@miners.register("two-shard")
+def two_shard_miner(transactions, min_support, maximal_only=True,
+                    **kwargs):
+    """Any callable with this signature can register as a miner."""
+    shards = partition_transactions(transactions, 2)
+    candidates = merge_candidates([
+        list(
+            apriori(
+                shard,
+                local_min_support(min_support, len(shard),
+                                  len(transactions)),
+                maximal_only=False,
+            ).all_frequent
+        )
+        for shard in shards
+    ])
+    counts = [count_candidates(shard, candidates) for shard in shards]
+    return merge_results(
+        counts,
+        n_transactions=len(transactions),
+        min_support=min_support,
+        maximal_only=maximal_only,
+        algorithm="two-shard",
+    )
+
+
+def main() -> None:
+    scenario = table2_interval(scale=0.05, seed=1)
+    transactions = TransactionSet.from_flows(scenario.flows)
+
+    print(f"registered miners: {', '.join(sorted(miners))}")
+    print(f"Table II scenario at 5% scale: {len(scenario.flows)} flows, "
+          f"min support {scenario.min_support}")
+
+    reference = apriori(transactions, scenario.min_support)
+    plugin = miners["two-shard"](transactions, scenario.min_support)
+
+    print("\nplugin report (two-shard):")
+    for line in plugin.summary_lines():
+        print(f"  {line}")
+
+    match = plugin.itemsets == reference.itemsets
+    print(f"\nidentical to the built-in apriori report: {match}")
+    if not match:
+        raise SystemExit("plugin diverged from apriori")
+
+    # The registered name is a first-class miner everywhere else too.
+    config = api.ExtractionConfig(miner="two-shard")
+    print(f"selectable in ExtractionConfig too: miner={config.miner!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,11 +22,17 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+import importlib.metadata as _importlib_metadata
+
 from repro.core import (
     AnomalyExtractor,
     ExtractionConfig,
     ExtractionReport,
     ExtractionResult,
+    IncidentSettings,
+    MiningSettings,
+    ParallelSettings,
+    StreamingSettings,
     TraceExtraction,
     suggest_min_support,
 )
@@ -37,17 +43,34 @@ from repro.errors import (
     ExtractionError,
     FlowError,
     MiningError,
+    RegistryError,
     ReproError,
     TraceFormatError,
 )
 from repro.flows import FlowRecord, FlowTable
 from repro.mining import FrequentItemset, TransactionSet, apriori, eclat, fpgrowth
+from repro.registry import Registry
 
-__version__ = "1.0.0"
+# Import for the registration side effect: the built-in report sinks
+# must be resolvable through repro.registry.sinks.
+import repro.sinks  # noqa: F401  (isort: skip)
+
+try:
+    # Single source of truth: the installed distribution's version
+    # (pyproject.toml).  The fallback covers PYTHONPATH=src checkouts
+    # that never ran pip install; keep it in sync with pyproject.toml.
+    __version__ = _importlib_metadata.version("repro-anomaly-extraction")
+except _importlib_metadata.PackageNotFoundError:  # pragma: no cover
+    __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyExtractor",
     "ExtractionConfig",
+    "MiningSettings",
+    "ParallelSettings",
+    "StreamingSettings",
+    "IncidentSettings",
+    "Registry",
     "ExtractionReport",
     "ExtractionResult",
     "TraceExtraction",
@@ -67,6 +90,7 @@ __all__ = [
     "FlowError",
     "TraceFormatError",
     "ConfigError",
+    "RegistryError",
     "DetectionError",
     "MiningError",
     "ExtractionError",

@@ -1,0 +1,280 @@
+"""The stable, documented facade of the repro library.
+
+Four verbs cover the paper's workflow end to end:
+
+* :func:`extract` - batch extraction over a trace (file or
+  :class:`~repro.flows.table.FlowTable`);
+* :func:`stream` - the same pipeline chunk-by-chunk with bounded
+  memory;
+* :func:`open_store` - open/create a persistent incident store;
+* :func:`rank` - correlate and rank a store's reports into triaged
+  incidents.
+
+Everything accepts either a ready :class:`ExtractionConfig`, a nested
+dict, or a path to a TOML run config, plus flat keyword overrides::
+
+    import repro.api as repro
+
+    result = repro.extract("trace.npz", min_support=500)
+    result = repro.extract("trace.csv", config="run.toml", jobs=4)
+    summary = repro.stream("trace.csv", config="run.toml")
+    for entry in repro.rank("incidents.db", top=5):
+        print(entry.render())
+
+The names re-exported here (and the four verbs) are the supported
+surface; internals may move between modules, these stay.  Extension
+points resolve through :mod:`repro.registry`, so a third-party miner,
+reader, feature set, or sink registered there is selectable from this
+facade without touching ``repro`` internals.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Mapping
+
+from repro.core.config import (
+    ExtractionConfig,
+    IncidentSettings,
+    MiningSettings,
+    ParallelSettings,
+    StreamingSettings,
+)
+from repro.core.pipeline import (
+    AnomalyExtractor,
+    ExtractionResult,
+    IntervalSink,
+    ReportSink,
+    TraceExtraction,
+)
+from repro.core.report import ExtractionReport, TriagedItemset
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import CustomFeature, Feature, resolve_features
+from repro.errors import ConfigError, ReproError, TraceFormatError
+from repro.flows.io import DEFAULT_CHUNK_ROWS, iter_csv, read_trace
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
+from repro.flows.table import FlowTable
+from repro.incidents.rank import RankedIncident, rank_incidents  # noqa: F401
+from repro.incidents.store import IncidentStore
+from repro.incidents.store import open_store as _open_store
+from repro.registry import Registry, feature_sets, miners, readers, sinks
+from repro.streaming.extractor import StreamExtraction, StreamingExtractor
+
+__all__ = [
+    "extract",
+    "stream",
+    "open_store",
+    "rank",
+    "resolve_config",
+    # Curated re-exports (the stable names).
+    "AnomalyExtractor",
+    "StreamingExtractor",
+    "ExtractionConfig",
+    "DetectorConfig",
+    "MiningSettings",
+    "ParallelSettings",
+    "StreamingSettings",
+    "IncidentSettings",
+    "ExtractionResult",
+    "TraceExtraction",
+    "StreamExtraction",
+    "ExtractionReport",
+    "TriagedItemset",
+    "RankedIncident",
+    "IncidentStore",
+    "FlowTable",
+    "Feature",
+    "CustomFeature",
+    "resolve_features",
+    "ReportSink",
+    "IntervalSink",
+    "Registry",
+    "miners",
+    "feature_sets",
+    "readers",
+    "sinks",
+    "ReproError",
+    "ConfigError",
+]
+
+
+def resolve_config(
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None,
+    **overrides: object,
+) -> ExtractionConfig:
+    """Normalize every accepted config spelling into an
+    :class:`ExtractionConfig`.
+
+    ``config`` may be a ready config, a nested mapping
+    (:meth:`ExtractionConfig.from_dict`), a path to a TOML run config
+    (:meth:`ExtractionConfig.from_toml`), or ``None`` for defaults.
+    ``overrides`` are flat or grouped fields applied on top (the
+    equivalent of explicit CLI flags over a ``--config`` file).
+    """
+    if config is None:
+        resolved = ExtractionConfig()
+    elif isinstance(config, ExtractionConfig):
+        resolved = config
+    elif isinstance(config, Mapping):
+        resolved = ExtractionConfig.from_dict(config)
+    elif isinstance(config, (str, os.PathLike)):
+        resolved = ExtractionConfig.from_toml(config)
+    else:
+        raise ConfigError(
+            f"config must be an ExtractionConfig, mapping, or TOML path, "
+            f"got {type(config).__name__}"
+        )
+    if overrides:
+        resolved = resolved.replace(**overrides)
+    return resolved
+
+
+def _load_flows(trace: FlowTable | str | os.PathLike[str]) -> FlowTable:
+    if isinstance(trace, FlowTable):
+        return trace
+    return read_trace(trace)
+
+
+def extract(
+    trace: FlowTable | str | os.PathLike[str],
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    sink: ReportSink | None = None,
+    **overrides: object,
+) -> TraceExtraction:
+    """Run the full batch pipeline (Fig. 3) over a trace.
+
+    Args:
+        trace: a :class:`FlowTable` or a path handled by the trace
+            reader registry (".npz", ".csv", or any registered
+            extension).
+        config: config object / nested dict / TOML path (see
+            :func:`resolve_config`).
+        interval_seconds: measurement interval length ``L``.
+        origin: timestamp of interval 0.
+        seed: detector hash seed.
+        sink: optional report sink; defaults to the store opened via
+            ``config.incidents.store_path`` when one is set.
+        **overrides: flat or grouped config fields, e.g.
+            ``min_support=500``, ``miner="fpgrowth"``, ``jobs=4``.
+
+    Returns:
+        The :class:`TraceExtraction` with one
+        :class:`ExtractionResult` per alarmed interval.
+    """
+    flows = _load_flows(trace)
+    resolved = resolve_config(config, **overrides)
+    with AnomalyExtractor(resolved, seed=seed) as extractor:
+        return extractor.run_trace(
+            flows, interval_seconds, origin=origin, sink=sink
+        )
+
+
+def stream(
+    source: (
+        Iterable[FlowTable] | str | os.PathLike[str]
+    ),
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    sink: ReportSink | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    keep_reports: bool = True,
+    **overrides: object,
+) -> StreamExtraction:
+    """Run the pipeline chunk-by-chunk with bounded memory.
+
+    ``source`` is a ``.csv`` path (streamed via
+    :func:`~repro.flows.io.iter_csv`) or any iterable of
+    :class:`FlowTable` chunks.  With default settings the result is
+    batch-equivalent; see :class:`StreamingExtractor` for the
+    incremental API and the retention knobs
+    (``keep_reports`` here, ``streaming.keep_extractions`` in the
+    config).
+
+    Returns:
+        The :class:`StreamExtraction` summary (counters always
+        populated; ``extractions`` empty when
+        ``config.streaming.keep_extractions`` is False).
+    """
+    if isinstance(source, (str, os.PathLike)):
+        # Streaming parses incrementally, which only the row-oriented
+        # CSV format supports; mirror the CLI's up-front rejection so a
+        # binary trace surfaces as a ReproError, not a decode crash.
+        if not os.fspath(source).endswith(".csv"):
+            raise TraceFormatError(
+                f"{source}: stream reads a .csv trace (pass a FlowTable "
+                f"chunk iterable for other sources, or use extract() "
+                f"for whole-file formats)"
+            )
+        chunks: Iterable[FlowTable] = iter_csv(source, chunk_rows=chunk_rows)
+    else:
+        chunks = source
+    resolved = resolve_config(config, **overrides)
+    with StreamingExtractor(
+        resolved,
+        seed=seed,
+        interval_seconds=interval_seconds,
+        origin=origin,
+        sink=sink,
+        keep_reports=keep_reports,
+    ) as streamer:
+        return streamer.run(chunks)
+
+
+def open_store(
+    path: str | os.PathLike[str],
+    *,
+    must_exist: bool = False,
+    jaccard: float | None = None,
+    quiet_gap: int | None = None,
+) -> IncidentStore:
+    """Open (or create) the persistent incident store at ``path``.
+
+    A thin alias of :func:`repro.incidents.store.open_store`, exported
+    here so the whole persist-correlate-rank workflow is reachable from
+    one module.
+    """
+    return _open_store(
+        path, must_exist=must_exist, jaccard=jaccard, quiet_gap=quiet_gap
+    )
+
+
+def rank(
+    store: IncidentStore | str | os.PathLike[str],
+    *,
+    profile: str = "balanced",
+    jaccard: float | None = None,
+    quiet_gap: int | None = None,
+    top: int | None = None,
+) -> list[RankedIncident]:
+    """Correlate and rank a store's reports into triaged incidents.
+
+    Args:
+        store: an open :class:`IncidentStore` or a path to one (opened
+            read-style with ``must_exist=True`` and closed after the
+            query).
+        profile: ranking weight profile ("balanced", "volume",
+            "campaign", or a
+            :class:`~repro.incidents.rank.WeightProfile`).
+        jaccard / quiet_gap: correlation overrides (``None`` = the
+            store's persisted knobs).
+        top: keep only the k best-ranked incidents.
+    """
+    if isinstance(store, (str, os.PathLike)):
+        with _open_store(store, must_exist=True) as opened:
+            ranked = opened.incidents(
+                jaccard=jaccard, quiet_gap=quiet_gap, profile=profile
+            )
+    else:
+        ranked = store.incidents(
+            jaccard=jaccard, quiet_gap=quiet_gap, profile=profile
+        )
+    if top is not None:
+        ranked = ranked[:top]
+    return ranked

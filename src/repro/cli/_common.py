@@ -1,0 +1,237 @@
+"""Shared CLI plumbing.
+
+Three concerns live here so every subcommand module stays small:
+
+* **Tracked arguments** - :class:`TrackedAction` records which options
+  the user actually typed, which is what lets ``--config run.toml``
+  merge correctly: explicit flags override file values, file values
+  override flag defaults.
+* **Registry-driven choices** - ``--miner`` and ``--features`` take
+  their choice lists from :mod:`repro.registry`, so a registered
+  third-party extension is selectable without touching the CLI.
+* **Declarative run configs** - :func:`extraction_config` builds the
+  :class:`~repro.core.config.ExtractionConfig` for a subcommand from
+  the layered sources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.core import ExtractionConfig
+from repro.core.config import load_toml_data
+from repro.errors import ConfigError
+from repro.flows import read_trace
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
+from repro.parallel import EXECUTOR_BACKENDS
+from repro.registry import feature_sets, miners
+
+
+def load_trace(path: str):
+    """Read a whole trace through the trace-reader registry."""
+    return read_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Explicit-flag tracking
+# ----------------------------------------------------------------------
+class TrackedAction(argparse.Action):
+    """``store`` semantics plus a record that the option was typed."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        _mark_explicit(namespace, self.dest)
+
+
+class TrackedTrueAction(argparse.Action):
+    """``store_true`` semantics plus the explicit record."""
+
+    def __init__(self, option_strings, dest, default=False, **kwargs):
+        kwargs.pop("nargs", None)
+        super().__init__(option_strings, dest, nargs=0, default=default,
+                         **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, True)
+        _mark_explicit(namespace, self.dest)
+
+
+def _mark_explicit(namespace: argparse.Namespace, dest: str) -> None:
+    explicit = getattr(namespace, "_explicit", None)
+    if explicit is None:
+        explicit = set()
+        setattr(namespace, "_explicit", explicit)
+    explicit.add(dest)
+
+
+def explicit_dests(args: argparse.Namespace) -> set[str]:
+    """The option dests the user explicitly passed on the command line."""
+    return getattr(args, "_explicit", set())
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Shared argument groups
+# ----------------------------------------------------------------------
+def add_config_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", default=None, metavar="RUN.TOML",
+        help="declarative run config (TOML with [detector]/[mining]/"
+        "[parallel]/[streaming]/[incidents] tables); explicit "
+        "command-line flags override file values",
+    )
+
+
+def add_detector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--interval-seconds", type=float,
+                        default=DEFAULT_INTERVAL_SECONDS)
+    parser.add_argument("--clones", type=int, default=3,
+                        action=TrackedAction)
+    parser.add_argument("--bins", type=int, default=1024,
+                        action=TrackedAction)
+    parser.add_argument("--votes", type=int, default=3,
+                        action=TrackedAction)
+    parser.add_argument("--training", type=int, default=96,
+                        action=TrackedAction)
+    parser.add_argument("--features", default=None,
+                        choices=sorted(feature_sets.names()),
+                        action=TrackedAction,
+                        help="monitored feature set (registered via "
+                        "repro.registry.feature_sets; default: the "
+                        "paper's five detectors)")
+
+
+def add_mining_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--min-support", type=int, default=1000,
+                        action=TrackedAction)
+    parser.add_argument("--prefilter", choices=("union", "intersection"),
+                        default="union", action=TrackedAction)
+    parser.add_argument("--miner", choices=sorted(miners.names()),
+                        default="apriori", action=TrackedAction,
+                        help="frequent item-set miner (any name "
+                        "registered via repro.registry.miners)")
+
+
+def add_format_arg(
+    parser: argparse.ArgumentParser,
+    json_help: str = "one JSON document per alarmed interval",
+) -> None:
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help=f"output format: human-readable table or "
+                        f"{json_help}")
+
+
+def add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        action=TrackedAction,
+                        help="persist every alarmed interval's extraction report "
+                        "to a SQLite incident store at PATH (query it "
+                        "with 'repro-extract incidents PATH')")
+
+
+def add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=positive_int, default=1,
+                        action=TrackedAction,
+                        help="worker count; > 1 enables the parallel "
+                        "partitioned engine")
+    parser.add_argument("--backend", choices=EXECUTOR_BACKENDS,
+                        default="thread", action=TrackedAction,
+                        help="executor backend used when --jobs > 1")
+
+
+# ----------------------------------------------------------------------
+# Config resolution
+# ----------------------------------------------------------------------
+#: argparse dest -> where the value lands in ExtractionConfig.
+_CONFIG_DESTS: dict[str, tuple[str, str | None]] = {
+    "clones": ("detector", "clones"),
+    "bins": ("detector", "bins"),
+    "votes": ("detector", "vote_threshold"),
+    "training": ("detector", "training_intervals"),
+    "features": ("features", None),
+    "min_support": ("flat", "min_support"),
+    "prefilter": ("flat", "prefilter_mode"),
+    "miner": ("flat", "miner"),
+    "jobs": ("flat", "jobs"),
+    "backend": ("flat", "backend"),
+    "partitions": ("flat", "partitions"),
+    "window": ("flat", "window_intervals"),
+    "max_delay": ("flat", "max_delay_seconds"),
+    "max_pending": ("flat", "max_pending_intervals"),
+    "keep_extractions": ("flat", "keep_extractions"),
+    "store": ("flat", "store_path"),
+}
+
+
+def extraction_config(args: argparse.Namespace) -> ExtractionConfig:
+    """The pipeline config for a subcommand's parsed arguments.
+
+    Without ``--config`` every flag value applies (defaults included) -
+    exactly the pre-redesign behavior.  With ``--config`` the TOML file
+    is the base and only flags the user explicitly typed override it.
+    Flags the subcommand doesn't define are simply absent from the
+    namespace and skipped, so one builder serves detect, extract, and
+    stream.
+    """
+    config_path = getattr(args, "config", None)
+    if config_path:
+        raw = load_toml_data(config_path)
+        try:
+            base = ExtractionConfig.from_dict(raw)
+        except ConfigError as exc:
+            raise ConfigError(f"{config_path}: {exc}") from exc
+        # Stash the raw keys for config_file_sets: one read, one parse.
+        args._config_raw = raw
+        chosen = explicit_dests(args)
+    else:
+        base = ExtractionConfig()
+        chosen = None  # no file: every flag (defaults included) applies
+    detector_overrides: dict[str, object] = {}
+    flat_overrides: dict[str, object] = {}
+    features = None
+    for dest, (kind, field) in _CONFIG_DESTS.items():
+        if not hasattr(args, dest):
+            continue
+        if chosen is not None and dest not in chosen:
+            continue
+        value = getattr(args, dest)
+        if kind == "detector":
+            detector_overrides[field] = value
+        elif kind == "features":
+            if value is not None:
+                features = value
+        else:
+            flat_overrides[field] = value
+    detector = (
+        dataclasses.replace(base.detector, **detector_overrides)
+        if detector_overrides
+        else base.detector
+    )
+    kwargs: dict[str, object] = {"detector": detector}
+    if features is not None:
+        kwargs["features"] = features
+    return base.replace(**kwargs, **flat_overrides)
+
+
+def config_file_sets(
+    args: argparse.Namespace, section: str, key: str
+) -> bool:
+    """Whether the ``--config`` file explicitly sets ``[section] key``.
+
+    Used for knobs whose CLI default differs from the library default
+    (``stream`` drops extractions unless asked to keep them): an
+    explicit file value must still win over the CLI's weak default.
+    Reads the raw keys :func:`extraction_config` stashed when it parsed
+    the file - the file is never opened twice.
+    """
+    raw = getattr(args, "_config_raw", None) or {}
+    section_data = raw.get(section)
+    return isinstance(section_data, dict) and key in section_data

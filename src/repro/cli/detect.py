@@ -1,0 +1,65 @@
+"""``repro-extract detect`` - run the histogram detector bank."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli._common import (
+    add_config_arg,
+    add_detector_args,
+    add_format_arg,
+    add_parallel_args,
+    extraction_config,
+    load_trace,
+)
+from repro.detection import DetectorBank
+from repro.parallel import ParallelEngine
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    det = sub.add_parser("detect", help="run the detector bank")
+    det.add_argument("trace")
+    add_config_arg(det)
+    add_detector_args(det)
+    add_parallel_args(det)
+    add_format_arg(det)
+    det.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    flows = load_trace(args.trace)
+    config = extraction_config(args)
+    if config.jobs > 1:
+        with ParallelEngine(
+            backend=config.backend, jobs=config.jobs
+        ) as engine:
+            bank = engine.bank(
+                config.detector, features=config.features, seed=args.seed
+            )
+            run_ = bank.run(flows, args.interval_seconds, origin=0.0)
+    else:
+        bank = DetectorBank(
+            config.detector, features=config.features, seed=args.seed
+        )
+        run_ = bank.run(flows, args.interval_seconds, origin=0.0)
+    alarms = run_.alarm_intervals()
+    if args.format == "json":
+        for interval in alarms:
+            report = run_.report(interval)
+            print(json.dumps({
+                "interval": interval,
+                "start": interval * args.interval_seconds,
+                "end": (interval + 1) * args.interval_seconds,
+                "flow_count": report.flow_count,
+                "alarmed_features": [
+                    f.short_name for f in report.alarmed_features
+                ],
+            }, sort_keys=True))
+        return 0
+    print(f"{run_.n_intervals} intervals, {len(alarms)} alarms")
+    for interval in alarms:
+        report = run_.report(interval)
+        features = ", ".join(f.short_name for f in report.alarmed_features)
+        print(f"  interval {interval}: {features}")
+    return 0

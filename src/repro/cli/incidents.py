@@ -1,0 +1,127 @@
+"""``repro-extract incidents`` - query a persisted incident store."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli._common import add_config_arg, add_format_arg, positive_int
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    inc = sub.add_parser(
+        "incidents",
+        help="correlate and rank the reports of a --store database",
+    )
+    inc.add_argument("db", help="path to an incident store "
+                     "(written by extract/stream --store)")
+    add_config_arg(inc)
+    inc.add_argument("--top", type=positive_int, default=None,
+                     help="only the k best-ranked incidents")
+    inc.add_argument("--show", type=int, default=None, metavar="ID",
+                     help="detail view of one incident (score "
+                     "components + per-interval history)")
+    inc.add_argument("--profile", default="balanced",
+                     help="ranking weight profile "
+                     "(balanced, volume, campaign)")
+    inc.add_argument("--jaccard", type=float, default=None,
+                     help="item-set similarity threshold for merging "
+                     "intervals into one incident (1.0 = exact only; "
+                     "default: the value the store was written with, "
+                     "else 0.5)")
+    inc.add_argument("--quiet-gap", type=positive_int, default=None,
+                     help="intervals of silence before an incident "
+                     "closes (reappearance then opens a new one; "
+                     "default: the value the store was written with, "
+                     "else 2)")
+    add_format_arg(inc, json_help="a single JSON array of incidents "
+                   "(one JSON object with --show)")
+    inc.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.incidents import open_store
+
+    jaccard, quiet_gap = args.jaccard, args.quiet_gap
+    if args.config is not None:
+        # A run config's [incidents] knobs serve as defaults here too,
+        # below explicit flags (None = defer to the store's values).
+        from repro.core import ExtractionConfig
+
+        file_config = ExtractionConfig.from_toml(args.config)
+        if jaccard is None:
+            jaccard = file_config.incident_jaccard
+        if quiet_gap is None:
+            quiet_gap = file_config.incident_quiet_gap
+    with open_store(args.db, must_exist=True) as store:
+        ranked = store.incidents(
+            jaccard=jaccard,
+            quiet_gap=quiet_gap,
+            profile=args.profile,
+        )
+        if args.show is not None:
+            return _show_incident(store, ranked, args)
+        total = len(ranked)
+        if args.top is not None:
+            ranked = ranked[: args.top]
+        if args.format == "json":
+            print(json.dumps(
+                [r.to_dict() for r in ranked], sort_keys=True
+            ))
+            return 0
+        if not ranked:
+            if len(store) == 0:
+                print("no incidents (store holds no reports)")
+            else:
+                print(
+                    f"no incidents ({len(store)} reports stored, but "
+                    "none carried item-sets to correlate)"
+                )
+            return 0
+        shown = (
+            f"top {len(ranked)} of {total} incidents"
+            if len(ranked) < total else f"{total} incidents"
+        )
+        print(
+            f"{len(store)} reports over intervals "
+            f"{store.intervals()[0]}..{store.intervals()[-1]}, "
+            f"{shown} (profile: {args.profile})"
+        )
+        for entry in ranked:
+            print(f"  {entry.render()}")
+        return 0
+
+
+def _show_incident(store, ranked, args: argparse.Namespace) -> int:
+    from repro.errors import IncidentError
+
+    by_id = {r.incident.incident_id: r for r in ranked}
+    entry = by_id.get(args.show)
+    if entry is None:
+        have = (
+            f"{len(by_id)} incidents (ids {min(by_id)}..{max(by_id)})"
+            if by_id else "no incidents"
+        )
+        raise IncidentError(f"no incident #{args.show}; store has {have}")
+    # Bound to this incident's own span: a closed predecessor may share
+    # the same item-set key and its activity is not ours to show.
+    history = store.itemset_history(
+        entry.incident.key,
+        since=entry.incident.first_seen,
+        until=entry.incident.last_seen,
+    )
+    if args.format == "json":
+        data = entry.to_dict()
+        data["history"] = [
+            {"interval": i, "support": s, "hint": h}
+            for i, s, h in history
+        ]
+        print(json.dumps(data, sort_keys=True))
+        return 0
+    print(entry.render())
+    for name, value in sorted(entry.components.items()):
+        print(f"  {name}: {value:.3f}")
+    print("  key item-set history:")
+    for interval, support, hint in history:
+        print(f"    interval {interval}: support {support} ({hint})")
+    return 0

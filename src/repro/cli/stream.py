@@ -1,0 +1,127 @@
+"""``repro-extract stream`` - bounded-memory extraction over CSV/stdin."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli._common import (
+    TrackedAction,
+    TrackedTrueAction,
+    add_config_arg,
+    add_detector_args,
+    add_format_arg,
+    add_mining_args,
+    add_store_arg,
+    config_file_sets,
+    explicit_dests,
+    extraction_config,
+    positive_int,
+)
+from repro.errors import TraceFormatError
+from repro.flows import iter_csv, iter_csv_handle
+from repro.flows.io import DEFAULT_CHUNK_ROWS
+from repro.streaming import StreamingExtractor
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    stream = sub.add_parser(
+        "stream",
+        help="bounded-memory extraction over a CSV file or stdin ('-')",
+    )
+    stream.add_argument("trace",
+                        help="path to a .csv trace, or '-' for stdin")
+    add_config_arg(stream)
+    add_detector_args(stream)
+    add_mining_args(stream)
+    stream.add_argument("--chunk-rows", type=positive_int,
+                        default=DEFAULT_CHUNK_ROWS,
+                        help="flows parsed per chunk (bounds parser memory)")
+    stream.add_argument("--origin", type=float, default=0.0,
+                        help="timestamp of interval 0 (set this to the "
+                        "capture start for traces with absolute/epoch "
+                        "timestamps)")
+    stream.add_argument("--window", type=positive_int, default=1,
+                        action=TrackedAction,
+                        help="sliding mining window in intervals "
+                        "(1 = mine each alarmed interval alone)")
+    stream.add_argument("--max-delay", type=float, default=0.0,
+                        action=TrackedAction,
+                        help="seconds an interval stays open for "
+                        "out-of-order flows")
+    stream.add_argument("--max-pending", type=positive_int, default=None,
+                        action=TrackedAction,
+                        help="cap on intervals buffered at once "
+                        "(default: unbounded)")
+    stream.add_argument("--keep-extractions", default=False,
+                        action=TrackedTrueAction,
+                        help="retain every extraction result in memory "
+                        "for the whole run (the library default; the "
+                        "CLI prints results as they complete and drops "
+                        "them, so unbounded noisy pipes run flat)")
+    add_format_arg(stream)
+    add_store_arg(stream)
+    stream.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.trace == "-":
+        chunks = iter_csv_handle(
+            sys.stdin, chunk_rows=args.chunk_rows, name="<stdin>"
+        )
+    elif args.trace.endswith(".csv"):
+        chunks = iter_csv(args.trace, chunk_rows=args.chunk_rows)
+    else:
+        raise TraceFormatError(
+            f"{args.trace}: stream reads a .csv trace (or '-' for stdin)"
+        )
+    config = extraction_config(args)
+    if (
+        "keep_extractions" not in explicit_dests(args)
+        and not config_file_sets(args, "streaming", "keep_extractions")
+    ):
+        # The CLI's weak default: results print as they complete and
+        # the summary uses counters, so retention would only grow.
+        # The library default (True) still wins when the run config or
+        # the flag asks for it explicitly.
+        config = config.replace(keep_extractions=False)
+
+    def emit(streamer, extraction) -> None:
+        if args.format == "json":
+            # report_for carries the true (window-aware) bounds.
+            print(streamer.report_for(extraction).to_json())
+        else:
+            print(extraction.render())
+            print()
+
+    with StreamingExtractor(
+        config,
+        seed=args.seed,
+        interval_seconds=args.interval_seconds,
+        origin=args.origin,
+        # The CLI prints reports as they complete and never builds a
+        # post-hoc DetectionRun, so per-interval reports need not
+        # accumulate - this is what keeps day-long pipes flat.
+        keep_reports=False,
+    ) as streamer:
+        for chunk in chunks:
+            for extraction in streamer.process_chunk(chunk):
+                emit(streamer, extraction)
+        for extraction in streamer.flush():
+            emit(streamer, extraction)
+        result = streamer.result()
+    summary = (
+        f"{result.intervals} intervals, {result.flows} flows, "
+        f"{result.extraction_count} extractions"
+    )
+    if result.late_dropped:
+        summary += f", {result.late_dropped} late flows dropped"
+    if config.window_intervals > 1:
+        summary += (
+            f"; windows mined {result.windows_mined}, "
+            f"skipped {result.windows_skipped}"
+        )
+    # In JSON mode stdout carries one document per alarmed interval and
+    # nothing else; the human summary goes to stderr.
+    print(summary, file=sys.stderr if args.format == "json" else sys.stdout)
+    return 0

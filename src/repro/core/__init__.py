@@ -1,10 +1,19 @@
 """Core anomaly-extraction pipeline (the paper's contribution)."""
 
-from repro.core.config import TABLE3_PARAMETERS, ExtractionConfig, ParameterRow
+from repro.core.config import (
+    TABLE3_PARAMETERS,
+    ExtractionConfig,
+    IncidentSettings,
+    MiningSettings,
+    ParallelSettings,
+    ParameterRow,
+    StreamingSettings,
+)
 from repro.core.cost import CostCurvePoint, cost_curve, cost_reduction
 from repro.core.pipeline import (
     AnomalyExtractor,
     ExtractionResult,
+    IntervalSink,
     ReportSink,
     TraceExtraction,
     suggest_min_support,
@@ -22,12 +31,17 @@ from repro.core.report import (
 __all__ = [
     "TABLE3_PARAMETERS",
     "ExtractionConfig",
+    "MiningSettings",
+    "ParallelSettings",
+    "StreamingSettings",
+    "IncidentSettings",
     "ParameterRow",
     "CostCurvePoint",
     "cost_curve",
     "cost_reduction",
     "AnomalyExtractor",
     "ExtractionResult",
+    "IntervalSink",
     "ReportSink",
     "TraceExtraction",
     "suggest_min_support",

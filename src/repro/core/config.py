@@ -1,85 +1,71 @@
 """Extraction pipeline configuration (paper Table III).
 
-Bundles every knob of the end-to-end system - detector parameters,
-voting, prefilter mode, and the mining minimum support - together with a
-machine-readable rendering of Table III (parameter, description, range
-used in the evaluation) for the documentation benchmark.
+The end-to-end system's knobs, grouped into nested sub-configs that
+mirror the pipeline's stages:
+
+* ``detector`` - per-feature histogram detector settings
+  (:class:`~repro.detection.detector.DetectorConfig`) plus the
+  monitored ``features``;
+* ``mining`` - :class:`MiningSettings` (support, prefilter, miner);
+* ``parallel`` - :class:`ParallelSettings` (jobs, backend, partitions);
+* ``streaming`` - :class:`StreamingSettings` (window, lateness,
+  retention);
+* ``incidents`` - :class:`IncidentSettings` (store path, correlation
+  knobs).
+
+:class:`ExtractionConfig` is declarative: it round-trips byte-stably
+through :meth:`~ExtractionConfig.to_dict` /
+:meth:`~ExtractionConfig.from_dict`, loads from a TOML run config via
+:meth:`~ExtractionConfig.from_toml` (the CLI's ``--config run.toml``),
+and rejects unknown keys with did-you-mean hints.  The pre-redesign
+flat surface - ``ExtractionConfig(min_support=500, jobs=4)``,
+``config.min_support`` - keeps working through kwarg translation and
+read-only properties.
+
+The module also carries a machine-readable rendering of Table III
+(parameter, description, range used in the evaluation) for the
+documentation benchmark.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+import difflib
+import os
+import types
+import typing
+from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.detection.detector import DetectorConfig
-from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.detection.features import (
+    DETECTOR_FEATURES,
+    Feature,
+    resolve_features,
+)
 from repro.errors import ConfigError
 
 _PREFILTER_MODES = ("union", "intersection")
 
 
-@dataclass(frozen=True)
-class ExtractionConfig:
-    """Everything the :class:`~repro.core.pipeline.AnomalyExtractor`
-    needs.
+@dataclass(frozen=True, slots=True)
+class MiningSettings:
+    """The mining stage: prefilter mode and frequent item-set miner.
 
     Attributes:
-        detector: per-feature histogram detector settings (C, m, V, ...).
-        features: monitored features (paper: the five of Section II-E).
         min_support: Apriori minimum support ``s`` in flows.
         prefilter_mode: "union" (the paper's choice) or "intersection"
             (the ablation).
         maximal_only: emit only maximal item-sets.
-        miner: "apriori" (paper), "fpgrowth", "eclat", or "son"
-            (partitioned two-pass).
-        jobs: worker count; ``jobs > 1`` routes detection and mining
-            through the partitioned engine (:mod:`repro.parallel`).
-        backend: executor backend for ``jobs > 1`` ("serial", "thread",
-            or "process").
-        partitions: transaction shards per mining call (``None`` = one
-            per worker).
-        window_intervals: streaming only - mine the prefiltered flows
-            of the last N intervals together
-            (:class:`~repro.mining.streaming.SlidingWindowMiner`);
-            1 (default) mines each alarmed interval on its own,
-            byte-identical to the batch path.
-        max_delay_seconds: streaming only - how long an interval stays
-            open for out-of-order records before the watermark releases
-            it.
-        max_pending_intervals: streaming only - cap on intervals held
-            open at once (``None`` = unbounded); exceeding it
-            force-emits the oldest.
-        store_path: when set, the extractor opens an
-            :class:`~repro.incidents.store.IncidentStore` at this path
-            and persists every alarmed interval's extraction report there
-            (batch ``run_trace`` and streaming ``run_stream`` alike).
-        incident_jaccard: item-set similarity threshold used by the
-            :class:`~repro.incidents.correlate.IncidentCorrelator` to
-            merge non-identical item-sets into one incident
-            (1.0 = exact matches only).  ``None`` (the default) keeps
-            whatever the store already persists (else 0.5); an explicit
-            value is written into the store and becomes its new
-            default.
-        incident_quiet_gap: intervals of silence after which an active
-            incident turns "quiet"; beyond the gap it is "closed" and a
-            reappearance starts a new incident.  ``None`` defers to the
-            store like ``incident_jaccard`` (else 2).
+        miner: any name registered with :data:`repro.registry.miners`
+            ("apriori" - the paper - "fpgrowth", "eclat", "son", or a
+            plugin).
     """
 
-    detector: DetectorConfig = field(default_factory=DetectorConfig)
-    features: tuple[Feature, ...] = DETECTOR_FEATURES
     min_support: int = 5_000
     prefilter_mode: str = "union"
     maximal_only: bool = True
     miner: str = "apriori"
-    jobs: int = 1
-    backend: str = "thread"
-    partitions: int | None = None
-    window_intervals: int = 1
-    max_delay_seconds: float = 0.0
-    max_pending_intervals: int | None = None
-    store_path: str | None = None
-    incident_jaccard: float | None = None
-    incident_quiet_gap: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -89,14 +75,32 @@ class ExtractionConfig:
                 f"prefilter_mode must be one of {_PREFILTER_MODES}: "
                 f"{self.prefilter_mode}"
             )
-        if not self.features:
-            raise ConfigError("need at least one monitored feature")
-        from repro.mining import MINERS
+        from repro.registry import miners
 
-        if self.miner not in MINERS:
-            raise ConfigError(
-                f"unknown miner {self.miner!r}; choose from {sorted(MINERS)}"
-            )
+        # Membership, not load: entry-point miners validate by name
+        # here and only import when the pipeline actually mines.
+        if self.miner not in miners:
+            miners.get(self.miner)  # raises RegistryError with choices
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelSettings:
+    """The partitioned engine (:mod:`repro.parallel`).
+
+    Attributes:
+        jobs: worker count; ``jobs > 1`` routes detection and mining
+            through the engine.
+        backend: executor backend for ``jobs > 1`` ("serial", "thread",
+            or "process").
+        partitions: transaction shards per mining call (``None`` = one
+            per worker).
+    """
+
+    jobs: int = 1
+    backend: str = "thread"
+    partitions: int | None = None
+
+    def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1: {self.jobs}")
         from repro.parallel.executor import EXECUTOR_BACKENDS
@@ -107,9 +111,40 @@ class ExtractionConfig:
                 f"choose from {EXECUTOR_BACKENDS}"
             )
         if self.partitions is not None and self.partitions < 1:
-            raise ConfigError(
-                f"partitions must be >= 1: {self.partitions}"
-            )
+            raise ConfigError(f"partitions must be >= 1: {self.partitions}")
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingSettings:
+    """The streaming path (:mod:`repro.streaming`).
+
+    Attributes:
+        window_intervals: mine the prefiltered flows of the last N
+            intervals together
+            (:class:`~repro.mining.streaming.SlidingWindowMiner`);
+            1 (default) mines each alarmed interval on its own,
+            byte-identical to the batch path.
+        max_delay_seconds: how long an interval stays open for
+            out-of-order records before the watermark releases it.
+        max_pending_intervals: cap on intervals held open at once
+            (``None`` = unbounded); exceeding it force-emits the
+            oldest.
+        keep_extractions: retain every
+            :class:`~repro.core.pipeline.ExtractionResult` (and its
+            report state) for the streamer's lifetime so
+            :meth:`~repro.streaming.extractor.StreamingExtractor.result`
+            can return them all - linear in alarm count.  Set False for
+            genuinely unbounded noisy pipes: emitted extractions are
+            evicted after each chunk, memory stays flat, and summaries
+            use counters (the CLI ``stream`` default).
+    """
+
+    window_intervals: int = 1
+    max_delay_seconds: float = 0.0
+    max_pending_intervals: int | None = None
+    keep_extractions: bool = True
+
+    def __post_init__(self) -> None:
         if self.window_intervals < 1:
             raise ConfigError(
                 f"window_intervals must be >= 1: {self.window_intervals}"
@@ -126,22 +161,460 @@ class ExtractionConfig:
                 f"max_pending_intervals must be >= 1: "
                 f"{self.max_pending_intervals}"
             )
-        if (
-            self.incident_jaccard is not None
-            and not 0 < self.incident_jaccard <= 1
-        ):
+
+
+@dataclass(frozen=True, slots=True)
+class IncidentSettings:
+    """The incident layer (:mod:`repro.incidents`).
+
+    Attributes:
+        store_path: when set, the extractor opens an
+            :class:`~repro.incidents.store.IncidentStore` at this path
+            and persists every alarmed interval's extraction report
+            there (batch ``run_trace`` and streaming ``run_stream``
+            alike).
+        jaccard: item-set similarity threshold used by the
+            :class:`~repro.incidents.correlate.IncidentCorrelator` to
+            merge non-identical item-sets into one incident
+            (1.0 = exact matches only).  ``None`` (the default) keeps
+            whatever the store already persists (else 0.5); an explicit
+            value is written into the store and becomes its new
+            default.
+        quiet_gap: intervals of silence after which an active incident
+            turns "quiet"; beyond the gap it is "closed" and a
+            reappearance starts a new incident.  ``None`` defers to the
+            store like ``jaccard`` (else 2).
+    """
+
+    store_path: str | None = None
+    jaccard: float | None = None
+    quiet_gap: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.jaccard is not None and not 0 < self.jaccard <= 1:
             raise ConfigError(
-                f"incident_jaccard must be in (0, 1]: "
-                f"{self.incident_jaccard}"
+                f"incident jaccard must be in (0, 1]: {self.jaccard}"
             )
-        if (
-            self.incident_quiet_gap is not None
-            and self.incident_quiet_gap < 1
-        ):
+        if self.quiet_gap is not None and self.quiet_gap < 1:
             raise ConfigError(
-                f"incident_quiet_gap must be >= 1: "
-                f"{self.incident_quiet_gap}"
+                f"incident quiet_gap must be >= 1: {self.quiet_gap}"
             )
+
+
+#: Legacy flat constructor kwargs / attribute names -> (group, field).
+_FLAT_FIELDS: dict[str, tuple[str, str]] = {
+    "min_support": ("mining", "min_support"),
+    "prefilter_mode": ("mining", "prefilter_mode"),
+    "maximal_only": ("mining", "maximal_only"),
+    "miner": ("mining", "miner"),
+    "jobs": ("parallel", "jobs"),
+    "backend": ("parallel", "backend"),
+    "partitions": ("parallel", "partitions"),
+    "window_intervals": ("streaming", "window_intervals"),
+    "max_delay_seconds": ("streaming", "max_delay_seconds"),
+    "max_pending_intervals": ("streaming", "max_pending_intervals"),
+    "keep_extractions": ("streaming", "keep_extractions"),
+    "store_path": ("incidents", "store_path"),
+    "incident_jaccard": ("incidents", "jaccard"),
+    "incident_quiet_gap": ("incidents", "quiet_gap"),
+}
+
+_GROUP_TYPES: dict[str, type] = {
+    "mining": MiningSettings,
+    "parallel": ParallelSettings,
+    "streaming": StreamingSettings,
+    "incidents": IncidentSettings,
+}
+
+#: to_dict/from_dict section order (fixed: byte-stable output).
+_SECTION_ORDER = ("detector", "mining", "parallel", "streaming", "incidents")
+
+
+def _close_match_hint(key: str, choices: list[str]) -> str:
+    close = difflib.get_close_matches(key, choices, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _section_fields(section: str) -> dict[str, object]:
+    """Field name -> resolved type annotation for one config section."""
+    cls = DetectorConfig if section == "detector" else _GROUP_TYPES[section]
+    hints = typing.get_type_hints(cls)
+    return {f.name: hints[f.name] for f in dataclasses.fields(cls)}
+
+
+def _check_type(section: str, key: str, value: object, annotation) -> object:
+    """Reject values whose type cannot satisfy ``annotation``.
+
+    Dataclasses don't type-check, so a TOML typo like
+    ``min_support = "lots"`` would otherwise surface as a baffling
+    ``TypeError`` deep inside validation.  Accepted coercion: int ->
+    float (TOML writes ``5`` for five seconds).  ``bool`` is never a
+    valid int (and vice versa) despite the subclass relationship.
+    """
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union or origin is types.UnionType:
+        allowed = [
+            a for a in typing.get_args(annotation) if a is not type(None)
+        ]
+    else:
+        allowed = [annotation]
+    for expected in allowed:
+        if expected is bool:
+            if isinstance(value, bool):
+                return value
+        elif expected is int:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+        elif expected is float:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        elif isinstance(value, expected):
+            return value
+    names = " or ".join(t.__name__ for t in allowed)
+    raise ConfigError(
+        f"[{section}] {key} must be {names}, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True, init=False)
+class ExtractionConfig:
+    """Everything the :class:`~repro.core.pipeline.AnomalyExtractor`
+    needs, grouped by pipeline stage.
+
+    Construct nested, flat (pre-redesign style), or mixed - flat kwargs
+    override the group they belong to::
+
+        ExtractionConfig(mining=MiningSettings(min_support=500))
+        ExtractionConfig(min_support=500, jobs=4)          # legacy flat
+        ExtractionConfig(mining={"min_support": 500})      # dict groups
+
+    Flat reads (``config.min_support``, ``config.incident_jaccard``,
+    ...) are served by read-only properties, so every pre-redesign
+    access keeps working.
+
+    Attributes:
+        detector: per-feature histogram detector settings (C, m, V, ...).
+        features: monitored features (paper: the five of Section II-E);
+            accepts a registered feature-set name ("paper", "all", ...)
+            or any mix of names / :class:`Feature` members / custom
+            features.
+        mining: :class:`MiningSettings`.
+        parallel: :class:`ParallelSettings`.
+        streaming: :class:`StreamingSettings`.
+        incidents: :class:`IncidentSettings`.
+    """
+
+    detector: DetectorConfig
+    features: tuple[Feature, ...]
+    mining: MiningSettings
+    parallel: ParallelSettings
+    streaming: StreamingSettings
+    incidents: IncidentSettings
+
+    def __init__(
+        self,
+        detector: DetectorConfig | Mapping | None = None,
+        features: object = None,
+        mining: MiningSettings | Mapping | None = None,
+        parallel: ParallelSettings | Mapping | None = None,
+        streaming: StreamingSettings | Mapping | None = None,
+        incidents: IncidentSettings | Mapping | None = None,
+        **flat: object,
+    ):
+        groups: dict[str, object] = {
+            "mining": self._coerce_group("mining", mining),
+            "parallel": self._coerce_group("parallel", parallel),
+            "streaming": self._coerce_group("streaming", streaming),
+            "incidents": self._coerce_group("incidents", incidents),
+        }
+        if detector is None:
+            detector = DetectorConfig()
+        elif isinstance(detector, Mapping):
+            known = {f.name for f in dataclasses.fields(DetectorConfig)}
+            for key in detector:
+                if key not in known:
+                    raise ConfigError(
+                        f"[detector] unknown key {key!r}"
+                        f"{_close_match_hint(str(key), sorted(known))}; "
+                        f"valid keys: {sorted(known)}"
+                    )
+            detector = DetectorConfig(**detector)
+        overrides: dict[str, dict[str, object]] = {}
+        for key, value in flat.items():
+            target = _FLAT_FIELDS.get(key)
+            if target is None:
+                choices = sorted(_FLAT_FIELDS) + list(_SECTION_ORDER) + [
+                    "features"
+                ]
+                raise ConfigError(
+                    f"unknown config field {key!r}"
+                    f"{_close_match_hint(key, choices)}; "
+                    f"flat fields: {sorted(_FLAT_FIELDS)}"
+                )
+            group, attr = target
+            overrides.setdefault(group, {})[attr] = value
+        for group, changes in overrides.items():
+            groups[group] = dataclasses.replace(groups[group], **changes)
+        features = resolve_features(features)
+        if not features:
+            raise ConfigError("need at least one monitored feature")
+        object.__setattr__(self, "detector", detector)
+        object.__setattr__(self, "features", tuple(features))
+        for group, value in groups.items():
+            object.__setattr__(self, group, value)
+
+    @staticmethod
+    def _coerce_group(name: str, value: object):
+        cls = _GROUP_TYPES[name]
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            known = {f.name for f in dataclasses.fields(cls)}
+            for key in value:
+                if key not in known:
+                    raise ConfigError(
+                        f"[{name}] unknown key {key!r}"
+                        f"{_close_match_hint(str(key), sorted(known))}; "
+                        f"valid keys: {sorted(known)}"
+                    )
+            return cls(**value)
+        raise ConfigError(
+            f"{name} must be {cls.__name__} or a mapping, "
+            f"got {type(value).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Flat read surface (pre-redesign compatibility)
+    # ------------------------------------------------------------------
+    @property
+    def min_support(self) -> int:
+        return self.mining.min_support
+
+    @property
+    def prefilter_mode(self) -> str:
+        return self.mining.prefilter_mode
+
+    @property
+    def maximal_only(self) -> bool:
+        return self.mining.maximal_only
+
+    @property
+    def miner(self) -> str:
+        return self.mining.miner
+
+    @property
+    def jobs(self) -> int:
+        return self.parallel.jobs
+
+    @property
+    def backend(self) -> str:
+        return self.parallel.backend
+
+    @property
+    def partitions(self) -> int | None:
+        return self.parallel.partitions
+
+    @property
+    def window_intervals(self) -> int:
+        return self.streaming.window_intervals
+
+    @property
+    def max_delay_seconds(self) -> float:
+        return self.streaming.max_delay_seconds
+
+    @property
+    def max_pending_intervals(self) -> int | None:
+        return self.streaming.max_pending_intervals
+
+    @property
+    def keep_extractions(self) -> bool:
+        return self.streaming.keep_extractions
+
+    @property
+    def store_path(self) -> str | None:
+        return self.incidents.store_path
+
+    @property
+    def incident_jaccard(self) -> float | None:
+        return self.incidents.jaccard
+
+    @property
+    def incident_quiet_gap(self) -> int | None:
+        return self.incidents.quiet_gap
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def replace(self, **changes: object) -> "ExtractionConfig":
+        """A copy with ``changes`` applied - group fields
+        (``mining=...``), flat names (``min_support=...``), or both."""
+        base: dict[str, object] = {
+            "detector": self.detector,
+            "features": self.features,
+            "mining": self.mining,
+            "parallel": self.parallel,
+            "streaming": self.streaming,
+            "incidents": self.incidents,
+        }
+        for key in list(changes):
+            if key in base:
+                base[key] = changes.pop(key)
+        return ExtractionConfig(**base, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-data rendering, TOML-compatible (``None``-valued
+        knobs are omitted; their absence round-trips to the ``None``
+        default).  Key order is fixed, so
+        ``json.dumps(c.to_dict(), sort_keys=True)`` is byte-stable
+        across round trips."""
+        data: dict[str, dict[str, object]] = {}
+        detector = {
+            f.name: getattr(self.detector, f.name)
+            for f in dataclasses.fields(DetectorConfig)
+        }
+        for feature in self.features:
+            # A CustomFeature's transform cannot be expressed in plain
+            # data, so a name-only rendering would break the documented
+            # from_dict round trip; refuse rather than emit a dict that
+            # silently rebuilds a different config.
+            if not isinstance(feature, Feature):
+                raise ConfigError(
+                    f"cannot serialize custom feature "
+                    f"{feature.short_name!r}: only built-in features "
+                    f"round-trip through to_dict/from_toml (keep "
+                    f"custom-feature configs in code, or register a "
+                    f"feature set and construct from its name)"
+                )
+        detector["features"] = [f.short_name for f in self.features]
+        data["detector"] = detector
+        for section in _SECTION_ORDER[1:]:
+            group = getattr(self, section)
+            data[section] = {
+                f.name: getattr(group, f.name)
+                for f in dataclasses.fields(group)
+                if getattr(group, f.name) is not None
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExtractionConfig":
+        """Build a config from nested plain data (:meth:`to_dict`'s
+        inverse).  Unknown sections/keys raise :class:`ConfigError`
+        with a did-you-mean hint; so do values of the wrong type."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"config must be a mapping of sections, "
+                f"got {type(data).__name__}"
+            )
+        sections = set(_SECTION_ORDER)
+        for key in data:
+            if key not in sections:
+                target = _FLAT_FIELDS.get(str(key))
+                if target is not None:
+                    hint = f" (did you mean [{target[0]}] {target[1]}?)"
+                else:
+                    hint = _close_match_hint(str(key), sorted(sections))
+                raise ConfigError(
+                    f"unknown config section {key!r}{hint}; "
+                    f"valid sections: {sorted(sections)}"
+                )
+        kwargs: dict[str, object] = {}
+        for section in _SECTION_ORDER:
+            raw = data.get(section)
+            if raw is None:
+                continue
+            if not isinstance(raw, Mapping):
+                raise ConfigError(
+                    f"[{section}] must be a table of keys, "
+                    f"got {type(raw).__name__}"
+                )
+            spec = _section_fields(section)
+            checked: dict[str, object] = {}
+            features: object = None
+            for key, value in raw.items():
+                if section == "detector" and key == "features":
+                    features = cls._parse_features(value)
+                    continue
+                if key not in spec:
+                    raise ConfigError(
+                        f"[{section}] unknown key {key!r}"
+                        f"{_close_match_hint(str(key), sorted(spec))}; "
+                        f"valid keys: {sorted(spec)}"
+                    )
+                checked[key] = _check_type(section, key, value, spec[key])
+            if section == "detector":
+                kwargs["detector"] = DetectorConfig(**checked)
+                if features is not None:
+                    kwargs["features"] = features
+            else:
+                kwargs[section] = _GROUP_TYPES[section](**checked)
+        return cls(**kwargs)
+
+    @staticmethod
+    def _parse_features(value: object) -> tuple[Feature, ...]:
+        if isinstance(value, str):
+            return resolve_features(value)
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                if not isinstance(item, str):
+                    raise ConfigError(
+                        f"[detector] features must be feature names, "
+                        f"got {type(item).__name__}: {item!r}"
+                    )
+            return resolve_features(value)
+        raise ConfigError(
+            f"[detector] features must be a name or list of names, "
+            f"got {type(value).__name__}: {value!r}"
+        )
+
+    @classmethod
+    def from_toml(cls, path: str | os.PathLike[str]) -> "ExtractionConfig":
+        """Load a declarative run config (the CLI's ``--config``).
+
+        The file holds the :meth:`to_dict` sections as TOML tables::
+
+            [mining]
+            min_support = 500
+            miner = "fpgrowth"
+
+            [detector]
+            training_intervals = 16
+            features = ["srcIP", "dstIP", "dstPort"]
+
+        Missing sections and keys keep their defaults; unknown ones and
+        wrong types are rejected as :class:`ConfigError` (the CLI turns
+        that into ``error: ...`` with exit code 2, not a traceback).
+        """
+        data = load_toml_data(path)
+        try:
+            return cls.from_dict(data)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from exc
+
+
+def load_toml_data(path: str | os.PathLike[str]) -> dict:
+    """Parse a run-config TOML file into raw section data.
+
+    The loader behind :meth:`ExtractionConfig.from_toml`, exposed so a
+    caller that also needs the raw keys (the CLI's layered-default
+    logic) reads and parses the file exactly once.  File and syntax
+    errors surface as :class:`ConfigError` carrying the path.
+    """
+    import tomllib
+
+    try:
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    except FileNotFoundError as exc:
+        raise ConfigError(f"config file not found: {path}") from exc
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{path}: invalid TOML: {exc}") from exc
 
 
 @dataclass(frozen=True, slots=True)

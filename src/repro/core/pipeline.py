@@ -42,26 +42,38 @@ class ReportSink(Protocol):
 
     :class:`~repro.incidents.store.IncidentStore` is the canonical
     implementation; a bare ``list``-backed collector satisfies it too
-    (``append`` is the whole contract).
+    (``append`` is the whole contract).  Named implementations live in
+    :mod:`repro.sinks` and register with :data:`repro.registry.sinks`.
     """
 
     def append(self, report: ExtractionReport) -> object: ...
 
 
+@runtime_checkable
+class IntervalSink(ReportSink, Protocol):
+    """A report sink that also tracks pipeline progress.
+
+    Sinks holding incident lifecycle state (the incident store) need to
+    see clean intervals pass - a report-free tail must still age
+    incidents toward quiet/closed.  The pipeline calls
+    ``note_interval`` through :func:`notify_sink_interval`, so plain
+    collectors that only implement ``append`` keep working.
+    """
+
+    def note_interval(self, interval: int) -> object: ...
+
+
 def notify_sink_interval(sink: object, interval: int | None) -> None:
     """Tell a sink how far the pipeline processed, if it cares.
 
-    ``append`` is the whole :class:`ReportSink` contract, but sinks
-    that track incident lifecycle (the incident store) also need to see
-    clean intervals pass - a report-free tail must still age incidents
-    toward quiet/closed.  Optional by duck-typing so list-backed
-    collectors keep working.
+    The structural check against :class:`IntervalSink` replaces the old
+    ``getattr`` duck-typing: sinks opt in by implementing
+    ``note_interval``, and list-backed collectors are skipped.
     """
-    if interval is None:
+    if interval is None or sink is None:
         return
-    note = getattr(sink, "note_interval", None)
-    if note is not None:
-        note(interval)
+    if isinstance(sink, IntervalSink):
+        sink.note_interval(interval)
 
 
 @dataclass(frozen=True)

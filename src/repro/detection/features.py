@@ -4,11 +4,19 @@ The paper uses five detectors (Section II-E, "Number of Detectors n"):
 source IP, destination IP, source port, destination port, and packets
 per flow.  The mining step additionally uses protocol and byte counts,
 so the full seven-feature enum lives here and both layers share it.
+
+Feature *sets* are named through the :data:`repro.registry.feature_sets`
+registry ("paper", "all", ...), and :func:`resolve_features` turns any
+spec - a registered name, feature names, :class:`Feature` members, or
+duck-compatible :class:`CustomFeature` objects - into the tuple
+:class:`~repro.detection.manager.DetectorBank` consumes.
 """
 
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -87,3 +95,120 @@ def parse_feature(name: str) -> Feature:
         if name == feature.value or name == feature.short_name:
             return feature
     raise ConfigError(f"unknown feature name: {name!r}")
+
+
+@dataclass(frozen=True)
+class CustomFeature:
+    """A user-defined detector feature over a flow-table column.
+
+    Duck-compatible with :class:`Feature` everywhere the detection layer
+    looks - ``value``/``column`` (the hash-salt / column name),
+    ``short_name``, ``extract``, ``format_value`` - so a custom feature
+    drops into :class:`~repro.detection.manager.DetectorBank`,
+    meta-data voting, and the prefilter unchanged.
+
+    ``transform`` derives the monitored values from the column, e.g. a
+    /24-subnet detector over destination IPs::
+
+        subnet24 = CustomFeature(
+            "dstSubnet24", "dst_ip",
+            transform=lambda values: values >> np.uint64(8),
+        )
+
+    Register tuples of features (enum and custom mixed freely) with
+    :data:`repro.registry.feature_sets` to make them selectable by
+    name.
+    """
+
+    short_name: str
+    column: str
+    transform: object | None = None
+
+    def __post_init__(self) -> None:
+        if not self.short_name:
+            raise ConfigError("custom feature needs a short_name")
+        if not self.column:
+            raise ConfigError(
+                f"custom feature {self.short_name!r} needs a column"
+            )
+
+    @property
+    def value(self) -> str:
+        """Distinct hash-salt identity (mirrors ``Feature.value``)."""
+        return f"{self.column}:{self.short_name}"
+
+    def extract(self, flows: FlowTable) -> np.ndarray:
+        values = flows.column(self.column)
+        if self.transform is not None:
+            values = self.transform(values)
+        return values
+
+    def format_value(self, value: int) -> str:
+        return str(int(value))
+
+
+#: Anything :class:`~repro.detection.manager.DetectorBank` accepts as a
+#: monitored feature.
+FeatureLike = Feature | CustomFeature
+
+
+def resolve_features(spec: object) -> tuple[FeatureLike, ...]:
+    """Normalize a feature spec into a tuple of feature objects.
+
+    Accepts a registered feature-set name (via
+    :data:`repro.registry.feature_sets`), a single feature name, or an
+    iterable mixing :class:`Feature` members, names, and
+    :class:`CustomFeature` objects.  Unknown set names raise
+    :class:`~repro.errors.RegistryError` listing the registered sets.
+    """
+    if spec is None:
+        return DETECTOR_FEATURES
+    if isinstance(spec, (Feature, CustomFeature)):
+        return (spec,)
+    if isinstance(spec, str):
+        from repro.registry import feature_sets
+
+        if spec in feature_sets:
+            return tuple(feature_sets[spec])
+        try:
+            return (parse_feature(spec),)
+        except ConfigError:
+            # Not a single feature either: report the richer error,
+            # listing the registered set names.
+            feature_sets.get(spec)  # raises RegistryError
+            raise  # pragma: no cover - get() always raises above
+    if isinstance(spec, Iterable):
+        resolved = []
+        for item in spec:
+            if isinstance(item, str):
+                resolved.append(parse_feature(item))
+            elif isinstance(item, (Feature, CustomFeature)):
+                resolved.append(item)
+            elif hasattr(item, "extract") and hasattr(item, "short_name"):
+                # Duck-typed custom feature objects pass through.
+                resolved.append(item)
+            else:
+                raise ConfigError(f"not a feature: {item!r}")
+        return tuple(resolved)
+    raise ConfigError(f"cannot resolve features from {spec!r}")
+
+
+def _register_builtin_sets() -> None:
+    from repro.registry import feature_sets
+
+    # "paper": the five detectors of Section II-E (the default bank).
+    feature_sets.register("paper", DETECTOR_FEATURES, replace=True)
+    feature_sets.register("detector", DETECTOR_FEATURES, replace=True)
+    # "all": every mining feature, for ablations that also watch
+    # protocol and byte counts.
+    feature_sets.register("all", MINING_FEATURES, replace=True)
+    feature_sets.register("mining", MINING_FEATURES, replace=True)
+    # "endpoints": the address/port features only (no volume counts).
+    feature_sets.register(
+        "endpoints",
+        (Feature.SRC_IP, Feature.DST_IP, Feature.SRC_PORT, Feature.DST_PORT),
+        replace=True,
+    )
+
+
+_register_builtin_sets()

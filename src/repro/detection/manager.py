@@ -19,7 +19,11 @@ from repro.detection.detector import (
     FeatureObservation,
     HistogramDetector,
 )
-from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.detection.features import (
+    DETECTOR_FEATURES,
+    Feature,
+    resolve_features,
+)
 from repro.detection.metadata import Metadata
 from repro.errors import ConfigError
 from repro.flows.stream import iter_intervals
@@ -114,9 +118,13 @@ class DetectorBank:
     def __init__(
         self,
         config: DetectorConfig | None = None,
-        features: tuple[Feature, ...] = DETECTOR_FEATURES,
+        features: tuple[Feature, ...] | str | None = DETECTOR_FEATURES,
         seed: int = 0,
     ):
+        # Accepts a registered feature-set name ("paper", "all", ...),
+        # feature names, Feature members, or custom feature objects -
+        # see repro.detection.features.resolve_features.
+        features = resolve_features(features)
         if not features:
             raise ConfigError("need at least one monitored feature")
         self.config = config or DetectorConfig()

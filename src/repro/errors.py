@@ -23,6 +23,15 @@ class ConfigError(ReproError):
     """Invalid configuration value (bad parameter range or combination)."""
 
 
+class RegistryError(ConfigError):
+    """Unknown or conflicting name in an extension registry.
+
+    Subclasses :class:`ConfigError`: an unknown miner/reader/sink name
+    is a configuration mistake, and pre-registry code that caught
+    ``ConfigError`` keeps working.
+    """
+
+
 class DetectionError(ReproError):
     """Detector used in an invalid state (e.g. no reference interval yet)."""
 

@@ -15,6 +15,7 @@ from repro.flows.io import (
     iter_csv_handle,
     read_csv,
     read_npz,
+    read_trace,
     write_csv,
     write_npz,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ip_to_int",
     "int_to_ip",
     "read_csv",
+    "read_trace",
     "iter_csv",
     "iter_csv_handle",
     "write_csv",

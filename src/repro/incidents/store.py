@@ -552,10 +552,16 @@ class IncidentStore:
         )
 
 
-def open_store(path: str, must_exist: bool = False) -> IncidentStore:
+def open_store(
+    path: str,
+    must_exist: bool = False,
+    jaccard: float | None = None,
+    quiet_gap: int | None = None,
+) -> IncidentStore:
     """Open (or create) a store; with ``must_exist`` a missing file is an
     error instead of a silently created empty database (the CLI query
-    path wants that)."""
+    path wants that).  ``jaccard``/``quiet_gap`` are the correlation
+    knobs to persist (``None`` keeps the store's current values)."""
     if must_exist and path != ":memory:" and not os.path.exists(path):
         raise IncidentError(f"no incident store at {path!r}")
-    return IncidentStore(path)
+    return IncidentStore(path, jaccard=jaccard, quiet_gap=quiet_gap)

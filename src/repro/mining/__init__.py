@@ -48,13 +48,16 @@ def _son_miner(transactions, min_support, maximal_only=True, **kwargs):
     )
 
 
-#: Miners by name (used by the CLI and the scaling bench).
-MINERS = {
-    "apriori": apriori,
-    "fpgrowth": fpgrowth,
-    "eclat": eclat,
-    "son": _son_miner,
-}
+#: Miners by name: the :data:`repro.registry.miners` registry.  The
+#: ``MINERS`` alias predates the registry and keeps its dict-style API
+#: (lookup, membership, iteration) working unchanged; new code and
+#: third-party plugins should use :mod:`repro.registry` directly.
+from repro.registry import miners as MINERS  # noqa: E402
+
+MINERS.register("apriori", apriori, replace=True)
+MINERS.register("fpgrowth", fpgrowth, replace=True)
+MINERS.register("eclat", eclat, replace=True)
+MINERS.register("son", _son_miner, replace=True)
 
 __all__ = [
     "apriori",

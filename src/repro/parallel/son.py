@@ -35,12 +35,36 @@ from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
 from repro.parallel.executor import Executor, SerialExecutor
 
-#: Exact miners usable for the per-shard candidate pass.
+#: The built-in exact miners for the per-shard candidate pass.  Kept as
+#: a plain dict for backward compatibility; resolution goes through the
+#: :data:`repro.registry.miners` registry, so registered third-party
+#: exact miners are valid ``local_miner`` choices too.
 SON_LOCAL_MINERS = {
     "apriori": apriori,
     "eclat": eclat,
     "fpgrowth": fpgrowth,
 }
+
+
+def _resolve_local_miner(name: str):
+    """A local (per-shard) miner by name, via the miners registry.
+
+    "son" itself is excluded - partitioning the partitions would
+    recurse - and unknown names surface as :class:`MiningError` with
+    the valid choices, like every other mining input error.
+    """
+    from repro.errors import RegistryError
+    from repro.registry import miners
+
+    if name == "son":
+        raise MiningError(
+            "'son' cannot be its own local miner; choose an exact "
+            f"in-memory miner: {sorted(n for n in miners if n != 'son')}"
+        )
+    try:
+        return miners.get(name)
+    except RegistryError as exc:
+        raise MiningError(f"unknown local miner: {exc}") from exc
 
 
 def _mine_shard(
@@ -49,10 +73,13 @@ def _mine_shard(
     """Candidate-pass worker: locally frequent item-sets of one shard.
 
     Module-level with a single tuple argument so the process backend can
-    pickle it.
+    pickle it.  The miner is re-resolved by name in the worker: built-in
+    and entry-point miners resolve in any process, while miners
+    registered at runtime require the serial or thread backend (the
+    registration lives only in the registering process).
     """
     shard, shard_support, local_miner = task
-    result = SON_LOCAL_MINERS[local_miner](
+    result = _resolve_local_miner(local_miner)(
         shard, shard_support, maximal_only=False
     )
     return list(result.all_frequent)
@@ -86,8 +113,9 @@ def son(
             miner plus a verification pass).
         executor: executor to fan the passes out on; defaults to a
             fresh :class:`~repro.parallel.executor.SerialExecutor`.
-        local_miner: exact miner for the candidate pass
-            ("apriori", "eclat", or "fpgrowth").
+        local_miner: exact miner for the candidate pass ("apriori",
+            "eclat", "fpgrowth", or any miner registered with
+            :data:`repro.registry.miners` except "son" itself).
 
     Returns:
         A :class:`~repro.mining.result.MiningResult` equivalent to the
@@ -95,11 +123,8 @@ def son(
     """
     if min_support < 1:
         raise MiningError(f"min_support must be >= 1: {min_support}")
-    if local_miner not in SON_LOCAL_MINERS:
-        raise MiningError(
-            f"unknown local miner {local_miner!r}; "
-            f"choose from {sorted(SON_LOCAL_MINERS)}"
-        )
+    # Fail fast in the caller, before any shard work is dispatched.
+    _resolve_local_miner(local_miner)
     own_executor = executor is None
     if executor is None:
         executor = SerialExecutor()

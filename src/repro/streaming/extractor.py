@@ -51,6 +51,11 @@ class StreamExtraction:
     #: incremental candidate screen.
     windows_mined: int = 0
     windows_skipped: int = 0
+    #: Total extractions produced.  Always populated - with
+    #: ``keep_extractions=False`` the ``extractions`` list stays empty
+    #: (emitted results are evicted to keep memory flat) and this
+    #: counter is the only record of how many there were.
+    extraction_count: int = 0
 
     @property
     def flagged_intervals(self) -> list[int]:
@@ -101,8 +106,15 @@ class StreamingExtractor:
             batch-parity default).  Set False for genuinely unbounded
             streams: reports are dropped after each interval, memory
             stays flat, and :attr:`StreamExtraction.detection` is
-            ``None``.  Extractions themselves are always kept - they
-            grow with alarms, not with stream length.
+            ``None``.  Extractions are governed separately by
+            ``config.streaming.keep_extractions``: when that is False,
+            each emitted extraction (and its report state, which pins
+            the prefiltered flow table) is evicted once the next batch
+            of intervals arrives - consume results from the return
+            value of :meth:`process_chunk` / :meth:`flush` as they
+            appear, and read totals from
+            :attr:`StreamExtraction.extraction_count`.  Together the
+            two knobs make day-scale noisy pipes run truly flat.
     """
 
     def __init__(
@@ -144,6 +156,14 @@ class StreamingExtractor:
                 maximal_only=self.config.maximal_only,
             )
         self.keep_reports = keep_reports
+        self.keep_extractions = self.config.keep_extractions
+        self.extraction_count = 0
+        #: With ``keep_extractions=False``: the extractions emitted by
+        #: the most recent process_chunk/flush call, pinned until the
+        #: next call so the caller can render them and ``report_for``
+        #: stays valid for exactly that window (id-keyed state must
+        #: never outlive its object).
+        self._recent: list[ExtractionResult] = []
         self.extractions: list[ExtractionResult] = []
         #: Per-extraction report state, keyed by object identity (safe:
         #: ``extractions`` pins the objects): the window fill captured
@@ -205,18 +225,30 @@ class StreamingExtractor:
             late_dropped=self.assembler.late_dropped,
             windows_mined=self.windows_mined,
             windows_skipped=self.windows_skipped,
+            extraction_count=self.extraction_count,
         )
 
     # ------------------------------------------------------------------
     def _process_views(
         self, views: list[IntervalView]
     ) -> list[ExtractionResult]:
+        if not self.keep_extractions:
+            # The previous batch has been consumed; evict its
+            # extractions and their report state so alarm-heavy pipes
+            # stay flat (each result pins its prefiltered FlowTable).
+            for old in self._recent:
+                self._report_state.pop(id(old), None)
+            self._recent.clear()
         results = []
         for view in views:
             extraction = self._process_interval(view)
             if extraction is not None:
                 results.append(extraction)
-                self.extractions.append(extraction)
+                self.extraction_count += 1
+                if self.keep_extractions:
+                    self.extractions.append(extraction)
+                else:
+                    self._recent.append(extraction)
                 # In window mode the extraction describes the whole
                 # mined window, so its report bounds must span it too;
                 # the deque length is the window's current fill, only

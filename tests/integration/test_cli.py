@@ -423,6 +423,231 @@ class TestIncidentCommands:
             ]
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_single_sourced_with_pyproject(self):
+        import tomllib
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        with open(pyproject, "rb") as handle:
+            declared = tomllib.load(handle)["project"]["version"]
+        assert repro.__version__ == declared
+
+
+class TestConfigFlag:
+    _FLAGS = [
+        "--bins", "256", "--training", "16", "--min-support", "300",
+    ]
+
+    @pytest.fixture(scope="class")
+    def trace_npz(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_npz
+
+        path = tmp_path_factory.mktemp("config-cli") / "trace.npz"
+        write_npz(ddos_trace.flows, str(path))
+        return str(path)
+
+    @pytest.fixture(scope="class")
+    def run_toml(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("config-cli") / "run.toml"
+        path.write_text(
+            "[detector]\nbins = 256\ntraining_intervals = 16\n\n"
+            "[mining]\nmin_support = 300\n"
+        )
+        return str(path)
+
+    def test_config_file_equals_flag_built_run(
+        self, trace_npz, run_toml, capsys
+    ):
+        """Acceptance: from_toml drives a run identical to the
+        equivalent flag-built config."""
+        assert main(
+            ["--seed", "1", "extract", trace_npz, *self._FLAGS]
+        ) == 0
+        from_flags = capsys.readouterr().out
+        assert "interval 24" in from_flags
+        assert main(
+            ["--seed", "1", "extract", trace_npz, "--config", run_toml]
+        ) == 0
+        assert capsys.readouterr().out == from_flags
+
+    def test_explicit_flags_override_file(
+        self, trace_npz, run_toml, capsys
+    ):
+        assert main(
+            ["--seed", "1", "extract", trace_npz, "--config", run_toml,
+             "--min-support", "350"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "min support 350" in out
+
+    def test_config_on_detect(self, trace_npz, run_toml, capsys):
+        assert main(
+            ["--seed", "1", "detect", trace_npz, "--config", run_toml]
+        ) == 0
+        assert "alarms" in capsys.readouterr().out
+
+    def test_config_on_stream(
+        self, ddos_trace, run_toml, tmp_path, capsys
+    ):
+        from repro.flows import write_csv
+
+        csv = tmp_path / "trace.csv"
+        write_csv(ddos_trace.flows, str(csv))
+        assert main(
+            ["--seed", "1", "stream", str(csv), "--config", run_toml]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "interval 24" in out
+
+    def test_unknown_key_error_exit_2(self, trace_npz, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[mining]\nmin_suport = 300\n")
+        assert main(
+            ["extract", trace_npz, "--config", str(bad)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "did you mean 'min_support'" in err
+
+    def test_bad_type_error_exit_2(self, trace_npz, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[mining]\nmin_support = \"lots\"\n")
+        assert main(
+            ["extract", trace_npz, "--config", str(bad)]
+        ) == 2
+        assert "must be int" in capsys.readouterr().err
+
+    def test_missing_config_file_exit_2(self, trace_npz, capsys):
+        assert main(
+            ["extract", trace_npz, "--config", "/nope/run.toml"]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestFeaturesFlag:
+    def test_features_choice_from_registry(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        main(["generate", "--intervals", "4",
+              "--flows-per-interval", "200", "--out", str(out)])
+        capsys.readouterr()
+        assert main(
+            ["detect", str(out), "--bins", "64", "--training", "3",
+             "--features", "endpoints"]
+        ) == 0
+        out_text = capsys.readouterr().out
+        assert "#packets" not in out_text
+
+    def test_unknown_feature_set_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "t.npz", "--features", "nope"]
+            )
+
+
+def _toy_cli_miner(transactions, min_support, maximal_only=True, **kwargs):
+    from repro.mining import apriori
+
+    return apriori(transactions, min_support, maximal_only=maximal_only)
+
+
+class TestThirdPartyMinerCLI:
+    _FLAGS = [
+        "--bins", "256", "--training", "16", "--min-support", "300",
+    ]
+
+    @pytest.fixture(scope="class")
+    def trace_npz(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_npz
+
+        path = tmp_path_factory.mktemp("plugin-cli") / "trace.npz"
+        write_npz(ddos_trace.flows, str(path))
+        return str(path)
+
+    def test_runtime_registered_miner_selectable(self, trace_npz, capsys):
+        """Acceptance: a miner registered via repro.registry (no edits
+        under src/repro/) is selectable from the CLI."""
+        from repro.registry import miners
+
+        assert main(
+            ["--seed", "1", "extract", trace_npz, *self._FLAGS]
+        ) == 0
+        reference = capsys.readouterr().out
+        miners.register("toyminer", _toy_cli_miner)
+        try:
+            assert main(
+                ["--seed", "1", "extract", trace_npz, *self._FLAGS,
+                 "--miner", "toyminer"]
+            ) == 0
+            assert capsys.readouterr().out == reference
+        finally:
+            miners.unregister("toyminer")
+
+    def test_entry_point_miner_end_to_end(
+        self, trace_npz, capsys, monkeypatch
+    ):
+        """An entry-point-style plugin miner resolves through
+        `repro-extract extract --miner <name>` without registration
+        calls in this process."""
+        import importlib.metadata
+
+        from repro.registry import miners
+
+        class _EntryPoint:
+            name = "epminer"
+            value = "tests.integration.test_cli:_toy_cli_miner"
+
+            def load(self):
+                return _toy_cli_miner
+
+        real = importlib.metadata.entry_points
+
+        def fake_entry_points(*, group):
+            if group == "repro.miners":
+                return [_EntryPoint()]
+            return real(group=group)
+
+        assert main(
+            ["--seed", "1", "extract", trace_npz, *self._FLAGS]
+        ) == 0
+        reference = capsys.readouterr().out
+
+        monkeypatch.setattr(
+            importlib.metadata, "entry_points", fake_entry_points
+        )
+        miners.refresh()
+        try:
+            assert "epminer" in miners.names()
+            assert main(
+                ["--seed", "1", "extract", trace_npz, *self._FLAGS,
+                 "--miner", "epminer"]
+            ) == 0
+            assert capsys.readouterr().out == reference
+        finally:
+            # Drop the cached entry-point load and rescan without the
+            # patched metadata so later tests see only the built-ins.
+            monkeypatch.undo()
+            miners.refresh()
+            if "epminer" in dict(miners):
+                miners.unregister("epminer")
+
+    def test_unknown_miner_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["extract", "t.npz", "--miner", "magic"]
+            )
+
+
 class TestParallelFlags:
     @pytest.fixture(scope="class")
     def anomalous_trace(self, tmp_path_factory, ddos_trace):

@@ -53,9 +53,31 @@ class TestExamples:
         assert "ROC sweep" in out
         assert "recommendation" in out
 
+    def test_custom_plugin(self, capsys):
+        from repro.registry import miners
+
+        try:
+            out = _run("custom_plugin.py", capsys)
+        finally:
+            # runpy re-executes the module; drop its registration so a
+            # repeated run (or another test) can register again.
+            if "two-shard" in dict(miners):
+                miners.unregister("two-shard")
+        assert "two-shard" in out
+        assert "identical to the built-in apriori report: True" in out
+
+    def test_run_toml_example_loads(self):
+        from repro.core import ExtractionConfig
+
+        config = ExtractionConfig.from_toml(EXAMPLES / "run.toml")
+        assert config.min_support == 300
+        assert config.detector.bins == 256
+        assert config.keep_extractions is False
+        assert len(config.features) == 5
+
     def test_examples_are_executable_files(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
-        assert len(scripts) >= 6
+        assert len(scripts) >= 7
         for script in scripts:
             first = script.read_text().splitlines()[0]
             assert first.startswith("#!"), f"{script.name} missing shebang"
