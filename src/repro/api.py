@@ -1,11 +1,15 @@
 """The stable, documented facade of the repro library.
 
-Four verbs cover the paper's workflow end to end:
+Six verbs cover the paper's workflow end to end:
 
 * :func:`extract` - batch extraction over a trace (file or
   :class:`~repro.flows.table.FlowTable`);
 * :func:`stream` - the same pipeline chunk-by-chunk with bounded
   memory;
+* :func:`session` - the push-based execution surface underneath both:
+  feed chunks, collect results, finish;
+* :func:`open_fleet` - N named pipelines (one per link/router) behind
+  one router and one shared worker pool;
 * :func:`open_store` - open/create a persistent incident store;
 * :func:`rank` - correlate and rank a store's reports into triaged
   incidents.
@@ -31,14 +35,16 @@ facade without touching ``repro`` internals.
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.config import (
     ExtractionConfig,
+    FleetSettings,
     IncidentSettings,
     MiningSettings,
     ParallelSettings,
     StreamingSettings,
+    split_fleet_data,
 )
 from repro.core.pipeline import (
     AnomalyExtractor,
@@ -57,18 +63,33 @@ from repro.flows.table import FlowTable
 from repro.incidents.rank import RankedIncident, rank_incidents  # noqa: F401
 from repro.incidents.store import IncidentStore
 from repro.incidents.store import open_store as _open_store
-from repro.registry import Registry, feature_sets, miners, readers, sinks
+from repro.core.session import ExtractionSession, run_session
+from repro.fleet.manager import FleetIncident, FleetManager
+from repro.registry import (
+    Registry,
+    feature_sets,
+    miners,
+    readers,
+    routers,
+    sinks,
+)
 from repro.streaming.extractor import StreamExtraction, StreamingExtractor
 
 __all__ = [
     "extract",
     "stream",
+    "session",
+    "open_fleet",
     "open_store",
     "rank",
     "resolve_config",
     # Curated re-exports (the stable names).
     "AnomalyExtractor",
     "StreamingExtractor",
+    "ExtractionSession",
+    "FleetManager",
+    "FleetIncident",
+    "FleetSettings",
     "ExtractionConfig",
     "DetectorConfig",
     "MiningSettings",
@@ -83,6 +104,8 @@ __all__ = [
     "RankedIncident",
     "IncidentStore",
     "FlowTable",
+    "iter_csv",
+    "read_trace",
     "Feature",
     "CustomFeature",
     "resolve_features",
@@ -93,6 +116,7 @@ __all__ = [
     "feature_sets",
     "readers",
     "sinks",
+    "routers",
     "ReproError",
     "ConfigError",
 ]
@@ -133,6 +157,61 @@ def _load_flows(trace: FlowTable | str | os.PathLike[str]) -> FlowTable:
     if isinstance(trace, FlowTable):
         return trace
     return read_trace(trace)
+
+
+def session(
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    mode: str = "stream",
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    sink: ReportSink | None = None,
+    keep_reports: bool = True,
+    **overrides: object,
+) -> ExtractionSession:
+    """Open a push-based :class:`ExtractionSession` - the redesigned
+    execution surface.
+
+    The session owns a freshly built :class:`AnomalyExtractor`, so
+    closing it (use it as a context manager) releases the worker pool
+    and the incident store even when a mid-feed chunk raised::
+
+        with repro.session(mode="stream", min_support=500) as s:
+            for chunk in repro.iter_csv("trace.csv"):
+                for extraction in s.feed(chunk):
+                    print(extraction.render())
+            summary = s.finish()
+
+    Args:
+        config: config object / nested dict / TOML path (see
+            :func:`resolve_config`).
+        mode: "batch" (results at ``finish()``, equivalent to
+            :func:`extract`) or "stream" (incremental results from
+            ``feed()``, equivalent to :func:`stream`).
+        interval_seconds / origin / seed / sink: as in :func:`extract`.
+        keep_reports: retain per-interval detector reports (set False
+            for unbounded streams).
+        **overrides: flat or grouped config fields.
+    """
+    resolved = resolve_config(config, **overrides)
+    extractor = AnomalyExtractor(resolved, seed=seed)
+    try:
+        return ExtractionSession(
+            extractor,
+            mode=mode,
+            interval_seconds=interval_seconds,
+            origin=origin,
+            sink=sink,
+            keep_reports=keep_reports,
+            owns_extractor=True,
+        )
+    except BaseException:
+        # Session construction failed (e.g. a bad mode or interval):
+        # the extractor - and the store it may have opened - must not
+        # leak.
+        extractor.close()
+        raise
 
 
 def extract(
@@ -215,16 +294,137 @@ def stream(
         chunks: Iterable[FlowTable] = iter_csv(source, chunk_rows=chunk_rows)
     else:
         chunks = source
-    resolved = resolve_config(config, **overrides)
-    with StreamingExtractor(
-        resolved,
-        seed=seed,
+    with session(
+        config,
+        mode="stream",
         interval_seconds=interval_seconds,
         origin=origin,
+        seed=seed,
         sink=sink,
         keep_reports=keep_reports,
-    ) as streamer:
-        return streamer.run(chunks)
+        **overrides,
+    ) as opened:
+        result = run_session(opened, chunks)
+    assert isinstance(result, StreamExtraction)
+    return result
+
+
+def open_fleet(
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    pipelines: (
+        int | Sequence[str] | Mapping[str, object] | None
+    ) = None,
+    route: str | None = None,
+    store_dir: str | os.PathLike[str] | None = None,
+    mode: str = "stream",
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    keep_reports: bool = False,
+    **overrides: object,
+) -> FleetManager:
+    """Open a :class:`FleetManager`: N named pipelines, one router,
+    one shared worker pool, per-pipeline incident stores.
+
+    ``config`` is the base pipeline every link starts from - a ready
+    :class:`ExtractionConfig`, a nested dict, or a TOML run config.  A
+    dict or TOML config may carry a ``[fleet]`` table
+    (:class:`FleetSettings`): its ``pipelines`` / ``route`` /
+    ``store_dir`` become the defaults that the keyword arguments here
+    override (the same flags-over-file layering as the CLI)::
+
+        with repro.open_fleet("fleet.toml") as fleet:                  # file
+            ...
+        with repro.open_fleet(pipelines=4, route="dst_ip%4",           # code
+                              min_support=300) as fleet:
+            for chunk in repro.iter_csv("trace.csv"):
+                fleet.feed(chunk)
+            fleet.finish()
+            top = fleet.incidents(top=10)
+
+    Args:
+        config: base config / nested dict / TOML path (see
+            :func:`resolve_config`); dict/TOML may include ``[fleet]``.
+        pipelines: an int (generates ``link0..linkN-1`` on the base
+            config), a sequence of names (each on the base config), or
+            a mapping of name -> per-pipeline section-override dict /
+            :class:`ExtractionConfig` / ``None`` (= base).  ``None``
+            uses the config file's ``[fleet.pipelines.*]`` tables.
+        route / store_dir / mode / interval_seconds / origin / seed /
+            keep_reports: see :class:`FleetManager`.
+        **overrides: flat or grouped base-config fields
+            (``min_support=500``, ``jobs=4``, ...).
+    """
+    from repro.core.config import apply_section_overrides
+
+    fleet_data: Mapping | None = None
+    if isinstance(config, (str, os.PathLike)):
+        fleet_data, raw = split_fleet_data(config)
+        try:
+            base = ExtractionConfig.from_dict(raw)
+        except ConfigError as exc:
+            raise ConfigError(f"{config}: {exc}") from exc
+        if overrides:
+            base = base.replace(**overrides)
+    elif isinstance(config, Mapping):
+        raw = dict(config)
+        fleet_data = raw.pop("fleet", None)
+        base = resolve_config(raw, **overrides)
+    else:
+        base = resolve_config(config, **overrides)
+    settings = FleetSettings.from_data(fleet_data, base)
+    if route is None:
+        route = settings.route
+    if store_dir is None:
+        store_dir = settings.store_dir
+    configs: dict[str, ExtractionConfig]
+    if pipelines is None:
+        configs = settings.pipeline_configs()
+        if not configs:
+            raise ConfigError(
+                "no pipelines configured: pass pipelines=... or add "
+                "[fleet.pipelines.<name>] sections to the run config"
+            )
+    elif isinstance(pipelines, int):
+        if pipelines < 1:
+            raise ConfigError(f"pipelines must be >= 1: {pipelines}")
+        configs = {f"link{i}": base for i in range(pipelines)}
+    elif isinstance(pipelines, Mapping):
+        configs = {}
+        for name, spec in pipelines.items():
+            if spec is None:
+                configs[name] = base
+            elif isinstance(spec, ExtractionConfig):
+                configs[name] = spec
+            elif isinstance(spec, Mapping):
+                configs[name] = apply_section_overrides(base, spec)
+            else:
+                raise ConfigError(
+                    f"pipeline {name!r} must map to an ExtractionConfig, "
+                    f"a section-override mapping, or None, "
+                    f"got {type(spec).__name__}"
+                )
+    else:
+        names = [str(name) for name in pipelines]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            # A dict comprehension would silently collapse these and
+            # run fewer pipelines than the caller declared.
+            raise ConfigError(
+                f"duplicate pipeline names: {', '.join(duplicates)}"
+            )
+        configs = {name: base for name in names}
+    return FleetManager(
+        configs,
+        route=route,
+        mode=mode,
+        interval_seconds=interval_seconds,
+        origin=origin,
+        seed=seed,
+        store_dir=store_dir,
+        keep_reports=keep_reports,
+    )
 
 
 def open_store(

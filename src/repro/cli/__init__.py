@@ -10,6 +10,9 @@ subcommand:
   report for every flagged interval;
 * ``stream`` - same pipeline, but chunk-by-chunk over a CSV file or
   stdin with bounded memory (reports print as intervals complete);
+* ``fleet`` - N named per-link pipelines behind one record router and
+  a shared worker pool; prints per-pipeline summaries and the merged
+  fleet-wide incident ranking;
 * ``incidents`` - correlate and rank the reports persisted by
   ``--store`` into cross-interval incidents;
 * ``table2`` - regenerate the Table II running example at any scale;
@@ -33,6 +36,7 @@ Examples:
     repro-extract stream trace.csv --min-support 500
     cat trace.csv | repro-extract stream - --window 4
     repro-extract stream trace.csv --store incidents.db
+    repro-extract fleet trace.csv --pipelines 2 --route "dst_ip%2"
     repro-extract incidents incidents.db --top 5 --format json
     repro-extract table2 --scale 0.05
 """
@@ -45,6 +49,7 @@ import sys
 from repro.cli import (
     detect,
     extract,
+    fleet,
     generate,
     incidents,
     stream,
@@ -66,8 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {__version__}")
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (generate, detect, extract, stream, incidents, table2,
-                   topk):
+    for module in (generate, detect, extract, stream, fleet, incidents,
+                   table2, topk):
         module.add_parser(sub)
     return parser
 

@@ -33,6 +33,26 @@ def load_trace(path: str):
     return read_trace(path)
 
 
+def chunk_source(trace: str, chunk_rows: int, command: str = "stream"):
+    """Chunked flow iterator for the streaming subcommands: a ``.csv``
+    path or ``'-'`` for stdin (anything else is rejected up front -
+    incremental parsing is row-oriented)."""
+    import sys
+
+    from repro.errors import TraceFormatError
+    from repro.flows import iter_csv, iter_csv_handle
+
+    if trace == "-":
+        return iter_csv_handle(
+            sys.stdin, chunk_rows=chunk_rows, name="<stdin>"
+        )
+    if trace.endswith(".csv"):
+        return iter_csv(trace, chunk_rows=chunk_rows)
+    raise TraceFormatError(
+        f"{trace}: {command} reads a .csv trace (or '-' for stdin)"
+    )
+
+
 # ----------------------------------------------------------------------
 # Explicit-flag tracking
 # ----------------------------------------------------------------------
@@ -171,19 +191,28 @@ _CONFIG_DESTS: dict[str, tuple[str, str | None]] = {
 }
 
 
-def extraction_config(args: argparse.Namespace) -> ExtractionConfig:
+def extraction_config(
+    args: argparse.Namespace,
+    file_data: dict | None = None,
+) -> ExtractionConfig:
     """The pipeline config for a subcommand's parsed arguments.
 
     Without ``--config`` every flag value applies (defaults included) -
     exactly the pre-redesign behavior.  With ``--config`` the TOML file
     is the base and only flags the user explicitly typed override it.
     Flags the subcommand doesn't define are simply absent from the
-    namespace and skipped, so one builder serves detect, extract, and
-    stream.
+    namespace and skipped, so one builder serves detect, extract,
+    stream, and fleet.
+
+    ``file_data`` lets a caller that already parsed (and possibly
+    pruned - the ``fleet`` subcommand pops its ``[fleet]`` table) the
+    run config pass the raw sections in, so the file is read once.
     """
     config_path = getattr(args, "config", None)
-    if config_path:
-        raw = load_toml_data(config_path)
+    if file_data is None and config_path:
+        file_data = load_toml_data(config_path)
+    if file_data is not None:
+        raw = file_data
         try:
             base = ExtractionConfig.from_dict(raw)
         except ConfigError as exc:

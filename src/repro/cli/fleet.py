@@ -1,0 +1,214 @@
+"""``repro-extract fleet`` - route one trace across many pipelines.
+
+One Fig. 3 pipeline per monitored link, all behind a single router and
+one shared worker pool (:class:`~repro.fleet.manager.FleetManager`).
+Per-pipeline reports land in per-pipeline incident stores
+(``--store-dir``, or in-memory stores for a one-shot run), and the
+final output is the fleet-wide merged incident ranking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cli._common import (
+    TrackedTrueAction,
+    add_config_arg,
+    add_detector_args,
+    add_format_arg,
+    add_mining_args,
+    add_parallel_args,
+    chunk_source,
+    config_file_sets,
+    explicit_dests,
+    extraction_config,
+    positive_int,
+)
+from repro.core.config import FleetSettings, split_fleet_data
+from repro.errors import ConfigError
+from repro.fleet import FleetManager
+from repro.flows.io import DEFAULT_CHUNK_ROWS
+
+#: Routing spec used when neither ``--route`` nor the run config names
+#: one: hash-shard destination IPs across the pipelines.
+DEFAULT_ROUTE_COLUMN = "dst_ip"
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-pipeline extraction: route a CSV trace or stdin "
+        "('-') across N per-link pipelines",
+    )
+    fleet.add_argument("trace",
+                       help="path to a .csv trace, or '-' for stdin")
+    add_config_arg(fleet)
+    add_detector_args(fleet)
+    add_mining_args(fleet)
+    add_parallel_args(fleet)
+    fleet.add_argument("--chunk-rows", type=positive_int,
+                       default=DEFAULT_CHUNK_ROWS,
+                       help="flows parsed per chunk (bounds parser memory)")
+    fleet.add_argument("--origin", type=float, default=0.0,
+                       help="timestamp of interval 0")
+    fleet.add_argument("--pipelines", type=positive_int, default=None,
+                       metavar="N",
+                       help="run N generated pipelines (link0..linkN-1) "
+                       "on the base config; mutually exclusive with "
+                       "[fleet.pipelines.<name>] sections in --config")
+    fleet.add_argument("--route", default=None, metavar="SPEC",
+                       help="routing spec: a flow column ('dst_ip'), a "
+                       "'column%%N' shard, or a registered router "
+                       f"(default: {DEFAULT_ROUTE_COLUMN} hash-sharded "
+                       "over the pipelines)")
+    fleet.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="directory of per-pipeline incident stores "
+                       "(<name>.db, created if missing); default: "
+                       "in-memory stores, queried then discarded")
+    fleet.add_argument("--profile", default="balanced",
+                       help="incident ranking weight profile "
+                       "(balanced, volume, campaign)")
+    fleet.add_argument("--top", type=positive_int, default=None,
+                       help="print only the K best-ranked fleet incidents")
+    fleet.add_argument("--keep-extractions", default=False,
+                       action=TrackedTrueAction,
+                       help="retain every extraction result in memory for "
+                       "the whole run (the library default; the CLI only "
+                       "reads counters and the incident stores, so "
+                       "unbounded noisy pipes run flat without it)")
+    add_format_arg(
+        fleet,
+        json_help="one JSON document for the whole run (per-pipeline "
+        "summaries + merged incident ranking)",
+    )
+    fleet.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    chunks = chunk_source(args.trace, args.chunk_rows, command="fleet")
+    file_data = None
+    fleet_data = None
+    if args.config:
+        fleet_data, file_data = split_fleet_data(args.config)
+    base = extraction_config(args, file_data=file_data)
+    try:
+        settings = FleetSettings.from_data(fleet_data, base)
+    except ConfigError as exc:
+        raise ConfigError(f"{args.config}: {exc}") from exc
+    route = args.route if args.route is not None else settings.route
+    if route is None:
+        route = DEFAULT_ROUTE_COLUMN
+    store_dir = (
+        args.store_dir if args.store_dir is not None else settings.store_dir
+    )
+    configs = settings.pipeline_configs()
+    if args.pipelines is not None:
+        if configs:
+            raise ConfigError(
+                "both --pipelines and [fleet.pipelines.<name>] sections "
+                "given; configure the fleet in one place"
+            )
+        configs = {f"link{i}": base for i in range(args.pipelines)}
+    if not configs:
+        raise ConfigError(
+            "no pipelines configured: pass --pipelines N or add "
+            "[fleet.pipelines.<name>] sections to --config"
+        )
+    configs = _weak_default_retention(args, fleet_data, configs)
+    with FleetManager(
+        configs,
+        route=route,
+        interval_seconds=args.interval_seconds,
+        origin=args.origin,
+        seed=args.seed,
+        store_dir=store_dir,
+    ) as fleet:
+        for chunk in chunks:
+            fleet.feed(chunk)
+        results = fleet.finish()
+        incidents = fleet.incidents(profile=args.profile, top=args.top)
+        if args.format == "json":
+            print(json.dumps(_document(fleet, results, incidents)))
+            _summary(results, file=sys.stderr)
+            return 0
+        for line in _render_table(results, incidents):
+            print(line)
+    return 0
+
+
+def _weak_default_retention(args, fleet_data, configs):
+    """The CLI's weak default, mirroring ``stream``: this command only
+    reads counters and the incident stores, so retaining every
+    extraction (each pinning its prefiltered flow table, per pipeline)
+    would only grow.  An explicit ``--keep-extractions``, a base
+    ``[streaming] keep_extractions``, or a per-pipeline override still
+    wins."""
+    if "keep_extractions" in explicit_dests(args):
+        return configs
+    base_sets = config_file_sets(args, "streaming", "keep_extractions")
+    raw_pipelines = (
+        fleet_data.get("pipelines", {})
+        if isinstance(fleet_data, dict)
+        else {}
+    )
+    adjusted = {}
+    for name, config in configs.items():
+        pipeline_raw = raw_pipelines.get(name)
+        pipeline_sets = (
+            isinstance(pipeline_raw, dict)
+            and isinstance(pipeline_raw.get("streaming"), dict)
+            and "keep_extractions" in pipeline_raw["streaming"]
+        )
+        if base_sets or pipeline_sets:
+            adjusted[name] = config
+        else:
+            adjusted[name] = config.replace(keep_extractions=False)
+    return adjusted
+
+
+def _document(fleet, results, incidents) -> dict:
+    doc = {"pipelines": {}, "incidents": [i.to_dict() for i in incidents]}
+    for name, result in results.items():
+        store = fleet.extractor(name).store
+        doc["pipelines"][name] = {
+            "intervals": result.intervals,
+            "flows": result.flows,
+            "extractions": result.extraction_count,
+            "late_dropped": result.late_dropped,
+            "store": (
+                None
+                if store is None or store.path == ":memory:"
+                else store.path
+            ),
+        }
+    return doc
+
+
+def _summary(results, file) -> None:
+    total_flows = sum(r.flows for r in results.values())
+    total_extractions = sum(r.extraction_count for r in results.values())
+    print(
+        f"{len(results)} pipelines, {total_flows} flows, "
+        f"{total_extractions} extractions",
+        file=file,
+    )
+
+
+def _render_table(results, incidents):
+    for name, result in results.items():
+        line = (
+            f"{name}: {result.intervals} intervals, {result.flows} flows, "
+            f"{result.extraction_count} extractions"
+        )
+        if result.late_dropped:
+            line += f", {result.late_dropped} late flows dropped"
+        yield line
+    if not incidents:
+        yield "no incidents"
+        return
+    yield ""
+    yield f"fleet incidents ({len(incidents)}):"
+    for entry in incidents:
+        yield entry.render()

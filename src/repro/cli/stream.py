@@ -13,13 +13,12 @@ from repro.cli._common import (
     add_format_arg,
     add_mining_args,
     add_store_arg,
+    chunk_source,
     config_file_sets,
     explicit_dests,
     extraction_config,
     positive_int,
 )
-from repro.errors import TraceFormatError
-from repro.flows import iter_csv, iter_csv_handle
 from repro.flows.io import DEFAULT_CHUNK_ROWS
 from repro.streaming import StreamingExtractor
 
@@ -65,16 +64,7 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
 
 
 def run(args: argparse.Namespace) -> int:
-    if args.trace == "-":
-        chunks = iter_csv_handle(
-            sys.stdin, chunk_rows=args.chunk_rows, name="<stdin>"
-        )
-    elif args.trace.endswith(".csv"):
-        chunks = iter_csv(args.trace, chunk_rows=args.chunk_rows)
-    else:
-        raise TraceFormatError(
-            f"{args.trace}: stream reads a .csv trace (or '-' for stdin)"
-        )
+    chunks = chunk_source(args.trace, args.chunk_rows)
     config = extraction_config(args)
     if (
         "keep_extractions" not in explicit_dests(args)

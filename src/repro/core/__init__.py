@@ -19,6 +19,12 @@ from repro.core.pipeline import (
     suggest_min_support,
 )
 from repro.core.prefilter import PrefilterResult, prefilter
+from repro.core.session import (
+    SESSION_MODES,
+    ExtractionSession,
+    StreamExtraction,
+    run_session,
+)
 from repro.core.report import (
     COMMON_SERVICE_PORTS,
     ExtractionReport,
@@ -47,6 +53,10 @@ __all__ = [
     "suggest_min_support",
     "PrefilterResult",
     "prefilter",
+    "SESSION_MODES",
+    "ExtractionSession",
+    "StreamExtraction",
+    "run_session",
     "COMMON_SERVICE_PORTS",
     "ExtractionReport",
     "TriagedItemset",

@@ -516,7 +516,13 @@ class ExtractionConfig:
         for key in data:
             if key not in sections:
                 target = _FLAT_FIELDS.get(str(key))
-                if target is not None:
+                if key == "fleet":
+                    hint = (
+                        " (fleet run configs load through "
+                        "FleetSettings.from_toml / api.open_fleet / "
+                        "the 'fleet' CLI subcommand)"
+                    )
+                elif target is not None:
                     hint = f" (did you mean [{target[0]}] {target[1]}?)"
                 else:
                     hint = _close_match_hint(str(key), sorted(sections))
@@ -615,6 +621,223 @@ def load_toml_data(path: str | os.PathLike[str]) -> dict:
         raise ConfigError(f"config file not found: {path}") from exc
     except tomllib.TOMLDecodeError as exc:
         raise ConfigError(f"{path}: invalid TOML: {exc}") from exc
+
+
+def apply_section_overrides(
+    base: ExtractionConfig, data: Mapping
+) -> ExtractionConfig:
+    """Layer partial ``{section: {key: value}}`` data over ``base``.
+
+    The merge counterpart of :meth:`ExtractionConfig.from_dict` (which
+    *resets* unnamed keys to defaults): only the keys present in
+    ``data`` change, everything else keeps the base value.  Unknown
+    sections/keys and wrong types are rejected exactly like
+    ``from_dict``.  This is what gives ``[fleet.pipelines.<name>]``
+    tables their semantics - per-pipeline overrides on the run
+    config's base pipeline.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"overrides must be a mapping of sections, "
+            f"got {type(data).__name__}"
+        )
+    sections = set(_SECTION_ORDER)
+    kwargs: dict[str, object] = {}
+    for section, raw in data.items():
+        if section not in sections:
+            raise ConfigError(
+                f"unknown config section {section!r}"
+                f"{_close_match_hint(str(section), sorted(sections))}; "
+                f"valid sections: {sorted(sections)}"
+            )
+        if not isinstance(raw, Mapping):
+            raise ConfigError(
+                f"[{section}] must be a table of keys, "
+                f"got {type(raw).__name__}"
+            )
+        spec = _section_fields(section)
+        checked: dict[str, object] = {}
+        features: object = None
+        for key, value in raw.items():
+            if section == "detector" and key == "features":
+                features = ExtractionConfig._parse_features(value)
+                continue
+            if key not in spec:
+                raise ConfigError(
+                    f"[{section}] unknown key {key!r}"
+                    f"{_close_match_hint(str(key), sorted(spec))}; "
+                    f"valid keys: {sorted(spec)}"
+                )
+            checked[key] = _check_type(section, key, value, spec[key])
+        if section == "detector":
+            if checked:
+                kwargs["detector"] = dataclasses.replace(
+                    base.detector, **checked
+                )
+            if features is not None:
+                kwargs["features"] = features
+        elif checked:
+            kwargs[section] = dataclasses.replace(
+                getattr(base, section), **checked
+            )
+    return base.replace(**kwargs) if kwargs else base
+
+
+#: Keys accepted in a ``[fleet]`` table.
+_FLEET_KEYS = ("route", "store_dir", "pipelines")
+
+
+@dataclass(frozen=True)
+class FleetSettings:
+    """Fleet-level execution settings (the ``[fleet]`` run-config table).
+
+    A fleet run config is an ordinary :class:`ExtractionConfig` TOML
+    (its sections define the *base* pipeline every link starts from)
+    plus one ``[fleet]`` table::
+
+        [mining]
+        min_support = 300
+
+        [fleet]
+        route = "dst_ip%2"
+        store_dir = "stores"
+
+        [fleet.pipelines.upstream]
+
+        [fleet.pipelines.peering.mining]
+        min_support = 150
+
+    Each ``[fleet.pipelines.<name>]`` table holds per-pipeline section
+    overrides layered over the base via
+    :func:`apply_section_overrides` (an empty table = "this link runs
+    the base config").  Declaration order defines the shard index the
+    pipeline answers to.
+
+    Attributes:
+        route: routing spec for
+            :func:`repro.fleet.routing.resolve_route` (``None`` =
+            explicit per-chunk tags only).
+        store_dir: directory of per-pipeline incident stores.
+        pipelines: ordered ``(name, config)`` pairs.
+    """
+
+    route: str | None = None
+    store_dir: str | None = None
+    pipelines: tuple[tuple[str, ExtractionConfig], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for name, config in self.pipelines:
+            if not name or not isinstance(name, str):
+                raise ConfigError(
+                    f"pipeline name must be a non-empty string: {name!r}"
+                )
+            if name in seen:
+                raise ConfigError(f"duplicate pipeline name {name!r}")
+            seen.add(name)
+            if not isinstance(config, ExtractionConfig):
+                raise ConfigError(
+                    f"pipeline {name!r} must map to an ExtractionConfig, "
+                    f"got {type(config).__name__}"
+                )
+
+    def pipeline_configs(self) -> dict[str, ExtractionConfig]:
+        """The pipelines as an ordered name -> config mapping."""
+        return dict(self.pipelines)
+
+    @classmethod
+    def from_data(
+        cls, data: Mapping | None, base: ExtractionConfig
+    ) -> "FleetSettings":
+        """Build settings from a raw ``[fleet]`` table over ``base``.
+
+        ``data`` is the parsed ``[fleet]`` table (or ``None`` for a
+        config without one); unknown keys raise :class:`ConfigError`
+        with a did-you-mean hint, like every other config surface.
+        """
+        if data is None:
+            return cls()
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"[fleet] must be a table, got {type(data).__name__}"
+            )
+        for key in data:
+            if key not in _FLEET_KEYS:
+                raise ConfigError(
+                    f"[fleet] unknown key {key!r}"
+                    f"{_close_match_hint(str(key), sorted(_FLEET_KEYS))}; "
+                    f"valid keys: {sorted(_FLEET_KEYS)}"
+                )
+        route = data.get("route")
+        if route is not None and not isinstance(route, str):
+            raise ConfigError(
+                f"[fleet] route must be a string, "
+                f"got {type(route).__name__}: {route!r}"
+            )
+        store_dir = data.get("store_dir")
+        if store_dir is not None and not isinstance(store_dir, str):
+            raise ConfigError(
+                f"[fleet] store_dir must be a string, "
+                f"got {type(store_dir).__name__}: {store_dir!r}"
+            )
+        raw_pipelines = data.get("pipelines", {})
+        if not isinstance(raw_pipelines, Mapping):
+            raise ConfigError(
+                f"[fleet.pipelines] must hold one table per pipeline, "
+                f"got {type(raw_pipelines).__name__}"
+            )
+        pipelines = []
+        for name, overrides in raw_pipelines.items():
+            if not isinstance(overrides, Mapping):
+                raise ConfigError(
+                    f"[fleet.pipelines.{name}] must be a table, "
+                    f"got {type(overrides).__name__}"
+                )
+            try:
+                config = apply_section_overrides(base, overrides)
+            except ConfigError as exc:
+                raise ConfigError(
+                    f"[fleet.pipelines.{name}]: {exc}"
+                ) from exc
+            pipelines.append((str(name), config))
+        return cls(
+            route=route,
+            store_dir=store_dir,
+            pipelines=tuple(pipelines),
+        )
+
+    @classmethod
+    def from_toml(
+        cls, path: str | os.PathLike[str]
+    ) -> tuple["FleetSettings", ExtractionConfig]:
+        """Load a fleet run config; returns ``(settings, base_config)``.
+
+        The non-``[fleet]`` sections build the base
+        :class:`ExtractionConfig` exactly as
+        :meth:`ExtractionConfig.from_toml` would.
+        """
+        fleet_data, raw = split_fleet_data(path)
+        try:
+            base = ExtractionConfig.from_dict(raw)
+            settings = cls.from_data(fleet_data, base)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from exc
+        return settings, base
+
+
+def split_fleet_data(
+    path: str | os.PathLike[str],
+) -> tuple[Mapping | None, dict]:
+    """Load a run-config TOML and split off its ``[fleet]`` table.
+
+    Returns ``(fleet_data, remaining_sections)`` - the single loading
+    step shared by :meth:`FleetSettings.from_toml`,
+    :func:`repro.api.open_fleet`, and the ``fleet`` CLI subcommand
+    (which layer the remaining sections into a base config in their
+    own ways).
+    """
+    raw = dict(load_toml_data(path))
+    return raw.pop("fleet", None), raw
 
 
 @dataclass(frozen=True, slots=True)

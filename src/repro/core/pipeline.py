@@ -28,7 +28,7 @@ from repro.detection.features import Feature
 from repro.detection.manager import DetectionRun, DetectorBank
 from repro.detection.metadata import Metadata
 from repro.errors import ExtractionError
-from repro.flows.stream import iter_intervals
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
 from repro.mining import MINERS
 from repro.mining.items import FrequentItemset
@@ -144,9 +144,19 @@ class AnomalyExtractor:
     the item-set mining (partitioned SON) - through its shared executor.
     Results are identical to the serial path; call :meth:`close` (or use
     the extractor as a context manager) to release the pool.
+
+    ``engine`` lends an existing engine instead: the extractor routes
+    through it regardless of ``config.jobs`` but never closes it - that
+    is how a :class:`~repro.fleet.manager.FleetManager` shares one
+    worker pool across every pipeline of the fleet.
     """
 
-    def __init__(self, config: ExtractionConfig | None = None, seed: int = 0):
+    def __init__(
+        self,
+        config: ExtractionConfig | None = None,
+        seed: int = 0,
+        engine: object | None = None,
+    ):
         self.config = config or ExtractionConfig()
         self._store = None
         if self.config.store_path is not None:
@@ -157,9 +167,15 @@ class AnomalyExtractor:
                 jaccard=self.config.incident_jaccard,
                 quiet_gap=self.config.incident_quiet_gap,
             )
-        self._engine = None
+        self._engine = engine
+        self._owns_engine = engine is None
         try:
-            if self.config.jobs > 1:
+            if engine is not None:
+                self._bank = engine.bank(
+                    self.config.detector, features=self.config.features,
+                    seed=seed,
+                )
+            elif self.config.jobs > 1:
                 from repro.parallel.engine import ParallelEngine
 
                 self._engine = ParallelEngine(
@@ -201,9 +217,10 @@ class AnomalyExtractor:
 
     def close(self) -> None:
         """Release the parallel engine's worker pool and the report
-        store (idempotent)."""
+        store (idempotent).  A borrowed engine (the fleet's shared
+        pool) is left running for its owner to close."""
         try:
-            if self._engine is not None:
+            if self._engine is not None and self._owns_engine:
                 self._engine.close()
         finally:
             # The store must close even when pool shutdown raises
@@ -240,6 +257,33 @@ class AnomalyExtractor:
             alarmed_features=report.alarmed_features,
         )
 
+    def session(
+        self,
+        mode: str = "stream",
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        origin: float = 0.0,
+        sink: ReportSink | None = None,
+        keep_reports: bool = True,
+    ):
+        """Open a push-based :class:`~repro.core.session.ExtractionSession`
+        on this extractor.
+
+        The session *borrows* the extractor: closing it leaves the
+        extractor (and its pool/store) open.  ``mode="batch"`` mirrors
+        :meth:`run_trace`, ``mode="stream"`` mirrors the incremental
+        streaming path; both run the same orchestration code.
+        """
+        from repro.core.session import ExtractionSession
+
+        return ExtractionSession(
+            self,
+            mode=mode,
+            interval_seconds=interval_seconds,
+            origin=origin,
+            sink=sink,
+            keep_reports=keep_reports,
+        )
+
     def run_trace(
         self,
         trace: FlowTable,
@@ -249,33 +293,20 @@ class AnomalyExtractor:
     ) -> TraceExtraction:
         """Window a trace and process every interval online.
 
-        Every extraction is also pushed to ``sink`` (or, when no sink is
-        given, to the store opened via ``config.store_path``) as a
-        serializable :class:`~repro.core.report.ExtractionReport`.
+        A thin wrapper over a batch-mode :meth:`session` (feed the
+        whole trace, finish).  Every extraction is also pushed to
+        ``sink`` (or, when no sink is given, to the store opened via
+        ``config.store_path``) as a serializable
+        :class:`~repro.core.report.ExtractionReport`.
         """
-        if sink is None:
-            sink = self._store
-        extractions = []
-        last_index = None
-        for view in iter_intervals(
-            trace, interval_seconds, origin=origin, include_empty=True
-        ):
-            last_index = view.index
-            result = self.process_interval(view.flows)
-            if result is not None:
-                extractions.append(result)
-                if sink is not None:
-                    sink.append(ExtractionReport.from_result(
-                        result, interval_seconds, origin
-                    ))
-        # Each append arms the store's re-ingest guard atomically with
-        # the data it protects (so an interrupted run is already safe);
-        # this one note covers the trailing clean stretch, which holds
-        # no rows but must still age incidents toward quiet/closed.
-        notify_sink_interval(sink, last_index)
-        return TraceExtraction(
-            extractions=extractions, detection=self._bank.detection_run()
+        session = self.session(
+            "batch", interval_seconds=interval_seconds, origin=origin,
+            sink=sink,
         )
+        session.feed(trace)
+        result = session.finish()
+        assert isinstance(result, TraceExtraction)
+        return result
 
     def run_stream(
         self,
@@ -303,15 +334,13 @@ class AnomalyExtractor:
         See :mod:`repro.streaming` for the richer streaming API
         (per-chunk incremental results, full counters).
         """
-        from repro.streaming import StreamingExtractor
-
-        streamer = StreamingExtractor(
-            extractor=self,
-            interval_seconds=interval_seconds,
-            origin=origin,
+        session = self.session(
+            "stream", interval_seconds=interval_seconds, origin=origin,
             sink=sink,
         )
-        result = streamer.run(chunks)
+        for chunk in chunks:
+            session.feed(chunk)
+        result = session.finish()
         return TraceExtraction(
             extractions=result.extractions,
             detection=result.detection,

@@ -1,0 +1,491 @@
+"""Push-based execution sessions: the single orchestration path.
+
+Every way of driving the paper's Fig. 3 pipeline - batch
+:meth:`~repro.core.pipeline.AnomalyExtractor.run_trace`, streaming
+:meth:`~repro.core.pipeline.AnomalyExtractor.run_stream`, the
+incremental :class:`~repro.streaming.extractor.StreamingExtractor`, and
+the multi-link :class:`~repro.fleet.manager.FleetManager` - funnels
+through one :class:`ExtractionSession`.  The session owns the
+per-interval orchestration that used to be duplicated between
+``core/pipeline.py`` and ``streaming/extractor.py``: window the flows,
+run the detector bank, prefilter + mine on alarm, build the
+serializable report, push it to the sink, and note pipeline progress so
+incident lifecycle state ages correctly.
+
+Two modes share that code path:
+
+* ``mode="batch"`` - :meth:`ExtractionSession.feed` accumulates chunks;
+  :meth:`ExtractionSession.finish` windows the whole trace with
+  :func:`~repro.flows.stream.iter_intervals` and processes every
+  interval, returning a
+  :class:`~repro.core.pipeline.TraceExtraction`.  Byte-identical to the
+  pre-session ``run_trace``.
+* ``mode="stream"`` - chunks go through an
+  :class:`~repro.streaming.assembler.IntervalAssembler`; completed
+  intervals are processed as the watermark releases them, results
+  return from :meth:`feed` incrementally, and :meth:`finish` drains the
+  tail and returns a :class:`StreamExtraction` summary.  Byte-identical
+  to the pre-session ``StreamingExtractor``.
+
+Sessions are context managers.  Created via
+:meth:`AnomalyExtractor.session` they *borrow* the extractor (closing
+the session leaves it open, mirroring
+``StreamingExtractor(extractor=...)``); created via
+:func:`repro.api.session` they *own* it, and ``close()`` releases the
+extractor's worker pool and incident store even when a mid-feed chunk
+raised (the ``with`` block guarantees the call, and
+:meth:`AnomalyExtractor.close` chains the two releases in
+``try``/``finally``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.pipeline import (
+    AnomalyExtractor,
+    ExtractionResult,
+    ReportSink,
+    TraceExtraction,
+    notify_sink_interval,
+)
+from repro.core.prefilter import PrefilterResult, prefilter
+from repro.core.report import ExtractionReport
+from repro.detection.manager import DetectionRun
+from repro.errors import ExtractionError
+from repro.flows.stream import (
+    DEFAULT_INTERVAL_SECONDS,
+    IntervalView,
+    iter_intervals,
+)
+from repro.flows.table import FlowTable
+from repro.mining import MINERS
+from repro.mining.streaming import SlidingWindowMiner
+
+if TYPE_CHECKING:
+    from repro.streaming.assembler import IntervalAssembler
+
+#: The two execution modes a session can run in.
+SESSION_MODES = ("batch", "stream")
+
+
+@dataclass
+class StreamExtraction:
+    """Everything a finished (or flushed) streaming run produced.
+
+    (Historically defined in :mod:`repro.streaming.extractor`, which
+    still re-exports it; the canonical home moved here with the
+    session redesign.)
+    """
+
+    extractions: list[ExtractionResult] = field(default_factory=list)
+    detection: DetectionRun | None = None
+    #: Intervals emitted by the assembler (including empty gaps).
+    intervals: int = 0
+    #: Flows accepted into intervals (late drops excluded).
+    flows: int = 0
+    #: Flows dropped because their interval had already been emitted.
+    late_dropped: int = 0
+    #: Sliding-window mode only: windows mined / skipped by the
+    #: incremental candidate screen.
+    windows_mined: int = 0
+    windows_skipped: int = 0
+    #: Total extractions produced.  Always populated - with
+    #: ``keep_extractions=False`` the ``extractions`` list stays empty
+    #: (emitted results are evicted to keep memory flat) and this
+    #: counter is the only record of how many there were.
+    extraction_count: int = 0
+
+    @property
+    def flagged_intervals(self) -> list[int]:
+        return [e.interval for e in self.extractions]
+
+
+class ExtractionSession:
+    """One push-based run of the extraction pipeline.
+
+    Usage::
+
+        with extractor.session(mode="stream", interval_seconds=900.0) as s:
+            for chunk in iter_csv("trace.csv"):
+                for extraction in s.feed(chunk):
+                    print(extraction.render())
+            summary = s.finish()
+
+    Args:
+        extractor: the :class:`AnomalyExtractor` whose detector bank,
+            engine, and store the session drives.
+        mode: "batch" (results at :meth:`finish`, whole-trace
+            windowing) or "stream" (incremental results from
+            :meth:`feed`, watermark windowing).
+        interval_seconds: measurement interval length ``L``.
+        origin: time of interval 0 (streaming cannot infer it; the
+            batch drivers default to 0.0 as ``run_trace`` always has).
+        sink: optional report sink (anything with
+            ``append(ExtractionReport)``); defaults to the extractor's
+            open incident store, when one is configured.
+        keep_reports: retain per-interval detector reports so
+            :meth:`result` can attach a
+            :class:`~repro.detection.manager.DetectionRun`.  Set False
+            for unbounded streams; memory stays flat and
+            ``result().detection`` is ``None``.
+        owns_extractor: when True, :meth:`close` releases the extractor
+            (worker pool + store); when False the extractor is
+            borrowed and outlives the session.
+
+    Batch mode intentionally mirrors the historical ``run_trace``
+    semantics exactly: every interval is mined on its own (the
+    sliding-window knob only applies to streams) and every extraction
+    is retained regardless of ``streaming.keep_extractions`` (the
+    caller holds the whole trace in memory anyway).
+    """
+
+    def __init__(
+        self,
+        extractor: AnomalyExtractor,
+        mode: str = "stream",
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        origin: float = 0.0,
+        sink: ReportSink | None = None,
+        keep_reports: bool = True,
+        owns_extractor: bool = False,
+    ):
+        if mode not in SESSION_MODES:
+            raise ExtractionError(
+                f"unknown session mode {mode!r}; "
+                f"choose from {SESSION_MODES}"
+            )
+        self.mode = mode
+        self._extractor = extractor
+        self._owns_extractor = owns_extractor
+        self.config = extractor.config
+        self.interval_seconds = interval_seconds
+        self.origin = origin
+        self._sink = sink if sink is not None else extractor.store
+        self.keep_reports = keep_reports
+        self._closed = False
+        self._finished = False
+        #: Batch mode: chunks held until :meth:`finish` windows them.
+        self._pending: list[FlowTable] = []
+        self.assembler: IntervalAssembler | None = None
+        self._window_miner: SlidingWindowMiner | None = None
+        # Raw per-interval sizes of the current window, mirroring the
+        # miner's batches, so window-mode reports can state the true
+        # input-flow count.
+        self._window_raw_flows: deque[int] = deque(
+            maxlen=self.config.window_intervals
+        )
+        if mode == "stream":
+            # Imported lazily: repro.streaming itself imports this
+            # module, and a module-level import would close the cycle.
+            from repro.streaming.assembler import IntervalAssembler
+
+            self.assembler = IntervalAssembler(
+                interval_seconds,
+                origin=origin,
+                max_delay_seconds=self.config.max_delay_seconds,
+                max_pending_intervals=self.config.max_pending_intervals,
+            )
+            if self.config.window_intervals > 1:
+                self._window_miner = SlidingWindowMiner(
+                    window=self.config.window_intervals,
+                    min_support=self.config.min_support,
+                    miner=MINERS[self.config.miner],
+                    maximal_only=self.config.maximal_only,
+                )
+            self.keep_extractions = self.config.keep_extractions
+        else:
+            if interval_seconds <= 0:
+                raise ExtractionError(
+                    f"interval length must be positive: {interval_seconds}"
+                )
+            self.keep_extractions = True
+        self.extraction_count = 0
+        #: With ``keep_extractions=False``: the extractions emitted by
+        #: the most recent feed/flush call, pinned until the next call
+        #: so the caller can render them and ``report_for`` stays valid
+        #: for exactly that window (id-keyed state must never outlive
+        #: its object).
+        self._recent: list[ExtractionResult] = []
+        self.extractions: list[ExtractionResult] = []
+        #: Per-extraction report state, keyed by object identity (safe:
+        #: ``extractions``/``_recent`` pin the objects): the window
+        #: fill captured at emission time, replaced by the lazily built
+        #: report once :meth:`report_for` constructs it.  Sink-less
+        #: runs never pay for reports nothing reads.
+        self._report_state: dict[int, int | ExtractionReport] = {}
+        self.windows_mined = 0
+        self.windows_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def extractor(self) -> AnomalyExtractor:
+        return self._extractor
+
+    @property
+    def sink(self) -> ReportSink | None:
+        """The report sink this session pushes to (may be None)."""
+        return self._sink
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def close(self) -> None:
+        """Release the session's resources (idempotent).
+
+        An owning session (``api.session``, the fleet) closes its
+        extractor, which releases the parallel worker pool and the
+        incident store in ``try``/``finally`` - so both are freed even
+        when one release raises, and even when the session is being
+        torn down because a mid-feed chunk raised.  A borrowing session
+        (``extractor.session(...)``) leaves the extractor untouched.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_extractor:
+            self._extractor.close()
+
+    def __enter__(self) -> "ExtractionSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self, verb: str) -> None:
+        if self._closed:
+            raise ExtractionError(f"cannot {verb}: session is closed")
+        if self._finished:
+            raise ExtractionError(f"cannot {verb}: session already finished")
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, chunk: FlowTable) -> list[ExtractionResult]:
+        """Push one chunk of flows into the pipeline.
+
+        Stream mode returns the extractions of the intervals the chunk
+        completed (most chunks complete none or one); batch mode
+        accumulates and always returns ``[]`` - results come from
+        :meth:`finish`.
+        """
+        self._check_open("feed")
+        if self.mode == "batch":
+            if len(chunk):
+                self._pending.append(chunk)
+            return []
+        assert self.assembler is not None
+        return self._process_views(self.assembler.push(chunk))
+
+    def flush(self) -> list[ExtractionResult]:
+        """Drain what can be drained without ending the session.
+
+        Stream mode emits the trailing intervals kept open by the
+        lateness allowance and returns their extractions.  Batch mode
+        returns ``[]`` and keeps accumulating: its windowing needs the
+        whole trace, and draining mid-run would re-window later feeds
+        from the origin, replaying already-observed intervals through
+        the detectors - batch results come from :meth:`finish`.
+        """
+        self._check_open("flush")
+        if self.mode == "batch":
+            return []
+        assert self.assembler is not None
+        return self._process_views(self.assembler.flush())
+
+    def finish(self) -> TraceExtraction | StreamExtraction:
+        """Flush, seal the session, and return the run's result.
+
+        Batch sessions return a :class:`TraceExtraction`, stream
+        sessions a :class:`StreamExtraction`.  Further :meth:`feed`
+        calls raise; :meth:`result` stays readable.
+        """
+        self._check_open("finish")
+        if self.mode == "batch":
+            self._drain_batch()
+        else:
+            self.flush()
+        self._finished = True
+        return self.result()
+
+    def _drain_batch(self) -> list[ExtractionResult]:
+        if not self._pending:
+            return []
+        trace = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else FlowTable.concat(self._pending)
+        )
+        self._pending = []
+        # The generator is consumed one view at a time - each interval's
+        # copied FlowTable dies before the next is built, so peak memory
+        # holds the trace plus ONE interval, same as the historical
+        # run_trace loop.
+        return self._process_views(
+            iter_intervals(
+                trace,
+                self.interval_seconds,
+                origin=self.origin,
+                include_empty=True,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> TraceExtraction | StreamExtraction:
+        """Snapshot of the run so far (callable mid-stream)."""
+        detection = None
+        if self.keep_reports:
+            detection = self._extractor.detector_bank.detection_run()
+        if self.mode == "batch":
+            return TraceExtraction(
+                extractions=list(self.extractions), detection=detection
+            )
+        assert self.assembler is not None
+        return StreamExtraction(
+            extractions=list(self.extractions),
+            detection=detection,
+            intervals=self.assembler.intervals_emitted,
+            flows=self.assembler.flows_seen,
+            late_dropped=self.assembler.late_dropped,
+            windows_mined=self.windows_mined,
+            windows_skipped=self.windows_skipped,
+            extraction_count=self.extraction_count,
+        )
+
+    def report_for(self, extraction: ExtractionResult) -> ExtractionReport:
+        """The serializable report of an extraction this session
+        produced (the very object the sink received, when a sink is
+        attached) - bounds cover the mined window, not just the
+        triggering interval.  Built lazily and cached, so runs whose
+        reports nothing reads never pay for their construction."""
+        key = id(extraction)
+        state = self._report_state.get(key)
+        if isinstance(state, ExtractionReport):
+            return state
+        if state is None:
+            raise ExtractionError(
+                "unknown extraction: report_for only serves results "
+                "produced by this session"
+            )
+        report = ExtractionReport.from_result(
+            extraction,
+            self.interval_seconds,
+            self.origin,
+            window_intervals=state,
+        )
+        self._report_state[key] = report
+        return report
+
+    # ------------------------------------------------------------------
+    # The one orchestration path
+    # ------------------------------------------------------------------
+    def _process_views(
+        self, views: Iterable[IntervalView]
+    ) -> list[ExtractionResult]:
+        if not self.keep_extractions:
+            # The previous batch has been consumed; evict its
+            # extractions and their report state so alarm-heavy pipes
+            # stay flat (each result pins its prefiltered FlowTable).
+            for old in self._recent:
+                self._report_state.pop(id(old), None)
+            self._recent.clear()
+        results = []
+        last_index: int | None = None
+        for view in views:
+            last_index = view.index
+            extraction = self._process_interval(view)
+            if extraction is not None:
+                results.append(extraction)
+                self.extraction_count += 1
+                if self.keep_extractions:
+                    self.extractions.append(extraction)
+                else:
+                    self._recent.append(extraction)
+                # In window mode the extraction describes the whole
+                # mined window, so its report bounds must span it too;
+                # the deque length is the window's current fill, only
+                # known now - record it so report_for can build the
+                # report later.
+                window = 1
+                if self._window_miner is not None:
+                    window = max(1, len(self._window_raw_flows))
+                self._report_state[id(extraction)] = window
+                if self._sink is not None:
+                    self._sink.append(self.report_for(extraction))
+            if not self.keep_reports:
+                self._extractor.detector_bank.clear_reports()
+        # Clean intervals leave no report but must still age incidents;
+        # both windowing sources emit views in interval order, so the
+        # last index seen is the furthest the pipeline processed.
+        notify_sink_interval(self._sink, last_index)
+        return results
+
+    def _process_interval(self, view: IntervalView) -> ExtractionResult | None:
+        if self._window_miner is None:
+            # One-shot mode shares AnomalyExtractor's own per-interval
+            # path, which is what guarantees batch equivalence.
+            return self._extractor.process_interval(view.flows)
+        report = self._extractor.detector_bank.observe(view.flows)
+        metadata = report.metadata()
+        self._window_raw_flows.append(len(view.flows))
+        if not report.alarm or metadata.is_empty():
+            # Slide an empty batch through so the window keeps tracking
+            # the last N *intervals*, not the last N alarms.
+            self._window_miner.push(FlowTable.empty())
+            return None
+        selected = prefilter(
+            view.flows, metadata, self.config.prefilter_mode
+        )
+        self._window_miner.push(selected.flows)
+        mining = self._window_miner.mine_if_candidates()
+        if mining is None:
+            self.windows_skipped += 1
+            return None
+        self.windows_mined += 1
+        # The report must describe what was actually mined - the whole
+        # window's suspicious flows - not just this interval's share,
+        # or the rendered supports would exceed the stated flow counts.
+        window_selected = self._window_miner.window_flows()
+        window_prefilter = PrefilterResult(
+            flows=window_selected,
+            mode=self.config.prefilter_mode,
+            input_flows=sum(self._window_raw_flows),
+            selected_flows=len(window_selected),
+        )
+        return ExtractionResult(
+            interval=report.interval,
+            metadata=metadata,
+            prefilter=window_prefilter,
+            mining=mining,
+            alarmed_features=report.alarmed_features,
+        )
+
+
+def run_session(
+    session: ExtractionSession,
+    chunks: Iterable[FlowTable],
+) -> TraceExtraction | StreamExtraction:
+    """Feed a whole chunk iterable through ``session`` and finish it."""
+    for chunk in chunks:
+        session.feed(chunk)
+    return session.finish()
+
+
+__all__ = [
+    "SESSION_MODES",
+    "ExtractionSession",
+    "StreamExtraction",
+    "run_session",
+]

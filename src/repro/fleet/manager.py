@@ -1,0 +1,450 @@
+"""Multi-pipeline fleet execution: N links, one engine.
+
+The paper defines its Fig. 3 pipeline per monitored link; a backbone
+operator runs it across many links and routers at once (HURRA ranks
+across devices, Feremans et al. detect over a *network* of them).
+:class:`FleetManager` is that operating mode: it owns one named
+:class:`~repro.core.session.ExtractionSession` per link, routes
+incoming flow chunks to the right pipeline (a key column, a
+``"dst_ip%N"`` shard, a registered router, or an explicit per-chunk
+tag), shares a single :class:`~repro.parallel.engine.ParallelEngine`
+worker pool across every pipeline, keeps one incident store per
+pipeline, and answers fleet-wide queries -
+:meth:`FleetManager.incidents` merges every store's correlated
+incidents and re-ranks them as one population, so the biggest event on
+*any* link lands on top.
+
+Because each pipeline receives exactly the rows routed to it, in
+arrival order, a fleet pipeline's extractions, reports, and incidents
+are byte-identical to a solo run over the same subset - pipeline count
+does not change per-pipeline results
+(``tests/fleet/test_fleet.py`` holds the invariant).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ExtractionConfig
+from repro.core.pipeline import (
+    AnomalyExtractor,
+    ExtractionResult,
+    TraceExtraction,
+)
+from repro.core.session import ExtractionSession, StreamExtraction
+from repro.errors import ConfigError, ExtractionError
+from repro.fleet.routing import Router, resolve_route
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
+from repro.flows.table import FlowTable
+from repro.incidents.correlate import Incident
+from repro.incidents.rank import RankedIncident, resolve_profile
+
+__all__ = ["FleetIncident", "FleetManager"]
+
+
+@dataclass(frozen=True)
+class FleetIncident:
+    """One ranked incident with the pipeline (link) it happened on."""
+
+    pipeline: str
+    ranked: RankedIncident
+
+    @property
+    def incident(self):
+        return self.ranked.incident
+
+    @property
+    def score(self) -> float:
+        return self.ranked.score
+
+    @property
+    def components(self) -> dict[str, float]:
+        return self.ranked.components
+
+    def to_dict(self) -> dict[str, object]:
+        data = self.ranked.to_dict()
+        data["pipeline"] = self.pipeline
+        return data
+
+    def render(self) -> str:
+        return f"[{self.pipeline}] {self.ranked.render()}"
+
+
+class FleetManager:
+    """Run N named extraction pipelines as one service.
+
+    Usage::
+
+        configs = {"linkA": config, "linkB": config}
+        with FleetManager(configs, route="dst_ip%2",
+                          interval_seconds=900.0) as fleet:
+            for chunk in iter_csv("trace.csv"):
+                fleet.feed(chunk)
+            fleet.finish()
+            for entry in fleet.incidents(top=5):
+                print(entry.render())
+
+    Args:
+        pipelines: ordered mapping of pipeline name ->
+            :class:`ExtractionConfig`.  Declaration order defines the
+            shard index each pipeline answers to (``route="dst_ip%N"``
+            sends ``dst_ip % N == k`` to the k-th declared pipeline).
+        route: routing spec resolved by
+            :func:`~repro.fleet.routing.resolve_route`; ``None`` means
+            every :meth:`feed` must name its pipeline explicitly.
+        mode: session mode for every pipeline ("stream" - the
+            service default - or "batch").
+        interval_seconds / origin / seed: as for a single session; the
+            same seed drives every pipeline, so a fleet pipeline is
+            reproducible against a solo run.
+        store_dir: directory of per-pipeline incident stores
+            (``<store_dir>/<name>.db``, created if missing).  Without
+            it, pipelines whose config names no ``store_path`` get a
+            private in-memory store, so :meth:`incidents` always has a
+            full fleet view.  A pipeline config's explicit
+            ``store_path`` always wins.
+        keep_reports: retain per-interval detector reports per
+            pipeline (off by default: a fleet is service-shaped, and N
+            unbounded report logs are exactly what a service cannot
+            hold).
+
+    The fleet builds ONE shared worker pool: the maximum ``jobs``
+    across pipeline configs, on the backend/partitions of the first
+    config that asks for parallelism.  Every pipeline with
+    ``jobs > 1`` routes its detector fan-out and SON mining through
+    that pool; serial pipelines stay serial.  :meth:`close` releases
+    every store and the shared pool even when one of them fails to
+    close (chained ``try``/``finally`` semantics, mirroring
+    :meth:`AnomalyExtractor.close`).
+    """
+
+    def __init__(
+        self,
+        pipelines: Mapping[str, ExtractionConfig],
+        route: str | Router | None = None,
+        mode: str = "stream",
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        origin: float = 0.0,
+        seed: int = 0,
+        store_dir: str | os.PathLike[str] | None = None,
+        keep_reports: bool = False,
+    ):
+        if not pipelines:
+            raise ConfigError("a fleet needs at least one pipeline")
+        for name, config in pipelines.items():
+            if not name or not isinstance(name, str):
+                raise ConfigError(
+                    f"pipeline name must be a non-empty string: {name!r}"
+                )
+            if not isinstance(config, ExtractionConfig):
+                raise ConfigError(
+                    f"pipeline {name!r} must map to an ExtractionConfig, "
+                    f"got {type(config).__name__}"
+                )
+        self._names: tuple[str, ...] = tuple(pipelines)
+        # Validate the route before any resource is acquired.
+        self._router: Router | None = (
+            resolve_route(route, len(self._names))
+            if route is not None
+            else None
+        )
+        if store_dir is not None:
+            os.makedirs(store_dir, exist_ok=True)
+        resolved: dict[str, ExtractionConfig] = {}
+        store_owners: dict[str, str] = {}
+        for name, config in pipelines.items():
+            if config.store_path is None:
+                path = (
+                    os.path.join(os.fspath(store_dir), f"{name}.db")
+                    if store_dir is not None
+                    else ":memory:"
+                )
+                config = config.replace(store_path=path)
+            # Correlation is strictly per link; two pipelines writing
+            # one store would interleave their reports, duplicate every
+            # incident per pipeline tag in incidents(), and fight over
+            # the re-ingest marker.  (":memory:" is private per
+            # connection, so it never collides.)  Compare resolved
+            # paths, not spellings - "shared.db" and "./shared.db" are
+            # the same file.
+            if config.store_path != ":memory:":
+                resolved_path = os.path.realpath(config.store_path)
+                owner = store_owners.setdefault(resolved_path, name)
+                if owner != name:
+                    raise ConfigError(
+                        f"pipelines {owner!r} and {name!r} share store "
+                        f"{config.store_path!r}; every pipeline needs "
+                        f"its own store (use store_dir=)"
+                    )
+            resolved[name] = config
+        self._engine = None
+        self._extractors: dict[str, AnomalyExtractor] = {}
+        self._sessions: dict[str, ExtractionSession] = {}
+        self._results: dict[str, TraceExtraction | StreamExtraction] | None = (
+            None
+        )
+        self._closed = False
+        try:
+            parallel = [c for c in resolved.values() if c.jobs > 1]
+            if parallel:
+                from repro.parallel.engine import ParallelEngine
+
+                self._engine = ParallelEngine(
+                    backend=parallel[0].backend,
+                    jobs=max(c.jobs for c in parallel),
+                    partitions=parallel[0].partitions,
+                )
+            for name, config in resolved.items():
+                extractor = AnomalyExtractor(
+                    config,
+                    seed=seed,
+                    engine=self._engine if config.jobs > 1 else None,
+                )
+                self._extractors[name] = extractor
+                self._sessions[name] = ExtractionSession(
+                    extractor,
+                    mode=mode,
+                    interval_seconds=interval_seconds,
+                    origin=origin,
+                    keep_reports=keep_reports,
+                    owns_extractor=True,
+                )
+        except BaseException:
+            # The k-th pipeline failed to build (store locked, bad
+            # knob): the k-1 already-opened stores and the shared pool
+            # must not leak.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Pipeline names in declaration (= shard index) order."""
+        return self._names
+
+    @property
+    def engine(self):
+        """The shared parallel engine, or None when every pipeline is
+        serial."""
+        return self._engine
+
+    def session(self, pipeline: str) -> ExtractionSession:
+        """The named pipeline's session."""
+        return self._sessions[self._check_pipeline(pipeline)]
+
+    def extractor(self, pipeline: str) -> AnomalyExtractor:
+        """The named pipeline's extractor (its store lives there)."""
+        return self._extractors[self._check_pipeline(pipeline)]
+
+    def _check_pipeline(self, name: str) -> str:
+        if name not in self._sessions:
+            raise ConfigError(
+                f"unknown pipeline {name!r}; "
+                f"fleet pipelines: {', '.join(self._names)}"
+            )
+        return name
+
+    def _check_open(self, verb: str) -> None:
+        if self._closed:
+            raise ExtractionError(f"cannot {verb}: fleet is closed")
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        chunk: FlowTable,
+        pipeline: str | None = None,
+    ) -> dict[str, list[ExtractionResult]]:
+        """Route one chunk across the fleet.
+
+        With ``pipeline`` the whole chunk goes to that named session
+        (the explicit-tag mode: one capture stream per link).  Without
+        it the configured router splits the chunk row-by-row.  Returns
+        the per-pipeline extractions completed by this chunk (stream
+        mode; batch-mode sessions return results at :meth:`finish`).
+        """
+        self._check_open("feed")
+        if pipeline is not None:
+            return {pipeline: self.session(pipeline).feed(chunk)}
+        if self._router is None:
+            raise ConfigError(
+                "fleet has no route configured; pass pipeline=... or "
+                "construct the fleet with route="
+            )
+        indices = np.asarray(self._router(chunk))
+        if indices.shape != (len(chunk),):
+            raise ConfigError(
+                f"router returned {indices.shape} indices for "
+                f"{len(chunk)} flows"
+            )
+        if len(indices) and not np.issubdtype(indices.dtype, np.integer):
+            raise ConfigError(
+                f"router must return integer pipeline indices, "
+                f"got dtype {indices.dtype}"
+            )
+        if len(indices) and (
+            indices.min() < 0 or indices.max() >= len(self._names)
+        ):
+            raise ConfigError(
+                f"router produced indices outside [0, {len(self._names)}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        out: dict[str, list[ExtractionResult]] = {}
+        for k, name in enumerate(self._names):
+            mask = indices == k
+            if mask.any():
+                out[name] = self._sessions[name].feed(chunk.select(mask))
+        return out
+
+    def finish(self) -> dict[str, TraceExtraction | StreamExtraction]:
+        """Finish every session (idempotent) and return the
+        per-pipeline results in declaration order."""
+        self._check_open("finish")
+        if self._results is None:
+            self._results = {
+                name: session.finish()
+                for name, session in self._sessions.items()
+            }
+        return self._results
+
+    # ------------------------------------------------------------------
+    # Fleet-wide queries
+    # ------------------------------------------------------------------
+    def incidents(
+        self,
+        profile: str = "balanced",
+        jaccard: float | None = None,
+        quiet_gap: int | None = None,
+        top: int | None = None,
+    ) -> list[FleetIncident]:
+        """Correlate every pipeline's store and rank the union.
+
+        Correlation stays strictly per pipeline (an incident never
+        spans links - the paper's pipeline is per-link, and merging
+        across links would fabricate cross-link events), but ranking
+        normalizes over the merged population, so scores are
+        comparable fleet-wide.  Ties break on
+        ``(first_seen, key, pipeline)`` - fully deterministic.
+
+        Args:
+            profile: ranking weight profile (as
+                :func:`repro.incidents.rank.rank_incidents`).
+            jaccard / quiet_gap: correlation overrides (``None`` = each
+                store's own persisted knobs).
+            top: keep only the k best-ranked fleet incidents.
+        """
+        from repro.incidents.correlate import IncidentCorrelator
+        from repro.incidents.rank import score_incident
+
+        self._check_open("query incidents")
+        # Validate before the possibly-empty early return, mirroring
+        # rank_incidents.
+        weights = resolve_profile(profile)
+        if top is not None and top < 1:
+            raise ConfigError(f"top must be >= 1: {top}")
+        entries: list[tuple[str, Incident]] = []
+        for name in self._names:
+            store = self._extractors[name].store
+            if store is None:
+                continue
+            correlator = IncidentCorrelator(
+                jaccard=store.jaccard if jaccard is None else jaccard,
+                quiet_gap=(
+                    store.quiet_gap if quiet_gap is None else quiet_gap
+                ),
+            )
+            for report in store.iter_reports():
+                correlator.observe(report)
+            for incident in correlator.incidents(now=store.last_interval()):
+                entries.append((name, incident))
+        if not entries:
+            return []
+        max_support = max(i.total_support for _, i in entries)
+        max_seen = max(i.intervals_seen for _, i in entries)
+        max_votes = max(i.peak_votes for _, i in entries)
+        merged = []
+        for name, incident in entries:
+            score, components = score_incident(
+                incident,
+                weights,
+                max_total_support=max_support,
+                max_intervals_seen=max_seen,
+                max_peak_votes=max_votes,
+            )
+            merged.append(FleetIncident(
+                pipeline=name,
+                ranked=RankedIncident(
+                    incident=incident, score=score, components=components
+                ),
+            ))
+        merged.sort(
+            key=lambda f: (
+                -f.score, f.incident.first_seen, f.incident.key, f.pipeline
+            )
+        )
+        if top is not None:
+            merged = merged[:top]
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every pipeline (stores included) and the shared
+        worker pool (idempotent).
+
+        Every release is attempted even when an earlier one raises -
+        the fd/pool symmetry the single-pipeline
+        :meth:`AnomalyExtractor.close` guarantees, extended across the
+        fleet; the first failure is re-raised once everything has been
+        tried.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first: BaseException | None = None
+        try:
+            for session in self._sessions.values():
+                try:
+                    session.close()
+                except BaseException as exc:
+                    if first is None:
+                        first = exc
+            # A pipeline whose extractor was built but whose session
+            # construction then failed has no session to close it -
+            # release it directly (constructor-failure path).
+            for name, extractor in self._extractors.items():
+                if name not in self._sessions:
+                    try:
+                        extractor.close()
+                    except BaseException as exc:
+                        if first is None:
+                            first = exc
+        finally:
+            try:
+                if self._engine is not None:
+                    self._engine.close()
+            except BaseException as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
+
+    def __enter__(self) -> "FleetManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetManager(pipelines={list(self._names)}, "
+            f"closed={self._closed})"
+        )

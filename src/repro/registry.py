@@ -12,7 +12,9 @@ table:
   :class:`~repro.detection.manager.DetectorBank`;
 * :data:`readers` - trace readers keyed by file extension
   (``reader(path) -> FlowTable``);
-* :data:`sinks` - report sink factories (see :mod:`repro.sinks`).
+* :data:`sinks` - report sink factories (see :mod:`repro.sinks`);
+* :data:`routers` - fleet record routers (see
+  :mod:`repro.fleet.routing`).
 
 Third-party packages can plug in without touching ``repro`` internals,
 either at runtime::
@@ -31,7 +33,7 @@ discovered lazily on first lookup::
     mymine = "myplugin.mining:mymine"
 
 Entry-point groups: ``repro.miners``, ``repro.detectors``,
-``repro.readers``, ``repro.sinks``.
+``repro.readers``, ``repro.sinks``, ``repro.routers``.
 """
 
 from __future__ import annotations
@@ -241,4 +243,14 @@ readers = Registry("trace reader", "repro.readers", bootstrap="repro.flows.io")
 #: the :class:`~repro.core.pipeline.ReportSink` contract).
 sinks = Registry("report sink", "repro.sinks", bootstrap="repro.sinks")
 
-__all__ = ["Registry", "miners", "feature_sets", "readers", "sinks"]
+#: Fleet record-router factories:
+#: ``factory(arg: str | None, n_pipelines: int) -> router`` where
+#: ``router(table) -> ndarray`` maps each row to a pipeline index (see
+#: :mod:`repro.fleet.routing` for the built-ins and the spec grammar).
+routers = Registry(
+    "fleet router", "repro.routers", bootstrap="repro.fleet.routing"
+)
+
+__all__ = [
+    "Registry", "miners", "feature_sets", "readers", "sinks", "routers",
+]

@@ -4,62 +4,31 @@
 detectors, voting, union meta-data, prefiltering, frequent item-set
 mining - one completed measurement interval at a time, with memory
 bounded by the interval/window size rather than the trace length.
-Chunks go through an :class:`~repro.streaming.assembler.IntervalAssembler`;
-every completed interval feeds the detector bank, and an alarm triggers
-extraction either per interval (the batch-equivalent default) or over a
-sliding window of recent suspicious flows
-(:class:`~repro.mining.streaming.SlidingWindowMiner`, the mode paper
-Section V asks for).
+
+Since the session redesign this class is a thin incremental facade over
+a stream-mode :class:`~repro.core.session.ExtractionSession` - the
+single orchestration path shared with
+:meth:`~repro.core.pipeline.AnomalyExtractor.run_trace` and the
+multi-link fleet.  The full public surface (``process_chunk`` /
+``flush`` / ``result`` / ``report_for``, the counters, the retention
+knobs) is unchanged; :meth:`StreamingExtractor.run` is deprecated in
+favour of :func:`repro.api.session`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
 
+from repro.core.pipeline import AnomalyExtractor, ExtractionResult
 from repro.core.config import ExtractionConfig
-from repro.core.pipeline import (
-    AnomalyExtractor,
-    ExtractionResult,
-    notify_sink_interval,
-)
-from repro.core.prefilter import PrefilterResult, prefilter
 from repro.core.report import ExtractionReport
-from repro.errors import ExtractionError
-from repro.detection.manager import DetectionRun
-from repro.flows.stream import DEFAULT_INTERVAL_SECONDS, IntervalView
+from repro.core.session import ExtractionSession, StreamExtraction
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
-from repro.mining import MINERS
-from repro.mining.streaming import SlidingWindowMiner
 from repro.streaming.assembler import IntervalAssembler
 
-
-@dataclass
-class StreamExtraction:
-    """Everything a finished (or flushed) streaming run produced."""
-
-    extractions: list[ExtractionResult] = field(default_factory=list)
-    detection: DetectionRun | None = None
-    #: Intervals emitted by the assembler (including empty gaps).
-    intervals: int = 0
-    #: Flows accepted into intervals (late drops excluded).
-    flows: int = 0
-    #: Flows dropped because their interval had already been emitted.
-    late_dropped: int = 0
-    #: Sliding-window mode only: windows mined / skipped by the
-    #: incremental candidate screen.
-    windows_mined: int = 0
-    windows_skipped: int = 0
-    #: Total extractions produced.  Always populated - with
-    #: ``keep_extractions=False`` the ``extractions`` list stays empty
-    #: (emitted results are evicted to keep memory flat) and this
-    #: counter is the only record of how many there were.
-    extraction_count: int = 0
-
-    @property
-    def flagged_intervals(self) -> list[int]:
-        return [e.interval for e in self.extractions]
+__all__ = ["StreamExtraction", "StreamingExtractor"]
 
 
 class StreamingExtractor:
@@ -81,8 +50,9 @@ class StreamingExtractor:
     byte-identical reports on the same trace.  With
     ``window_intervals > 1`` the prefiltered suspicious flows of the
     last N intervals are mined together through a
-    :class:`SlidingWindowMiner`, whose incremental single-item counts
-    skip the mining run entirely on quiet windows.
+    :class:`~repro.mining.streaming.SlidingWindowMiner`, whose
+    incremental single-item counts skip the mining run entirely on
+    quiet windows.
 
     Args:
         config: pipeline configuration (stream knobs included).
@@ -134,57 +104,71 @@ class StreamingExtractor:
             else AnomalyExtractor(config, seed=seed)
         )
         self.config = self._extractor.config
-        self._sink = sink if sink is not None else self._extractor.store
-        self.assembler = IntervalAssembler(
-            interval_seconds,
-            origin=origin,
-            max_delay_seconds=self.config.max_delay_seconds,
-            max_pending_intervals=self.config.max_pending_intervals,
-        )
-        self._window_miner: SlidingWindowMiner | None = None
-        # Raw per-interval sizes of the current window, mirroring the
-        # miner's batches, so window-mode reports can state the true
-        # input-flow count.
-        self._window_raw_flows: deque[int] = deque(
-            maxlen=self.config.window_intervals
-        )
-        if self.config.window_intervals > 1:
-            self._window_miner = SlidingWindowMiner(
-                window=self.config.window_intervals,
-                min_support=self.config.min_support,
-                miner=MINERS[self.config.miner],
-                maximal_only=self.config.maximal_only,
+        try:
+            self._session = ExtractionSession(
+                self._extractor,
+                mode="stream",
+                interval_seconds=interval_seconds,
+                origin=origin,
+                sink=sink,
+                keep_reports=keep_reports,
+                owns_extractor=self._owns_extractor,
             )
-        self.keep_reports = keep_reports
-        self.keep_extractions = self.config.keep_extractions
-        self.extraction_count = 0
-        #: With ``keep_extractions=False``: the extractions emitted by
-        #: the most recent process_chunk/flush call, pinned until the
-        #: next call so the caller can render them and ``report_for``
-        #: stays valid for exactly that window (id-keyed state must
-        #: never outlive its object).
-        self._recent: list[ExtractionResult] = []
-        self.extractions: list[ExtractionResult] = []
-        #: Per-extraction report state, keyed by object identity (safe:
-        #: ``extractions`` pins the objects): the window fill captured
-        #: at emission time - the fill, and hence the report bounds,
-        #: are only known then - replaced by the lazily built report
-        #: once :meth:`report_for` constructs it.  Sink-less runs never
-        #: pay for reports nothing reads.  Grows with alarms, like
-        #: ``extractions`` itself.
-        self._report_state: dict[int, int | ExtractionReport] = {}
-        self.windows_mined = 0
-        self.windows_skipped = 0
+        except BaseException:
+            # Session construction failed (bad interval/lateness knobs)
+            # after we built and now own the extractor: release it.
+            if self._owns_extractor:
+                self._extractor.close()
+            raise
 
     # ------------------------------------------------------------------
+    @property
+    def session(self) -> ExtractionSession:
+        """The underlying :class:`ExtractionSession` (the orchestration
+        lives there; this class is the incremental facade)."""
+        return self._session
+
     @property
     def extractor(self) -> AnomalyExtractor:
         return self._extractor
 
+    @property
+    def assembler(self) -> IntervalAssembler:
+        assembler = self._session.assembler
+        assert assembler is not None  # stream mode always builds one
+        return assembler
+
+    @property
+    def keep_reports(self) -> bool:
+        return self._session.keep_reports
+
+    @property
+    def keep_extractions(self) -> bool:
+        return self._session.keep_extractions
+
+    @property
+    def extractions(self) -> list[ExtractionResult]:
+        return self._session.extractions
+
+    @property
+    def extraction_count(self) -> int:
+        return self._session.extraction_count
+
+    @property
+    def windows_mined(self) -> int:
+        return self._session.windows_mined
+
+    @property
+    def windows_skipped(self) -> int:
+        return self._session.windows_skipped
+
+    @property
+    def _report_state(self) -> dict[int, int | ExtractionReport]:
+        return self._session._report_state
+
     def close(self) -> None:
         """Release the owned extractor's resources (idempotent)."""
-        if self._owns_extractor:
-            self._extractor.close()
+        self._session.close()
 
     def __enter__(self) -> "StreamingExtractor":
         return self
@@ -196,17 +180,32 @@ class StreamingExtractor:
     def process_chunk(self, chunk: FlowTable) -> list[ExtractionResult]:
         """Absorb one chunk; return extractions from the intervals it
         completed (most chunks complete none or one)."""
-        return self._process_views(self.assembler.push(chunk))
+        return self._session.feed(chunk)
 
     def flush(self) -> list[ExtractionResult]:
         """End of stream: drain trailing intervals held by the lateness
         allowance and return any extractions they trigger."""
-        return self._process_views(self.assembler.flush())
+        return self._session.flush()
 
     def run(
         self, chunks: Iterable[FlowTable] | Iterator[FlowTable]
     ) -> StreamExtraction:
-        """Consume a whole chunk iterator, flush, and summarize."""
+        """Consume a whole chunk iterator, flush, and summarize.
+
+        .. deprecated:: 1.0
+            Drive a session instead: ``repro.api.session(...)`` (or
+            :meth:`AnomalyExtractor.run_stream` for the one-shot
+            convenience).  The incremental methods
+            (:meth:`process_chunk` / :meth:`flush` / :meth:`result`)
+            are not deprecated.
+        """
+        warnings.warn(
+            "StreamingExtractor.run() is deprecated; open an "
+            "ExtractionSession via repro.api.session(...) (or use "
+            "AnomalyExtractor.run_stream) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         for chunk in chunks:
             self.process_chunk(chunk)
         self.flush()
@@ -214,59 +213,9 @@ class StreamingExtractor:
 
     def result(self) -> StreamExtraction:
         """Snapshot of the run so far (callable mid-stream)."""
-        detection = None
-        if self.keep_reports:
-            detection = self._extractor.detector_bank.detection_run()
-        return StreamExtraction(
-            extractions=list(self.extractions),
-            detection=detection,
-            intervals=self.assembler.intervals_emitted,
-            flows=self.assembler.flows_seen,
-            late_dropped=self.assembler.late_dropped,
-            windows_mined=self.windows_mined,
-            windows_skipped=self.windows_skipped,
-            extraction_count=self.extraction_count,
-        )
-
-    # ------------------------------------------------------------------
-    def _process_views(
-        self, views: list[IntervalView]
-    ) -> list[ExtractionResult]:
-        if not self.keep_extractions:
-            # The previous batch has been consumed; evict its
-            # extractions and their report state so alarm-heavy pipes
-            # stay flat (each result pins its prefiltered FlowTable).
-            for old in self._recent:
-                self._report_state.pop(id(old), None)
-            self._recent.clear()
-        results = []
-        for view in views:
-            extraction = self._process_interval(view)
-            if extraction is not None:
-                results.append(extraction)
-                self.extraction_count += 1
-                if self.keep_extractions:
-                    self.extractions.append(extraction)
-                else:
-                    self._recent.append(extraction)
-                # In window mode the extraction describes the whole
-                # mined window, so its report bounds must span it too;
-                # the deque length is the window's current fill, only
-                # known now - record it so report_for can build the
-                # report later.
-                window = 1
-                if self._window_miner is not None:
-                    window = max(1, len(self._window_raw_flows))
-                self._report_state[id(extraction)] = window
-                if self._sink is not None:
-                    self._sink.append(self.report_for(extraction))
-            if not self.keep_reports:
-                self._extractor.detector_bank.clear_reports()
-        if views:
-            # Clean intervals leave no report but must still age
-            # incidents; the assembler emits views in interval order.
-            notify_sink_interval(self._sink, views[-1].index)
-        return results
+        result = self._session.result()
+        assert isinstance(result, StreamExtraction)
+        return result
 
     def report_for(self, extraction: ExtractionResult) -> ExtractionReport:
         """The serializable report of an extraction this streamer
@@ -274,60 +223,4 @@ class StreamingExtractor:
         attached) - bounds cover the mined window, not just the
         triggering interval.  Built lazily and cached, so runs whose
         reports nothing reads never pay for their construction."""
-        key = id(extraction)
-        state = self._report_state.get(key)
-        if isinstance(state, ExtractionReport):
-            return state
-        if state is None:
-            raise ExtractionError(
-                "unknown extraction: report_for only serves results "
-                "produced by this streamer"
-            )
-        report = ExtractionReport.from_result(
-            extraction,
-            self.assembler.interval_seconds,
-            self.assembler.origin,
-            window_intervals=state,
-        )
-        self._report_state[key] = report
-        return report
-
-    def _process_interval(self, view: IntervalView) -> ExtractionResult | None:
-        if self._window_miner is None:
-            # One-shot mode shares AnomalyExtractor's own per-interval
-            # path, which is what guarantees batch equivalence.
-            return self._extractor.process_interval(view.flows)
-        report = self._extractor.detector_bank.observe(view.flows)
-        metadata = report.metadata()
-        self._window_raw_flows.append(len(view.flows))
-        if not report.alarm or metadata.is_empty():
-            # Slide an empty batch through so the window keeps tracking
-            # the last N *intervals*, not the last N alarms.
-            self._window_miner.push(FlowTable.empty())
-            return None
-        selected = prefilter(
-            view.flows, metadata, self.config.prefilter_mode
-        )
-        self._window_miner.push(selected.flows)
-        mining = self._window_miner.mine_if_candidates()
-        if mining is None:
-            self.windows_skipped += 1
-            return None
-        self.windows_mined += 1
-        # The report must describe what was actually mined - the whole
-        # window's suspicious flows - not just this interval's share,
-        # or the rendered supports would exceed the stated flow counts.
-        window_selected = self._window_miner.window_flows()
-        window_prefilter = PrefilterResult(
-            flows=window_selected,
-            mode=self.config.prefilter_mode,
-            input_flows=sum(self._window_raw_flows),
-            selected_flows=len(window_selected),
-        )
-        return ExtractionResult(
-            interval=report.interval,
-            metadata=metadata,
-            prefilter=window_prefilter,
-            mining=mining,
-            alarmed_features=report.alarmed_features,
-        )
+        return self._session.report_for(extraction)

@@ -1,0 +1,288 @@
+"""The session redesign's contract: one orchestration path.
+
+`ExtractionSession` is the single execution surface `run_trace`,
+`run_stream`, and `StreamingExtractor` now delegate to.  These tests
+hold the ISSUE 5 acceptance criteria: a batch session fed a whole
+trace (in one piece or arbitrary chunks) equals `run_trace`
+byte-for-byte, a chunk-fed stream session equals the incremental
+`StreamingExtractor`, and `close()` releases the owned extractor's
+store and worker pool even when a mid-feed chunk raised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.api as api
+from repro.core.config import ExtractionConfig
+from repro.core.pipeline import AnomalyExtractor, TraceExtraction
+from repro.core.session import ExtractionSession, StreamExtraction, run_session
+from repro.detection.detector import DetectorConfig
+from repro.errors import ConfigError, ExtractionError
+from repro.sinks import MemorySink
+
+INTERVAL_SECONDS = 900.0
+
+
+def _config(**overrides):
+    return ExtractionConfig(
+        detector=DetectorConfig(
+            clones=3, bins=256, vote_threshold=3, training_intervals=16
+        ),
+        min_support=300,
+        **overrides,
+    )
+
+
+def _chunked(table, rows):
+    for lo in range(0, len(table), rows):
+        yield table.select(np.arange(lo, min(lo + rows, len(table))))
+
+
+def _rendered(extractions):
+    return "\n\n".join(e.render() for e in extractions)
+
+
+@pytest.fixture(scope="module")
+def batch(ddos_trace):
+    with AnomalyExtractor(_config(), seed=1) as extractor:
+        return extractor.run_trace(ddos_trace.flows, INTERVAL_SECONDS)
+
+
+class TestBatchSessionEquivalence:
+    def test_whole_trace_feed_equals_run_trace(self, ddos_trace, batch):
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            with extractor.session(
+                "batch", interval_seconds=INTERVAL_SECONDS
+            ) as session:
+                assert session.feed(ddos_trace.flows) == []
+                result = session.finish()
+        assert isinstance(result, TraceExtraction)
+        assert result.flagged_intervals == batch.flagged_intervals
+        assert result.flagged_intervals  # the DDoS was actually caught
+        assert _rendered(result.extractions) == _rendered(batch.extractions)
+        assert (
+            result.detection.alarm_intervals()
+            == batch.detection.alarm_intervals()
+        )
+
+    def test_mid_run_flush_is_inert_in_batch_mode(self, ddos_trace, batch):
+        """Batch flush must not drain early: a drain would re-window
+        later feeds from the origin and replay already-observed
+        intervals through the detectors."""
+        half = len(ddos_trace.flows) // 2
+        first = ddos_trace.flows.select(np.arange(half))
+        second = ddos_trace.flows.select(
+            np.arange(half, len(ddos_trace.flows))
+        )
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            session = extractor.session(
+                "batch", interval_seconds=INTERVAL_SECONDS
+            )
+            session.feed(first)
+            assert session.flush() == []  # defers to finish
+            session.feed(second)
+            result = session.finish()
+        assert _rendered(result.extractions) == _rendered(batch.extractions)
+
+    def test_chunk_feed_equals_run_trace(self, ddos_trace, batch):
+        """Batch mode accumulates chunks; windowing happens at finish,
+        so arbitrary chunking cannot change the result."""
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            session = extractor.session(
+                "batch", interval_seconds=INTERVAL_SECONDS
+            )
+            for chunk in _chunked(ddos_trace.flows, 613):
+                assert session.feed(chunk) == []
+            result = session.finish()
+        assert _rendered(result.extractions) == _rendered(batch.extractions)
+
+    def test_sink_reports_byte_identical(self, ddos_trace):
+        direct, via_session = MemorySink(), MemorySink()
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            extractor.run_trace(
+                ddos_trace.flows, INTERVAL_SECONDS, sink=direct
+            )
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            result = run_session(
+                extractor.session(
+                    "batch",
+                    interval_seconds=INTERVAL_SECONDS,
+                    sink=via_session,
+                ),
+                [ddos_trace.flows],
+            )
+        assert [r.to_json() for r in via_session.reports] == [
+            r.to_json() for r in direct.reports
+        ]
+        assert via_session.last_interval == direct.last_interval
+        assert len(via_session.reports) == len(result.extractions)
+
+
+class TestStreamSessionEquivalence:
+    def test_feed_equals_streaming_extractor(self, ddos_trace):
+        from repro.streaming import StreamingExtractor
+
+        incremental = []
+        with StreamingExtractor(
+            _config(), seed=1, interval_seconds=INTERVAL_SECONDS
+        ) as streamer:
+            for chunk in _chunked(ddos_trace.flows, 517):
+                incremental.extend(streamer.process_chunk(chunk))
+            incremental.extend(streamer.flush())
+            expected = streamer.result()
+        with api.session(
+            _config(), mode="stream", interval_seconds=INTERVAL_SECONDS,
+            seed=1,
+        ) as session:
+            got = []
+            for chunk in _chunked(ddos_trace.flows, 517):
+                got.extend(session.feed(chunk))
+            result = session.finish()
+        assert isinstance(result, StreamExtraction)
+        assert _rendered(got) == _rendered(incremental)
+        assert result.intervals == expected.intervals
+        assert result.flows == expected.flows
+        assert result.extraction_count == expected.extraction_count
+        assert _rendered(result.extractions) == _rendered(
+            expected.extractions
+        )
+
+    def test_run_stream_equals_stream_session(self, ddos_trace):
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            expected = extractor.run_stream(
+                _chunked(ddos_trace.flows, 517), INTERVAL_SECONDS
+            )
+        with api.session(
+            _config(), mode="stream", interval_seconds=INTERVAL_SECONDS,
+            seed=1,
+        ) as session:
+            result = run_session(session, _chunked(ddos_trace.flows, 517))
+        assert _rendered(result.extractions) == _rendered(
+            expected.extractions
+        )
+        assert result.late_dropped == expected.late_dropped == 0
+
+
+@settings(max_examples=5, deadline=None)
+@given(chunk_rows=st.integers(min_value=97, max_value=4001))
+def test_chunking_never_changes_results(ddos_trace, batch, chunk_rows):
+    """Property: for ANY chunk size, a chunk-fed batch session equals
+    `run_trace`, and a chunk-fed stream session equals it too (the
+    trace is time-ordered, so no flow is ever late)."""
+    with AnomalyExtractor(_config(), seed=1) as extractor:
+        batched = run_session(
+            extractor.session("batch", interval_seconds=INTERVAL_SECONDS),
+            _chunked(ddos_trace.flows, chunk_rows),
+        )
+    with AnomalyExtractor(_config(), seed=1) as extractor:
+        streamed = run_session(
+            extractor.session("stream", interval_seconds=INTERVAL_SECONDS),
+            _chunked(ddos_trace.flows, chunk_rows),
+        )
+    expected = _rendered(batch.extractions)
+    assert _rendered(batched.extractions) == expected
+    assert _rendered(streamed.extractions) == expected
+    assert streamed.late_dropped == 0
+
+
+class TestSessionLifecycle:
+    def test_unknown_mode_rejected(self):
+        with AnomalyExtractor(_config()) as extractor:
+            with pytest.raises(ExtractionError, match="unknown session mode"):
+                extractor.session("batch-stream")
+
+    def test_feed_after_finish_rejected(self, tiny_flows):
+        with AnomalyExtractor(_config()) as extractor:
+            session = extractor.session("batch")
+            session.feed(tiny_flows)
+            session.finish()
+            with pytest.raises(ExtractionError, match="already finished"):
+                session.feed(tiny_flows)
+            # finish is single-shot too...
+            with pytest.raises(ExtractionError, match="already finished"):
+                session.finish()
+            # ...but the result stays readable.
+            assert session.result().extractions == []
+
+    def test_feed_after_close_rejected(self, tiny_flows):
+        with AnomalyExtractor(_config()) as extractor:
+            session = extractor.session("stream")
+            session.close()
+            session.close()  # idempotent
+            with pytest.raises(ExtractionError, match="closed"):
+                session.feed(tiny_flows)
+
+    def test_borrowed_extractor_survives_session_close(self, tiny_flows):
+        with AnomalyExtractor(_config(jobs=2, backend="thread")) as extractor:
+            session = extractor.session("stream")
+            session.close()
+            # The borrowed engine pool is still usable.
+            report = extractor.detector_bank.observe(tiny_flows)
+            assert report.flow_count == len(tiny_flows)
+
+
+class TestLeakRegression:
+    """ISSUE 5 satellite: `close()` must release the store and the
+    worker pool even when a mid-feed chunk raises."""
+
+    def _poisoned_chunk(self):
+        from repro.flows.table import FlowTable
+
+        # A timestamp jump far past the assembler's max-gap guard: the
+        # push raises ConfigError mid-feed.
+        return FlowTable.from_arrays(
+            [1], [2], [3], [4], [6], [1], [40], start=[1e12]
+        )
+
+    def test_mid_feed_raise_releases_store_and_pool(self, tmp_path):
+        db = str(tmp_path / "leak.db")
+        with pytest.raises(ConfigError):
+            with api.session(
+                _config(jobs=2, backend="thread", store_path=db),
+                mode="stream",
+                interval_seconds=INTERVAL_SECONDS,
+            ) as session:
+                session.feed(self._poisoned_chunk())
+        store = session.extractor.store
+        engine = session.extractor.engine
+        assert session.closed
+        assert store is not None and store._conn is None
+        assert engine is not None and engine.executor._closed
+
+    def test_owning_session_close_is_try_finally(self, tmp_path):
+        """A pool that fails to shut down must not leak the store
+        (mirrors AnomalyExtractor.close semantics on the new path)."""
+        db = str(tmp_path / "chain.db")
+        session = api.session(
+            _config(jobs=2, backend="thread", store_path=db),
+            mode="batch",
+        )
+        engine = session.extractor.engine
+        store = session.extractor.store
+
+        def boom():
+            raise RuntimeError("pool shutdown failed")
+
+        session.extractor._engine = type("E", (), {"close": staticmethod(boom)})()
+        session.extractor._owns_engine = True
+        with pytest.raises(RuntimeError, match="pool shutdown failed"):
+            session.close()
+        assert store._conn is None  # store released despite the raise
+        engine.close()  # release the real pool the test detached
+
+    def test_construction_failure_closes_store(self, tmp_path):
+        db = str(tmp_path / "ctor.db")
+        with pytest.raises(ExtractionError, match="unknown session mode"):
+            api.session(_config(store_path=db), mode="bogus")
+        # The store the extractor opened was closed on the error path:
+        # a fresh open adopts the file cleanly (it was stamped, not
+        # left locked mid-write).
+        with api.open_store(db, must_exist=True) as store:
+            assert len(store) == 0
+
+    def test_batch_mode_rejects_bad_interval(self):
+        with AnomalyExtractor(_config()) as extractor:
+            with pytest.raises(ExtractionError, match="positive"):
+                extractor.session("batch", interval_seconds=0.0)

@@ -14,6 +14,7 @@ from repro.anomalies import DDoSInjector, EventSchedule
 from repro.core.config import ExtractionConfig
 from repro.core.pipeline import AnomalyExtractor
 from repro.core.report import ExtractionReport
+from repro.core.session import run_session
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import Feature
 from repro.incidents import IncidentStore, correlate, rank_incidents
@@ -136,7 +137,9 @@ class TestWindowModeReports:
             config, seed=1, interval_seconds=INTERVAL_SECONDS,
             sink=store,
         ) as streamer:
-            result = streamer.run(_chunked(trace.flows, CHUNK_ROWS))
+            result = run_session(
+                streamer.session, _chunked(trace.flows, CHUNK_ROWS)
+            )
             assert result.extractions
             for extraction in result.extractions:
                 report = streamer.report_for(extraction)

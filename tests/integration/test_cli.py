@@ -699,3 +699,146 @@ class TestParallelFlags:
              "--miner", "son"]
         ) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestFleetCommand:
+    @pytest.fixture(scope="class")
+    def csv_trace(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_csv
+
+        path = tmp_path_factory.mktemp("fleet-cli") / "trace.csv"
+        write_csv(ddos_trace.flows, str(path))
+        return str(path)
+
+    _FLEET_ARGS = [
+        "--bins", "256", "--training", "16", "--min-support", "300",
+    ]
+
+    def test_fleet_table_output(self, csv_trace, capsys):
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, *self._FLEET_ARGS,
+             "--pipelines", "2", "--route", "dst_ip%2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "link0:" in out and "link1:" in out
+        assert "fleet incidents" in out
+
+    def test_fleet_json_output_and_store_dir(self, csv_trace, tmp_path,
+                                             capsys):
+        store_dir = tmp_path / "stores"
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, *self._FLEET_ARGS,
+             "--pipelines", "2", "--store-dir", str(store_dir),
+             "--format", "json"]
+        ) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert sorted(doc) == ["incidents", "pipelines"]
+        assert sorted(doc["pipelines"]) == ["link0", "link1"]
+        total = sum(p["flows"] for p in doc["pipelines"].values())
+        assert total > 0
+        assert doc["incidents"], "fleet produced no incidents"
+        assert all(
+            "pipeline" in entry and "score" in entry
+            for entry in doc["incidents"]
+        )
+        # Human summary goes to stderr in json mode.
+        assert "pipelines" in captured.err
+        assert sorted(p.name for p in store_dir.iterdir()) == [
+            "link0.db", "link1.db",
+        ]
+        # The stores are real: the incidents subcommand can query them.
+        assert main(
+            ["incidents", str(store_dir / "link0.db"), "--format", "json"]
+        ) == 0
+
+    def test_fleet_config_file(self, csv_trace, tmp_path, capsys):
+        config = tmp_path / "fleet.toml"
+        config.write_text(
+            "[detector]\nbins = 256\ntraining_intervals = 16\n"
+            "[mining]\nmin_support = 300\n"
+            "[fleet]\nroute = 'dst_ip%2'\n"
+            "[fleet.pipelines.east]\n[fleet.pipelines.west]\n"
+        )
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, "--config", str(config)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "east:" in out and "west:" in out
+
+    def test_fleet_conflicting_pipeline_sources(self, csv_trace, tmp_path,
+                                                capsys):
+        config = tmp_path / "fleet.toml"
+        config.write_text("[fleet.pipelines.a]\n")
+        assert main(
+            ["fleet", csv_trace, "--config", str(config),
+             "--pipelines", "2"]
+        ) == 2
+        assert "one place" in capsys.readouterr().err
+
+    def test_fleet_requires_pipelines(self, csv_trace, capsys):
+        assert main(["fleet", csv_trace]) == 2
+        assert "no pipelines" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_route(self, csv_trace, capsys):
+        assert main(
+            ["fleet", csv_trace, "--pipelines", "2",
+             "--route", "dst_ip%3"]
+        ) == 2
+        assert "2" in capsys.readouterr().err
+
+    def test_fleet_drops_extractions_by_default(self, csv_trace,
+                                                monkeypatch):
+        """The CLI only reads counters + stores, so every pipeline
+        session runs with the flat-memory retention default (an
+        explicit --keep-extractions opts back in)."""
+        from repro.fleet import FleetManager
+
+        seen = {}
+        original = FleetManager.__init__
+
+        def spy(self, pipelines, **kwargs):
+            seen.update(
+                {n: c.keep_extractions for n, c in pipelines.items()}
+            )
+            return original(self, pipelines, **kwargs)
+
+        monkeypatch.setattr(FleetManager, "__init__", spy)
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, *self._FLEET_ARGS,
+             "--pipelines", "2"]
+        ) == 0
+        assert seen == {"link0": False, "link1": False}
+        seen.clear()
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, *self._FLEET_ARGS,
+             "--pipelines", "2", "--keep-extractions"]
+        ) == 0
+        assert seen == {"link0": True, "link1": True}
+
+    def test_fleet_file_retention_override_wins(self, csv_trace, tmp_path,
+                                                monkeypatch):
+        from repro.fleet import FleetManager
+
+        config = tmp_path / "fleet.toml"
+        config.write_text(
+            "[detector]\nbins = 256\ntraining_intervals = 16\n"
+            "[mining]\nmin_support = 300\n"
+            "[fleet]\nroute = 'dst_ip%2'\n"
+            "[fleet.pipelines.east.streaming]\nkeep_extractions = true\n"
+            "[fleet.pipelines.west]\n"
+        )
+        seen = {}
+        original = FleetManager.__init__
+
+        def spy(self, pipelines, **kwargs):
+            seen.update(
+                {n: c.keep_extractions for n, c in pipelines.items()}
+            )
+            return original(self, pipelines, **kwargs)
+
+        monkeypatch.setattr(FleetManager, "__init__", spy)
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, "--config", str(config)]
+        ) == 0
+        assert seen == {"east": True, "west": False}

@@ -48,6 +48,13 @@ class TestExamples:
         assert "drill-down" in out
         assert "ranked first" in out
 
+    def test_fleet_two_links(self, capsys):
+        out = _run("fleet_two_links.py", capsys)
+        assert "per-link summaries" in out
+        assert "upstream" in out and "peering" in out
+        assert "fleet-wide incident ranking" in out
+        assert "the DDoS surfaced on link" in out
+
     def test_detector_tuning(self, capsys):
         out = _run("detector_tuning.py", capsys)
         assert "ROC sweep" in out

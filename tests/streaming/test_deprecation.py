@@ -1,0 +1,68 @@
+"""ISSUE 5 satellite: `StreamingExtractor.run` is deprecated, not
+removed - old imports, call sites, and return types keep working."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExtractionConfig
+from repro.core.pipeline import AnomalyExtractor
+from repro.detection.detector import DetectorConfig
+
+_CONFIG = dict(
+    detector=DetectorConfig(
+        clones=3, bins=256, vote_threshold=3, training_intervals=16
+    ),
+    min_support=300,
+)
+
+
+def _chunked(table, rows=700):
+    for lo in range(0, len(table), rows):
+        yield table.select(np.arange(lo, min(lo + rows, len(table))))
+
+
+class TestRunDeprecation:
+    def test_old_imports_unchanged(self):
+        # Both historical import paths resolve to the same objects.
+        from repro.streaming import StreamExtraction, StreamingExtractor
+        from repro.streaming.extractor import (
+            StreamExtraction as FromModule,
+        )
+        from repro.core.session import StreamExtraction as Canonical
+
+        assert StreamExtraction is FromModule is Canonical
+        assert hasattr(StreamingExtractor, "run")
+
+    def test_run_warns_but_returns_the_old_type(self, ddos_trace):
+        from repro.streaming import StreamExtraction, StreamingExtractor
+
+        with StreamingExtractor(
+            ExtractionConfig(**_CONFIG), seed=1, interval_seconds=900.0
+        ) as streamer:
+            with pytest.warns(DeprecationWarning, match="api.session"):
+                result = streamer.run(_chunked(ddos_trace.flows))
+        # Return type and payload are exactly what pre-deprecation
+        # callers got.
+        assert isinstance(result, StreamExtraction)
+        assert result.extraction_count == len(result.extractions)
+        assert result.flagged_intervals
+        assert result.intervals == ddos_trace.n_intervals
+
+    def test_blessed_paths_do_not_warn(self, ddos_trace):
+        import repro.api as api
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with AnomalyExtractor(
+                ExtractionConfig(**_CONFIG), seed=1
+            ) as extractor:
+                extractor.run_stream(_chunked(ddos_trace.flows), 900.0)
+            with api.session(
+                ExtractionConfig(**_CONFIG), mode="stream",
+                interval_seconds=900.0, seed=1,
+            ) as session:
+                for chunk in _chunked(ddos_trace.flows):
+                    session.feed(chunk)
+                session.finish()

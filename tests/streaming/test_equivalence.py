@@ -9,6 +9,7 @@ from repro.core.config import ExtractionConfig
 from repro.core.pipeline import AnomalyExtractor
 from repro.detection.detector import DetectorConfig
 from repro.flows.io import iter_csv, write_csv
+from repro.core.session import run_session
 from repro.streaming import StreamingExtractor
 
 CHUNK_ROWS = 517  # deliberately misaligned with interval boundaries
@@ -86,7 +87,9 @@ class TestCsvStreamEquivalence:
             seed=1,
             interval_seconds=ddos_trace.interval_seconds,
         ) as streamer:
-            result = streamer.run(iter_csv(path, chunk_rows=777))
+            result = run_session(
+                streamer.session, iter_csv(path, chunk_rows=777)
+            )
         assert result.late_dropped == 0
         assert result.flows == len(ddos_trace.flows)
         assert _rendered(result.extractions) == _rendered(batch.extractions)

@@ -7,6 +7,7 @@ from repro.core.config import ExtractionConfig
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import Feature
 from repro.errors import ConfigError
+from repro.core.session import run_session
 from repro.streaming import StreamingExtractor
 
 CHUNK_ROWS = 400
@@ -63,7 +64,7 @@ class TestWindowMode:
             seed=1,
             interval_seconds=ddos_trace.interval_seconds,
         )
-        result = streamer.run(_chunked(ddos_trace.flows))
+        result = run_session(streamer.session, _chunked(ddos_trace.flows))
         assert result.windows_mined >= 1
         victim = small_profile.internal_base + 5
         hits = [
@@ -86,7 +87,7 @@ class TestWindowMode:
             seed=1,
             interval_seconds=ddos_trace.interval_seconds,
         )
-        result = streamer.run(_chunked(ddos_trace.flows))
+        result = run_session(streamer.session, _chunked(ddos_trace.flows))
         # Exactly the mined windows became extractions.
         assert result.windows_mined == len(result.extractions)
         assert result.intervals == ddos_trace.n_intervals
@@ -94,16 +95,20 @@ class TestWindowMode:
 
 class TestKeepReports:
     def test_dropped_reports_keep_extractions_identical(self, ddos_trace):
-        kept = StreamingExtractor(
-            _config(), seed=1, interval_seconds=ddos_trace.interval_seconds
-        ).run(_chunked(ddos_trace.flows))
+        kept = run_session(
+            StreamingExtractor(
+                _config(), seed=1,
+                interval_seconds=ddos_trace.interval_seconds,
+            ).session,
+            _chunked(ddos_trace.flows),
+        )
         unbounded = StreamingExtractor(
             _config(),
             seed=1,
             interval_seconds=ddos_trace.interval_seconds,
             keep_reports=False,
         )
-        dropped = unbounded.run(_chunked(ddos_trace.flows))
+        dropped = run_session(unbounded.session, _chunked(ddos_trace.flows))
         assert [e.render() for e in dropped.extractions] == (
             [e.render() for e in kept.extractions]
         )

@@ -11,6 +11,7 @@ import pytest
 
 from repro.core import ExtractionConfig
 from repro.flows import split_intervals
+from repro.core.session import run_session
 from repro.streaming import StreamingExtractor
 
 _CONFIG = dict(
@@ -84,7 +85,7 @@ class TestKeepExtractionsFalse:
             ExtractionConfig(keep_extractions=False, **_CONFIG),
             seed=1, interval_seconds=900.0, sink=sink,
         ) as streamer:
-            result = streamer.run(_chunks(ddos_trace))
+            result = run_session(streamer.session, _chunks(ddos_trace))
         assert result.extraction_count > 0
         assert len(sink.reports) == result.extraction_count
         assert sink.last_interval == result.intervals - 1
@@ -93,6 +94,6 @@ class TestKeepExtractionsFalse:
         with StreamingExtractor(
             ExtractionConfig(**_CONFIG), seed=1, interval_seconds=900.0
         ) as streamer:
-            result = streamer.run(_chunks(ddos_trace))
+            result = run_session(streamer.session, _chunks(ddos_trace))
         assert result.extractions
         assert result.extraction_count == len(result.extractions)
