@@ -98,6 +98,12 @@ def test_streaming_vs_batch(benchmark, csv_trace, report):
         f"  stream run_stream: {n_flows / stream_s:>9.0f} flows/s, "
         f"peak {stream_peak / 2**20:6.1f} MiB "
         f"(x{batch_peak / stream_peak:.1f} smaller)",
+        # Structured metrics land in BENCH_streaming.json.
+        flows=n_flows,
+        batch_flows_per_second=round(n_flows / batch_s, 1),
+        stream_flows_per_second=round(n_flows / stream_s, 1),
+        batch_peak_alloc_bytes=batch_peak,
+        stream_peak_alloc_bytes=stream_peak,
     )
 
 

@@ -65,6 +65,15 @@ from repro.incidents.store import IncidentStore
 from repro.incidents.store import open_store as _open_store
 from repro.core.session import ExtractionSession, run_session
 from repro.fleet.manager import FleetIncident, FleetManager
+from repro.obs.export import render_json, render_prometheus  # noqa: F401
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    time_stage,
+)
+from repro.obs.sink import MetricsSink
 from repro.registry import (
     Registry,
     feature_sets,
@@ -82,6 +91,7 @@ __all__ = [
     "open_fleet",
     "open_store",
     "rank",
+    "metrics",
     "resolve_config",
     # Curated re-exports (the stable names).
     "AnomalyExtractor",
@@ -111,6 +121,12 @@ __all__ = [
     "resolve_features",
     "ReportSink",
     "IntervalSink",
+    "MetricsRegistry",
+    "MetricsSink",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "time_stage",
+    "get_logger",
     "Registry",
     "miners",
     "feature_sets",
@@ -159,6 +175,35 @@ def _load_flows(trace: FlowTable | str | os.PathLike[str]) -> FlowTable:
     return read_trace(trace)
 
 
+def metrics(
+    source: object | None = None,
+    *,
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+) -> MetricsRegistry:
+    """The metrics registry of a pipeline object, or a fresh one.
+
+    With ``source`` (an :class:`AnomalyExtractor`,
+    :class:`ExtractionSession`, :class:`StreamingExtractor`, or
+    :class:`FleetManager`) this returns the registry that object
+    records into - the no-op registry when observability is off.
+    Without ``source`` it builds a fresh enabled
+    :class:`MetricsRegistry` to pass into :func:`session`,
+    :func:`extract`, or :func:`open_fleet` via ``metrics=``::
+
+        reg = repro.metrics()
+        repro.extract("trace.npz", metrics=reg)
+        print(reg.render_prometheus())
+    """
+    if source is None:
+        return MetricsRegistry(buckets=buckets)
+    found = getattr(source, "metrics", None)
+    if found is None or not hasattr(found, "snapshot"):
+        raise ConfigError(
+            f"{type(source).__name__} does not expose a metrics registry"
+        )
+    return found
+
+
 def session(
     config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
     *,
@@ -168,6 +213,7 @@ def session(
     seed: int = 0,
     sink: ReportSink | None = None,
     keep_reports: bool = True,
+    metrics: MetricsRegistry | None = None,
     **overrides: object,
 ) -> ExtractionSession:
     """Open a push-based :class:`ExtractionSession` - the redesigned
@@ -192,10 +238,13 @@ def session(
         interval_seconds / origin / seed / sink: as in :func:`extract`.
         keep_reports: retain per-interval detector reports (set False
             for unbounded streams).
+        metrics: optional :class:`MetricsRegistry` the run records
+            into; defaults to one built from ``config.obs`` (the no-op
+            registry unless ``[obs] enabled = true``).
         **overrides: flat or grouped config fields.
     """
     resolved = resolve_config(config, **overrides)
-    extractor = AnomalyExtractor(resolved, seed=seed)
+    extractor = AnomalyExtractor(resolved, seed=seed, metrics=metrics)
     try:
         return ExtractionSession(
             extractor,
@@ -222,6 +271,7 @@ def extract(
     origin: float = 0.0,
     seed: int = 0,
     sink: ReportSink | None = None,
+    metrics: MetricsRegistry | None = None,
     **overrides: object,
 ) -> TraceExtraction:
     """Run the full batch pipeline (Fig. 3) over a trace.
@@ -237,6 +287,8 @@ def extract(
         seed: detector hash seed.
         sink: optional report sink; defaults to the store opened via
             ``config.incidents.store_path`` when one is set.
+        metrics: optional :class:`MetricsRegistry` the run records
+            into (see :func:`metrics`).
         **overrides: flat or grouped config fields, e.g.
             ``min_support=500``, ``miner="fpgrowth"``, ``jobs=4``.
 
@@ -246,7 +298,7 @@ def extract(
     """
     flows = _load_flows(trace)
     resolved = resolve_config(config, **overrides)
-    with AnomalyExtractor(resolved, seed=seed) as extractor:
+    with AnomalyExtractor(resolved, seed=seed, metrics=metrics) as extractor:
         return extractor.run_trace(
             flows, interval_seconds, origin=origin, sink=sink
         )
@@ -264,6 +316,7 @@ def stream(
     sink: ReportSink | None = None,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     keep_reports: bool = True,
+    metrics: MetricsRegistry | None = None,
     **overrides: object,
 ) -> StreamExtraction:
     """Run the pipeline chunk-by-chunk with bounded memory.
@@ -302,6 +355,7 @@ def stream(
         seed=seed,
         sink=sink,
         keep_reports=keep_reports,
+        metrics=metrics,
         **overrides,
     ) as opened:
         result = run_session(opened, chunks)
@@ -322,6 +376,7 @@ def open_fleet(
     origin: float = 0.0,
     seed: int = 0,
     keep_reports: bool = False,
+    metrics: MetricsRegistry | None = None,
     **overrides: object,
 ) -> FleetManager:
     """Open a :class:`FleetManager`: N named pipelines, one router,
@@ -424,6 +479,7 @@ def open_fleet(
         seed=seed,
         store_dir=store_dir,
         keep_reports=keep_reports,
+        metrics=metrics,
     )
 
 

@@ -33,10 +33,13 @@ def load_trace(path: str):
     return read_trace(path)
 
 
-def chunk_source(trace: str, chunk_rows: int, command: str = "stream"):
+def chunk_source(
+    trace: str, chunk_rows: int, command: str = "stream", metrics=None
+):
     """Chunked flow iterator for the streaming subcommands: a ``.csv``
     path or ``'-'`` for stdin (anything else is rejected up front -
-    incremental parsing is row-oriented)."""
+    incremental parsing is row-oriented).  ``metrics`` threads a
+    registry through to the CSV parser's row counters."""
     import sys
 
     from repro.errors import TraceFormatError
@@ -44,10 +47,11 @@ def chunk_source(trace: str, chunk_rows: int, command: str = "stream"):
 
     if trace == "-":
         return iter_csv_handle(
-            sys.stdin, chunk_rows=chunk_rows, name="<stdin>"
+            sys.stdin, chunk_rows=chunk_rows, name="<stdin>",
+            metrics=metrics,
         )
     if trace.endswith(".csv"):
-        return iter_csv(trace, chunk_rows=chunk_rows)
+        return iter_csv(trace, chunk_rows=chunk_rows, metrics=metrics)
     raise TraceFormatError(
         f"{trace}: {command} reads a .csv trace (or '-' for stdin)"
     )
@@ -155,6 +159,54 @@ def add_store_arg(parser: argparse.ArgumentParser) -> None:
                         help="persist every alarmed interval's extraction report "
                         "to a SQLite incident store at PATH (query it "
                         "with 'repro-extract incidents PATH')")
+
+
+def add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export run metrics (throughput, late drops, stage "
+        "timings) to PATH when the run completes; '-' writes to "
+        "stdout",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=("prom", "json"), default="prom",
+        help="metrics export format: Prometheus text exposition or "
+        "one canonical JSON snapshot",
+    )
+
+
+def build_metrics_registry(args: argparse.Namespace, config):
+    """A real registry when the run wants one, else ``None``.
+
+    ``--metrics PATH`` or a run config with ``[obs] enabled = true``
+    turns observability on; everything else runs against the no-op
+    registry (chosen downstream when this returns ``None``).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    if getattr(args, "metrics", None) is None and not config.obs_enabled:
+        return None
+    return MetricsRegistry(buckets=config.obs.histogram_buckets)
+
+
+def write_metrics(registry, args: argparse.Namespace) -> None:
+    """Export the registry per ``--metrics`` / ``--metrics-format``."""
+    import sys
+
+    target = getattr(args, "metrics", None)
+    if target is None or registry is None:
+        return
+    if getattr(args, "metrics_format", "prom") == "json":
+        from repro.obs.export import render_json
+
+        text = render_json(registry)
+    else:
+        text = registry.render_prometheus()
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        with open(target, "w") as handle:
+            handle.write(text)
 
 
 def add_parallel_args(parser: argparse.ArgumentParser) -> None:

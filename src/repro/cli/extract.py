@@ -9,12 +9,15 @@ from repro.cli._common import (
     add_config_arg,
     add_detector_args,
     add_format_arg,
+    add_metrics_args,
     add_mining_args,
     add_parallel_args,
     add_store_arg,
+    build_metrics_registry,
     extraction_config,
     load_trace,
     positive_int,
+    write_metrics,
 )
 from repro.core import AnomalyExtractor, ExtractionReport
 from repro.sinks import TeeSink
@@ -33,13 +36,17 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
                      "(default: one per worker)")
     add_format_arg(ext)
     add_store_arg(ext)
+    add_metrics_args(ext)
     ext.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
     flows = load_trace(args.trace)
     config = extraction_config(args)
-    with AnomalyExtractor(config, seed=args.seed) as extractor:
+    registry = build_metrics_registry(args, config)
+    with AnomalyExtractor(
+        config, seed=args.seed, metrics=registry
+    ) as extractor:
         if args.format == "json":
             # Collect the reports run_trace builds anyway (teeing into
             # the store when one is configured) instead of rebuilding
@@ -57,11 +64,14 @@ def run(args: argparse.Namespace) -> int:
     if args.format == "json":
         for report in reports:
             print(report.to_json())
+        write_metrics(registry, args)
         return 0
     if not result.extractions:
         print("no extractions (no alarms with usable meta-data)")
+        write_metrics(registry, args)
         return 0
     for extraction in result.extractions:
         print(extraction.render())
         print()
+    write_metrics(registry, args)
     return 0

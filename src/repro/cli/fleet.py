@@ -11,25 +11,28 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 
 from repro.cli._common import (
     TrackedTrueAction,
     add_config_arg,
     add_detector_args,
     add_format_arg,
+    add_metrics_args,
     add_mining_args,
     add_parallel_args,
+    build_metrics_registry,
     chunk_source,
     config_file_sets,
     explicit_dests,
     extraction_config,
     positive_int,
+    write_metrics,
 )
 from repro.core.config import FleetSettings, split_fleet_data
 from repro.errors import ConfigError
 from repro.fleet import FleetManager
 from repro.flows.io import DEFAULT_CHUNK_ROWS
+from repro.obs.log import get_logger
 
 #: Routing spec used when neither ``--route`` nor the run config names
 #: one: hash-shard destination IPs across the pipelines.
@@ -83,11 +86,11 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
         json_help="one JSON document for the whole run (per-pipeline "
         "summaries + merged incident ranking)",
     )
+    add_metrics_args(fleet)
     fleet.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    chunks = chunk_source(args.trace, args.chunk_rows, command="fleet")
     file_data = None
     fleet_data = None
     if args.config:
@@ -117,6 +120,10 @@ def run(args: argparse.Namespace) -> int:
             "[fleet.pipelines.<name>] sections to --config"
         )
     configs = _weak_default_retention(args, fleet_data, configs)
+    registry = build_metrics_registry(args, base)
+    chunks = chunk_source(
+        args.trace, args.chunk_rows, command="fleet", metrics=registry
+    )
     with FleetManager(
         configs,
         route=route,
@@ -124,6 +131,7 @@ def run(args: argparse.Namespace) -> int:
         origin=args.origin,
         seed=args.seed,
         store_dir=store_dir,
+        metrics=registry,
     ) as fleet:
         for chunk in chunks:
             fleet.feed(chunk)
@@ -131,10 +139,12 @@ def run(args: argparse.Namespace) -> int:
         incidents = fleet.incidents(profile=args.profile, top=args.top)
         if args.format == "json":
             print(json.dumps(_document(fleet, results, incidents)))
-            _summary(results, file=sys.stderr)
+            _summary(results)
+            write_metrics(registry, args)
             return 0
         for line in _render_table(results, incidents):
             print(line)
+    write_metrics(registry, args)
     return 0
 
 
@@ -186,13 +196,14 @@ def _document(fleet, results, incidents) -> dict:
     return doc
 
 
-def _summary(results, file) -> None:
+def _summary(results) -> None:
     total_flows = sum(r.flows for r in results.values())
     total_extractions = sum(r.extraction_count for r in results.values())
-    print(
-        f"{len(results)} pipelines, {total_flows} flows, "
-        f"{total_extractions} extractions",
-        file=file,
+    # Through the structured logger (stderr): stdout carries the JSON
+    # document only, and embedding applications can re-route the line.
+    get_logger("cli.fleet").info(
+        "%s pipelines, %s flows, %s extractions",
+        len(results), total_flows, total_extractions,
     )
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.cli._common import (
     TrackedAction,
@@ -11,15 +10,19 @@ from repro.cli._common import (
     add_config_arg,
     add_detector_args,
     add_format_arg,
+    add_metrics_args,
     add_mining_args,
     add_store_arg,
+    build_metrics_registry,
     chunk_source,
     config_file_sets,
     explicit_dests,
     extraction_config,
     positive_int,
+    write_metrics,
 )
 from repro.flows.io import DEFAULT_CHUNK_ROWS
+from repro.obs.log import get_logger
 from repro.streaming import StreamingExtractor
 
 
@@ -60,12 +63,14 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
                         "them, so unbounded noisy pipes run flat)")
     add_format_arg(stream)
     add_store_arg(stream)
+    add_metrics_args(stream)
     stream.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
-    chunks = chunk_source(args.trace, args.chunk_rows)
     config = extraction_config(args)
+    registry = build_metrics_registry(args, config)
+    chunks = chunk_source(args.trace, args.chunk_rows, metrics=registry)
     if (
         "keep_extractions" not in explicit_dests(args)
         and not config_file_sets(args, "streaming", "keep_extractions")
@@ -93,6 +98,7 @@ def run(args: argparse.Namespace) -> int:
         # post-hoc DetectionRun, so per-interval reports need not
         # accumulate - this is what keeps day-long pipes flat.
         keep_reports=False,
+        metrics=registry,
     ) as streamer:
         for chunk in chunks:
             for extraction in streamer.process_chunk(chunk):
@@ -105,13 +111,22 @@ def run(args: argparse.Namespace) -> int:
         f"{result.extraction_count} extractions"
     )
     if result.late_dropped:
-        summary += f", {result.late_dropped} late flows dropped"
+        summary += (
+            f", {result.late_dropped} late flows dropped "
+            f"(pre-origin {result.late_dropped_pre_origin}, "
+            f"closed-interval {result.late_dropped_closed})"
+        )
     if config.window_intervals > 1:
         summary += (
             f"; windows mined {result.windows_mined}, "
             f"skipped {result.windows_skipped}"
         )
     # In JSON mode stdout carries one document per alarmed interval and
-    # nothing else; the human summary goes to stderr.
-    print(summary, file=sys.stderr if args.format == "json" else sys.stdout)
+    # nothing else; the human summary goes to stderr - through the
+    # structured logger, so embedding applications can re-route it.
+    if args.format == "json":
+        get_logger("cli.stream").info("%s", summary)
+    else:
+        print(summary)
+    write_metrics(registry, args)
     return 0

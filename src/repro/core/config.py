@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
+import math
 import os
 import types
 import typing
@@ -44,6 +45,7 @@ from repro.detection.features import (
     resolve_features,
 )
 from repro.errors import ConfigError
+from repro.obs.metrics import DEFAULT_BUCKETS
 
 _PREFILTER_MODES = ("union", "intersection")
 
@@ -201,6 +203,52 @@ class IncidentSettings:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class ObsSettings:
+    """The observability layer (:mod:`repro.obs`).
+
+    Attributes:
+        enabled: when True, the extractor builds a live
+            :class:`~repro.obs.metrics.MetricsRegistry` and every layer
+            records into it; when False (the default) the shared no-op
+            registry is used and instrumentation costs one discarded
+            method call per event.  Extraction output is byte-identical
+            either way.
+        histogram_buckets: upper bucket bounds (seconds) for every
+            timing histogram (``+Inf`` is implicit).  Must be strictly
+            increasing and finite.
+        jsonl_path: when set (and metrics are enabled), the session
+            tees one canonical metrics snapshot per processed interval
+            to this JSONL file via
+            :class:`~repro.obs.sink.MetricsSink`.
+    """
+
+    enabled: bool = False
+    histogram_buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    jsonl_path: str | None = None
+
+    def __post_init__(self) -> None:
+        try:
+            buckets = tuple(float(b) for b in self.histogram_buckets)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"histogram_buckets must be numbers: "
+                f"{self.histogram_buckets!r}"
+            ) from exc
+        if not buckets:
+            raise ConfigError("histogram_buckets must not be empty")
+        if any(not math.isfinite(b) for b in buckets):
+            raise ConfigError(
+                f"histogram_buckets must be finite (+Inf is implicit): "
+                f"{buckets}"
+            )
+        if list(buckets) != sorted(set(buckets)):
+            raise ConfigError(
+                f"histogram_buckets must be strictly increasing: {buckets}"
+            )
+        object.__setattr__(self, "histogram_buckets", buckets)
+
+
 #: Legacy flat constructor kwargs / attribute names -> (group, field).
 _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "min_support": ("mining", "min_support"),
@@ -217,6 +265,8 @@ _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "store_path": ("incidents", "store_path"),
     "incident_jaccard": ("incidents", "jaccard"),
     "incident_quiet_gap": ("incidents", "quiet_gap"),
+    "obs_enabled": ("obs", "enabled"),
+    "metrics_jsonl_path": ("obs", "jsonl_path"),
 }
 
 _GROUP_TYPES: dict[str, type] = {
@@ -224,10 +274,13 @@ _GROUP_TYPES: dict[str, type] = {
     "parallel": ParallelSettings,
     "streaming": StreamingSettings,
     "incidents": IncidentSettings,
+    "obs": ObsSettings,
 }
 
 #: to_dict/from_dict section order (fixed: byte-stable output).
-_SECTION_ORDER = ("detector", "mining", "parallel", "streaming", "incidents")
+_SECTION_ORDER = (
+    "detector", "mining", "parallel", "streaming", "incidents", "obs"
+)
 
 
 def _close_match_hint(key: str, choices: list[str]) -> str:
@@ -268,9 +321,20 @@ def _check_type(section: str, key: str, value: object, annotation) -> object:
         elif expected is float:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 return float(value)
+        elif typing.get_origin(expected) in (tuple, list):
+            # Parameterized sequence (e.g. ``tuple[float, ...]`` for
+            # histogram bounds): accept any list/tuple of numbers; the
+            # section dataclass's own validation handles the contents.
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in value
+            ):
+                return tuple(float(v) for v in value)
         elif isinstance(value, expected):
             return value
-    names = " or ".join(t.__name__ for t in allowed)
+    names = " or ".join(
+        getattr(t, "__name__", None) or str(t) for t in allowed
+    )
     raise ConfigError(
         f"[{section}] {key} must be {names}, "
         f"got {type(value).__name__}: {value!r}"
@@ -303,6 +367,7 @@ class ExtractionConfig:
         parallel: :class:`ParallelSettings`.
         streaming: :class:`StreamingSettings`.
         incidents: :class:`IncidentSettings`.
+        obs: :class:`ObsSettings`.
     """
 
     detector: DetectorConfig
@@ -311,6 +376,7 @@ class ExtractionConfig:
     parallel: ParallelSettings
     streaming: StreamingSettings
     incidents: IncidentSettings
+    obs: ObsSettings
 
     def __init__(
         self,
@@ -320,6 +386,7 @@ class ExtractionConfig:
         parallel: ParallelSettings | Mapping | None = None,
         streaming: StreamingSettings | Mapping | None = None,
         incidents: IncidentSettings | Mapping | None = None,
+        obs: ObsSettings | Mapping | None = None,
         **flat: object,
     ):
         groups: dict[str, object] = {
@@ -327,6 +394,7 @@ class ExtractionConfig:
             "parallel": self._coerce_group("parallel", parallel),
             "streaming": self._coerce_group("streaming", streaming),
             "incidents": self._coerce_group("incidents", incidents),
+            "obs": self._coerce_group("obs", obs),
         }
         if detector is None:
             detector = DetectorConfig()
@@ -445,6 +513,14 @@ class ExtractionConfig:
     def incident_quiet_gap(self) -> int | None:
         return self.incidents.quiet_gap
 
+    @property
+    def obs_enabled(self) -> bool:
+        return self.obs.enabled
+
+    @property
+    def metrics_jsonl_path(self) -> str | None:
+        return self.obs.jsonl_path
+
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
@@ -458,6 +534,7 @@ class ExtractionConfig:
             "parallel": self.parallel,
             "streaming": self.streaming,
             "incidents": self.incidents,
+            "obs": self.obs,
         }
         for key in list(changes):
             if key in base:

@@ -34,6 +34,8 @@ from repro.mining import MINERS
 from repro.mining.items import FrequentItemset
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
+from repro.obs.instruments import PipelineInstruments
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, time_stage
 
 
 @runtime_checkable
@@ -129,6 +131,11 @@ class TraceExtraction:
     #: ``max_delay_seconds`` / ``max_pending_intervals`` to keep
     #: intervals open longer.
     late_dropped: int = 0
+    #: Late-drop split (streaming only): flows predating interval 0 vs
+    #: flows whose interval had closed past the lateness allowance.
+    #: ``late_dropped == late_dropped_pre_origin + late_dropped_closed``.
+    late_dropped_pre_origin: int = 0
+    late_dropped_closed: int = 0
 
     @property
     def flagged_intervals(self) -> list[int]:
@@ -149,6 +156,13 @@ class AnomalyExtractor:
     through it regardless of ``config.jobs`` but never closes it - that
     is how a :class:`~repro.fleet.manager.FleetManager` shares one
     worker pool across every pipeline of the fleet.
+
+    ``metrics`` attaches a :class:`~repro.obs.metrics.MetricsRegistry`;
+    omitted, the extractor builds one when ``config.obs.enabled`` is
+    set, else runs against the no-op
+    :data:`~repro.obs.metrics.NULL_REGISTRY` (extraction output is
+    byte-identical either way).  ``pipeline`` is the label every metric
+    of this extractor carries - the fleet passes its link names.
     """
 
     def __init__(
@@ -156,8 +170,20 @@ class AnomalyExtractor:
         config: ExtractionConfig | None = None,
         seed: int = 0,
         engine: object | None = None,
+        metrics: MetricsRegistry | None = None,
+        pipeline: str = "default",
     ):
         self.config = config or ExtractionConfig()
+        # Registry before any resource: instrument bundles are handed
+        # to the store and engine at construction time.
+        if metrics is None:
+            metrics = (
+                MetricsRegistry(buckets=self.config.obs.histogram_buckets)
+                if self.config.obs_enabled
+                else NULL_REGISTRY
+            )
+        self._metrics = metrics
+        self._instruments = PipelineInstruments(metrics, pipeline)
         self._store = None
         if self.config.store_path is not None:
             from repro.incidents.store import IncidentStore
@@ -166,6 +192,7 @@ class AnomalyExtractor:
                 self.config.store_path,
                 jaccard=self.config.incident_jaccard,
                 quiet_gap=self.config.incident_quiet_gap,
+                metrics=metrics,
             )
         self._engine = engine
         self._owns_engine = engine is None
@@ -182,6 +209,7 @@ class AnomalyExtractor:
                     backend=self.config.backend,
                     jobs=self.config.jobs,
                     partitions=self.config.partitions,
+                    metrics=metrics,
                 )
                 self._bank = self._engine.bank(
                     self.config.detector, features=self.config.features,
@@ -203,6 +231,18 @@ class AnomalyExtractor:
     @property
     def detector_bank(self) -> DetectorBank:
         return self._bank
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry this extractor reports into (the no-op
+        :data:`~repro.obs.metrics.NULL_REGISTRY` when observability is
+        off)."""
+        return self._metrics
+
+    @property
+    def instruments(self) -> PipelineInstruments:
+        """The pre-bound per-pipeline instrument bundle."""
+        return self._instruments
 
     @property
     def engine(self):
@@ -241,9 +281,14 @@ class AnomalyExtractor:
     def process_interval(self, flows: FlowTable) -> ExtractionResult | None:
         """Feed one measurement interval; returns an extraction when the
         detectors alarm with usable meta-data, else None."""
-        report = self._bank.observe(flows)
+        ins = self._instruments
+        ins.intervals.inc()
+        ins.flows.inc(len(flows))
+        with time_stage(ins.stage_detection):
+            report = self._bank.observe(flows)
         if not report.alarm:
             return None
+        ins.alarmed.inc()
         metadata = report.metadata()
         if metadata.is_empty():
             # An alarm whose voted meta-data is empty cannot drive the
@@ -345,6 +390,8 @@ class AnomalyExtractor:
             extractions=result.extractions,
             detection=result.detection,
             late_dropped=result.late_dropped,
+            late_dropped_pre_origin=result.late_dropped_pre_origin,
+            late_dropped_closed=result.late_dropped_closed,
         )
 
     # ------------------------------------------------------------------
@@ -366,9 +413,17 @@ class AnomalyExtractor:
         """
         if len(flows) == 0:
             raise ExtractionError("cannot extract from an empty interval")
-        selected = prefilter(flows, metadata, self.config.prefilter_mode)
-        support = min_support if min_support is not None else self.config.min_support
-        mining = self._mine(selected.flows, support)
+        ins = self._instruments
+        with time_stage(ins.stage_mining):
+            selected = prefilter(flows, metadata, self.config.prefilter_mode)
+            support = (
+                min_support
+                if min_support is not None
+                else self.config.min_support
+            )
+            mining = self._mine(selected.flows, support)
+        ins.extractions.inc()
+        ins.itemsets.inc(len(mining.itemsets))
         return ExtractionResult(
             interval=interval,
             metadata=metadata,

@@ -64,6 +64,7 @@ from repro.flows.stream import (
 from repro.flows.table import FlowTable
 from repro.mining import MINERS
 from repro.mining.streaming import SlidingWindowMiner
+from repro.obs.metrics import MetricsRegistry, time_stage
 
 if TYPE_CHECKING:
     from repro.streaming.assembler import IntervalAssembler
@@ -98,6 +99,13 @@ class StreamExtraction:
     #: (emitted results are evicted to keep memory flat) and this
     #: counter is the only record of how many there were.
     extraction_count: int = 0
+    #: Late-drop split: flows predating interval 0 (misconfigured
+    #: origin - no lateness tuning recovers them) vs flows whose
+    #: interval had already closed past the lateness allowance (raise
+    #: ``max_delay_seconds`` to catch these).  Their sum is
+    #: :attr:`late_dropped`.
+    late_dropped_pre_origin: int = 0
+    late_dropped_closed: int = 0
 
     @property
     def flagged_intervals(self) -> list[int]:
@@ -165,6 +173,22 @@ class ExtractionSession:
         self.interval_seconds = interval_seconds
         self.origin = origin
         self._sink = sink if sink is not None else extractor.store
+        # With observability on and a telemetry path configured, tee an
+        # owned MetricsSink next to the report sink: one snapshot per
+        # processed interval lands in the JSONL trail.
+        self._metrics_sink = None
+        if extractor.metrics.enabled and self.config.obs.jsonl_path:
+            from repro.obs.sink import MetricsSink
+            from repro.sinks import TeeSink
+
+            self._metrics_sink = MetricsSink(
+                self.config.obs.jsonl_path, extractor.metrics
+            )
+            self._sink = (
+                TeeSink(self._sink, self._metrics_sink)
+                if self._sink is not None
+                else self._metrics_sink
+            )
         self.keep_reports = keep_reports
         self._closed = False
         self._finished = False
@@ -188,6 +212,7 @@ class ExtractionSession:
                 origin=origin,
                 max_delay_seconds=self.config.max_delay_seconds,
                 max_pending_intervals=self.config.max_pending_intervals,
+                instruments=extractor.instruments,
             )
             if self.config.window_intervals > 1:
                 self._window_miner = SlidingWindowMiner(
@@ -233,6 +258,12 @@ class ExtractionSession:
         return self._sink
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The extractor's metrics registry (no-op when observability
+        is off)."""
+        return self._extractor.metrics
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -253,8 +284,12 @@ class ExtractionSession:
         if self._closed:
             return
         self._closed = True
-        if self._owns_extractor:
-            self._extractor.close()
+        try:
+            if self._metrics_sink is not None:
+                self._metrics_sink.close()
+        finally:
+            if self._owns_extractor:
+                self._extractor.close()
 
     def __enter__(self) -> "ExtractionSession":
         return self
@@ -285,7 +320,9 @@ class ExtractionSession:
                 self._pending.append(chunk)
             return []
         assert self.assembler is not None
-        return self._process_views(self.assembler.push(chunk))
+        with time_stage(self._extractor.instruments.stage_binning):
+            views = self.assembler.push(chunk)
+        return self._process_views(views)
 
     def flush(self) -> list[ExtractionResult]:
         """Drain what can be drained without ending the session.
@@ -301,7 +338,9 @@ class ExtractionSession:
         if self.mode == "batch":
             return []
         assert self.assembler is not None
-        return self._process_views(self.assembler.flush())
+        with time_stage(self._extractor.instruments.stage_binning):
+            views = self.assembler.flush()
+        return self._process_views(views)
 
     def finish(self) -> TraceExtraction | StreamExtraction:
         """Flush, seal the session, and return the run's result.
@@ -332,13 +371,30 @@ class ExtractionSession:
         # holds the trace plus ONE interval, same as the historical
         # run_trace loop.
         return self._process_views(
-            iter_intervals(
-                trace,
-                self.interval_seconds,
-                origin=self.origin,
-                include_empty=True,
+            self._timed_views(
+                iter_intervals(
+                    trace,
+                    self.interval_seconds,
+                    origin=self.origin,
+                    include_empty=True,
+                )
             )
         )
+
+    def _timed_views(
+        self, views: Iterable[IntervalView]
+    ) -> Iterable[IntervalView]:
+        """Attribute generator-advance time (the batch path's windowing
+        work) to the ``binning`` stage, one observation per interval."""
+        binning = self._extractor.instruments.stage_binning
+        it = iter(views)
+        while True:
+            with time_stage(binning) as span:
+                view = next(it, None)
+                if view is None:
+                    span.cancel()
+                    return
+            yield view
 
     # ------------------------------------------------------------------
     # Results
@@ -362,6 +418,8 @@ class ExtractionSession:
             windows_mined=self.windows_mined,
             windows_skipped=self.windows_skipped,
             extraction_count=self.extraction_count,
+            late_dropped_pre_origin=self.assembler.late_dropped_pre_origin,
+            late_dropped_closed=self.assembler.late_dropped_closed,
         )
 
     def report_for(self, extraction: ExtractionResult) -> ExtractionReport:
@@ -423,7 +481,11 @@ class ExtractionSession:
                     window = max(1, len(self._window_raw_flows))
                 self._report_state[id(extraction)] = window
                 if self._sink is not None:
-                    self._sink.append(self.report_for(extraction))
+                    # Triage = report construction + sink/store push.
+                    with time_stage(
+                        self._extractor.instruments.stage_triage
+                    ):
+                        self._sink.append(self.report_for(extraction))
             if not self.keep_reports:
                 self._extractor.detector_bank.clear_reports()
         # Clean intervals leave no report but must still age incidents;
@@ -437,7 +499,11 @@ class ExtractionSession:
             # One-shot mode shares AnomalyExtractor's own per-interval
             # path, which is what guarantees batch equivalence.
             return self._extractor.process_interval(view.flows)
-        report = self._extractor.detector_bank.observe(view.flows)
+        ins = self._extractor.instruments
+        ins.intervals.inc()
+        ins.flows.inc(len(view.flows))
+        with time_stage(ins.stage_detection):
+            report = self._extractor.detector_bank.observe(view.flows)
         metadata = report.metadata()
         self._window_raw_flows.append(len(view.flows))
         if not report.alarm or metadata.is_empty():
@@ -445,15 +511,19 @@ class ExtractionSession:
             # the last N *intervals*, not the last N alarms.
             self._window_miner.push(FlowTable.empty())
             return None
-        selected = prefilter(
-            view.flows, metadata, self.config.prefilter_mode
-        )
-        self._window_miner.push(selected.flows)
-        mining = self._window_miner.mine_if_candidates()
+        ins.alarmed.inc()
+        with time_stage(ins.stage_mining):
+            selected = prefilter(
+                view.flows, metadata, self.config.prefilter_mode
+            )
+            self._window_miner.push(selected.flows)
+            mining = self._window_miner.mine_if_candidates()
         if mining is None:
             self.windows_skipped += 1
             return None
         self.windows_mined += 1
+        ins.extractions.inc()
+        ins.itemsets.inc(len(mining.itemsets))
         # The report must describe what was actually mined - the whole
         # window's suspicious flows - not just this interval's share,
         # or the rendered supports would exceed the stated flow counts.

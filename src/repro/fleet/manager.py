@@ -42,6 +42,7 @@ from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
 from repro.incidents.correlate import Incident
 from repro.incidents.rank import RankedIncident, resolve_profile
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, time_stage
 
 __all__ = ["FleetIncident", "FleetManager"]
 
@@ -111,6 +112,12 @@ class FleetManager:
             pipeline (off by default: a fleet is service-shaped, and N
             unbounded report logs are exactly what a service cannot
             hold).
+        metrics: one :class:`~repro.obs.metrics.MetricsRegistry` shared
+            by every pipeline - each pipeline's instruments carry its
+            name as the ``pipeline`` label, so one export answers for
+            the whole fleet.  Omitted, a registry is built when any
+            pipeline config sets ``obs.enabled``, else the fleet runs
+            against the no-op registry.
 
     The fleet builds ONE shared worker pool: the maximum ``jobs``
     across pipeline configs, on the backend/partitions of the first
@@ -132,6 +139,7 @@ class FleetManager:
         seed: int = 0,
         store_dir: str | os.PathLike[str] | None = None,
         keep_reports: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if not pipelines:
             raise ConfigError("a fleet needs at least one pipeline")
@@ -181,6 +189,32 @@ class FleetManager:
                         f"its own store (use store_dir=)"
                     )
             resolved[name] = config
+        if metrics is None:
+            enabled = [c for c in resolved.values() if c.obs_enabled]
+            metrics = (
+                MetricsRegistry(buckets=enabled[0].obs.histogram_buckets)
+                if enabled
+                else NULL_REGISTRY
+            )
+        self._metrics = metrics
+        self._m_fed = metrics.counter(
+            "repro_fleet_fed_rows_total",
+            "Flow rows fed into the fleet (after router validation).",
+        )
+        self._m_routed = metrics.counter(
+            "repro_fleet_routed_rows_total",
+            "Flow rows routed to each pipeline.",
+            ("pipeline",),
+        )
+        self._m_misrouted = metrics.counter(
+            "repro_fleet_misrouted_rows_total",
+            "Flow rows in chunks rejected because the router produced "
+            "out-of-range pipeline indices.",
+        )
+        self._m_ranking = metrics.histogram(
+            "repro_fleet_ranking_seconds",
+            "Wall-clock seconds per merged fleet-wide incidents() query.",
+        )
         self._engine = None
         self._extractors: dict[str, AnomalyExtractor] = {}
         self._sessions: dict[str, ExtractionSession] = {}
@@ -197,12 +231,15 @@ class FleetManager:
                     backend=parallel[0].backend,
                     jobs=max(c.jobs for c in parallel),
                     partitions=parallel[0].partitions,
+                    metrics=metrics,
                 )
             for name, config in resolved.items():
                 extractor = AnomalyExtractor(
                     config,
                     seed=seed,
                     engine=self._engine if config.jobs > 1 else None,
+                    metrics=metrics,
+                    pipeline=name,
                 )
                 self._extractors[name] = extractor
                 self._sessions[name] = ExtractionSession(
@@ -233,6 +270,12 @@ class FleetManager:
         """The shared parallel engine, or None when every pipeline is
         serial."""
         return self._engine
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The fleet-wide metrics registry (no-op when observability
+        is off everywhere)."""
+        return self._metrics
 
     def session(self, pipeline: str) -> ExtractionSession:
         """The named pipeline's session."""
@@ -272,7 +315,10 @@ class FleetManager:
         """
         self._check_open("feed")
         if pipeline is not None:
-            return {pipeline: self.session(pipeline).feed(chunk)}
+            session = self.session(pipeline)
+            self._m_fed.inc(len(chunk))
+            self._m_routed.labels(pipeline).inc(len(chunk))
+            return {pipeline: session.feed(chunk)}
         if self._router is None:
             raise ConfigError(
                 "fleet has no route configured; pass pipeline=... or "
@@ -292,15 +338,23 @@ class FleetManager:
         if len(indices) and (
             indices.min() < 0 or indices.max() >= len(self._names)
         ):
+            bad = (indices < 0) | (indices >= len(self._names))
+            self._m_misrouted.inc(int(bad.sum()))
             raise ConfigError(
                 f"router produced indices outside [0, {len(self._names)}): "
                 f"[{indices.min()}, {indices.max()}]"
             )
+        # Only now is the chunk known to be routable - counting earlier
+        # would break the conservation invariant
+        # sum(routed) == fed that the test suite holds.
+        self._m_fed.inc(len(chunk))
         out: dict[str, list[ExtractionResult]] = {}
         for k, name in enumerate(self._names):
             mask = indices == k
             if mask.any():
-                out[name] = self._sessions[name].feed(chunk.select(mask))
+                routed = chunk.select(mask)
+                self._m_routed.labels(name).inc(len(routed))
+                out[name] = self._sessions[name].feed(routed)
         return out
 
     def finish(self) -> dict[str, TraceExtraction | StreamExtraction]:
@@ -340,10 +394,20 @@ class FleetManager:
                 store's own persisted knobs).
             top: keep only the k best-ranked fleet incidents.
         """
+        self._check_open("query incidents")
+        with time_stage(self._m_ranking):
+            return self._ranked_incidents(profile, jaccard, quiet_gap, top)
+
+    def _ranked_incidents(
+        self,
+        profile: str,
+        jaccard: float | None,
+        quiet_gap: int | None,
+        top: int | None,
+    ) -> list[FleetIncident]:
         from repro.incidents.correlate import IncidentCorrelator
         from repro.incidents.rank import score_incident
 
-        self._check_open("query incidents")
         # Validate before the possibly-empty early return, mirroring
         # rank_incidents.
         weights = resolve_profile(profile)

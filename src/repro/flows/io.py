@@ -20,6 +20,22 @@ import numpy as np
 from repro.errors import TraceFormatError
 from repro.flows.record import FlowRecord
 from repro.flows.table import ALL_COLUMNS, FlowTable
+from repro.obs.metrics import NULL_REGISTRY
+
+
+def _io_counters(metrics):
+    """(rows parsed, parse errors) counters from ``metrics`` (or no-ops)."""
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    rows = registry.counter(
+        "repro_io_rows_parsed_total",
+        "CSV flow rows parsed into chunks.",
+    )
+    errors = registry.counter(
+        "repro_io_parse_errors_total",
+        "CSV rows rejected as malformed (ragged, non-numeric, "
+        "non-finite timestamp).",
+    )
+    return rows, errors
 
 _CSV_HEADER = list(ALL_COLUMNS)
 
@@ -55,6 +71,7 @@ def iter_csv_handle(
     handle: Iterable[str],
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     name: str = "<stream>",
+    metrics=None,
 ) -> Iterator[FlowTable]:
     """Stream CSV flow rows from an open text handle (file, pipe, stdin).
 
@@ -63,10 +80,13 @@ def iter_csv_handle(
     ``repro-extract stream -`` reading from a shell pipeline.  ``name``
     labels error messages.  Validation matches :func:`read_csv`: a
     malformed header, ragged row, or non-numeric cell raises
-    :class:`TraceFormatError` with the offending line.
+    :class:`TraceFormatError` with the offending line.  ``metrics``
+    (a :class:`~repro.obs.metrics.MetricsRegistry`) counts parsed rows
+    and rejected rows.
     """
     if chunk_rows < 1:
         raise TraceFormatError(f"chunk_rows must be >= 1: {chunk_rows}")
+    m_rows, m_errors = _io_counters(metrics)
     reader = csv.reader(handle)
     try:
         header = next(reader)
@@ -82,6 +102,7 @@ def iter_csv_handle(
         if not row:
             continue  # allow trailing blank lines
         if len(row) != len(ALL_COLUMNS):
+            m_errors.inc()
             raise TraceFormatError(
                 f"{name}:{line_no}: expected {len(ALL_COLUMNS)} fields, "
                 f"got {len(row)}"
@@ -94,6 +115,7 @@ def iter_csv_handle(
                     # known - downstream interval binning would turn
                     # them into a baffling negative-interval error.
                     if not math.isfinite(value):
+                        m_errors.inc()
                         raise TraceFormatError(
                             f"{name}:{line_no}: non-finite start "
                             f"timestamp {cell!r}"
@@ -102,18 +124,23 @@ def iter_csv_handle(
                 else:
                     columns[col].append(int(cell))
         except ValueError as exc:
+            m_errors.inc()
             raise TraceFormatError(f"{name}:{line_no}: bad value") from exc
         filled += 1
         if filled == chunk_rows:
+            m_rows.inc(filled)
             yield _columns_to_table(columns)
             columns = {name_: [] for name_ in ALL_COLUMNS}
             filled = 0
     if filled:
+        m_rows.inc(filled)
         yield _columns_to_table(columns)
 
 
 def iter_csv(
-    path: str | os.PathLike[str], chunk_rows: int = DEFAULT_CHUNK_ROWS
+    path: str | os.PathLike[str],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    metrics=None,
 ) -> Iterator[FlowTable]:
     """Stream a CSV trace file as :class:`FlowTable` chunks.
 
@@ -123,7 +150,9 @@ def iter_csv(
     sources without a path.
     """
     with open(path, newline="") as handle:
-        yield from iter_csv_handle(handle, chunk_rows, name=str(path))
+        yield from iter_csv_handle(
+            handle, chunk_rows, name=str(path), metrics=metrics
+        )
 
 
 def read_csv(path: str | os.PathLike[str]) -> FlowTable:

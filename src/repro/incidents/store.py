@@ -24,6 +24,7 @@ from contextlib import contextmanager
 
 from repro.core.report import ExtractionReport
 from repro.errors import IncidentError
+from repro.obs.metrics import NULL_REGISTRY, time_stage
 
 #: Bump when the table layout changes; the store refuses to open a
 #: database written by a different layout instead of misreading it.
@@ -89,8 +90,22 @@ class IncidentStore:
         timeout: float = 30.0,
         jaccard: float | None = None,
         quiet_gap: int | None = None,
+        metrics=None,
     ):
         self.path = path
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_appends = registry.counter(
+            "repro_store_appends_total",
+            "Reports persisted into the incident store.",
+        )
+        self._m_refusals = registry.counter(
+            "repro_store_reingest_refusals_total",
+            "Appends refused by the monotonic re-ingest guard.",
+        )
+        self._m_query = registry.histogram(
+            "repro_store_query_seconds",
+            "Wall-clock seconds per incidents() correlation query.",
+        )
         # Validate and canonicalize explicit knobs BEFORE anything is
         # persisted: a bad (or non-canonically rendered, e.g.
         # quiet_gap=2.0 -> "2.0") value written into store_meta would
@@ -272,6 +287,7 @@ class IncidentStore:
         and would silently duplicate every report and double the
         supports."""
         if last is not None and interval <= last:
+            self._m_refusals.inc()
             raise IncidentError(
                 f"{self.path}: already covers intervals up to {last}; "
                 f"appending interval {interval} would duplicate "
@@ -296,6 +312,7 @@ class IncidentStore:
             advanced = self._note_in_txn(conn, report.interval)
         if advanced is not None:
             self._last_interval = advanced
+        self._m_appends.inc()
         return row_id
 
     def extend(self, reports: Iterable[ExtractionReport]) -> int:
@@ -325,6 +342,7 @@ class IncidentStore:
                 advanced = self._note_in_txn(conn, newest)
         if advanced is not None:
             self._last_interval = advanced
+        self._m_appends.inc(count)
         return count
 
     def _note_in_txn(
@@ -536,20 +554,21 @@ class IncidentStore:
         from repro.incidents.correlate import IncidentCorrelator
         from repro.incidents.rank import rank_incidents
 
-        correlator = IncidentCorrelator(
-            jaccard=self.jaccard if jaccard is None else jaccard,
-            quiet_gap=self.quiet_gap if quiet_gap is None else quiet_gap,
-        )
-        for report in self.iter_reports():
-            correlator.observe(report)
-        # Lifecycle states age against the last interval the pipeline
-        # processed, not merely the last that alarmed - otherwise a
-        # long-finished attack followed by clean traffic reads "active"
-        # forever.
-        return rank_incidents(
-            correlator.incidents(now=self.last_interval()),
-            profile=profile,
-        )
+        with time_stage(self._m_query):
+            correlator = IncidentCorrelator(
+                jaccard=self.jaccard if jaccard is None else jaccard,
+                quiet_gap=self.quiet_gap if quiet_gap is None else quiet_gap,
+            )
+            for report in self.iter_reports():
+                correlator.observe(report)
+            # Lifecycle states age against the last interval the
+            # pipeline processed, not merely the last that alarmed -
+            # otherwise a long-finished attack followed by clean
+            # traffic reads "active" forever.
+            return rank_incidents(
+                correlator.incidents(now=self.last_interval()),
+                profile=profile,
+            )
 
 
 def open_store(

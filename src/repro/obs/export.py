@@ -1,0 +1,135 @@
+"""Exporters: Prometheus text exposition and canonical JSON snapshots.
+
+Both renderings share one iteration order - families sorted by metric
+name, samples sorted by label values - so output depends only on what
+was observed, never on instrument creation order.  Floats render
+canonically (integral values without a fraction, ``+Inf`` spelled the
+Prometheus way), which is what makes snapshots byte-stable for the
+equivalence tests and golden files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "format_value",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
+]
+
+
+def format_value(value: float) -> str:
+    """Canonical number rendering shared by both exporters."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_text(names: tuple[str, ...], values: tuple[str, ...],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label_value(value)}"' for name, value in extra
+    )
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _bucket_bounds(histogram: "Histogram") -> list[str]:
+    return [format_value(b) for b in histogram.buckets] + ["+Inf"]
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.metric_type}")
+        for values, child in family.samples():
+            labels = _label_text(family.labelnames, values)
+            if family.metric_type == "histogram":
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(_bucket_bounds(child), cumulative):
+                    bucket_labels = _label_text(
+                        family.labelnames, values, extra=(("le", bound),)
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{bucket_labels} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{labels} {format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{labels} {format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: "MetricsRegistry") -> dict:
+    """Canonical plain-data rendering of the registry.
+
+    Shape::
+
+        {"metrics": [
+          {"name": ..., "type": "counter", "help": ...,
+           "samples": [{"labels": {...}, "value": 3}]},
+          {"name": ..., "type": "histogram", ...,
+           "samples": [{"labels": {...},
+                        "buckets": {"0.001": 0, ..., "+Inf": 7},
+                        "sum": 1.5, "count": 7}]},
+        ]}
+
+    Families sort by name, samples by label values, bucket keys keep
+    bound order - ``json.dumps(snapshot(r))`` is byte-stable.
+    """
+    metrics: list[dict] = []
+    for family in registry.families():
+        samples: list[dict] = []
+        for values, child in family.samples():
+            labels = dict(zip(family.labelnames, values))
+            if family.metric_type == "histogram":
+                cumulative = child.cumulative_counts()
+                samples.append({
+                    "labels": labels,
+                    "buckets": dict(
+                        zip(_bucket_bounds(child), cumulative)
+                    ),
+                    "sum": child.sum,
+                    "count": child.count,
+                })
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics.append({
+            "name": family.name,
+            "type": family.metric_type,
+            "help": family.help,
+            "samples": samples,
+        })
+    return {"metrics": metrics}
+
+
+def render_json(registry: "MetricsRegistry") -> str:
+    """The canonical snapshot as one JSON document (trailing newline)."""
+    return json.dumps(snapshot(registry), sort_keys=True) + "\n"

@@ -1,0 +1,103 @@
+"""The library's metric catalog, pre-bound per pipeline.
+
+One :class:`PipelineInstruments` bundle per pipeline (label
+``pipeline="default"`` for solo runs, the fleet's link names for
+multi-pipeline runs) keeps the hot paths free of name lookups: the
+session, extractor, and assembler increment pre-resolved children.
+
+Metric names follow the Prometheus conventions (``repro_`` prefix,
+``_total`` counters, ``_seconds`` timings); the README's Observability
+section is the human-readable catalog.
+"""
+
+from __future__ import annotations
+
+#: The four per-interval stages timed by ``repro_stage_seconds``.
+STAGES = ("binning", "detection", "mining", "triage")
+
+
+class PipelineInstruments:
+    """Every per-pipeline instrument, bound to one pipeline label.
+
+    Built against :data:`~repro.obs.metrics.NULL_REGISTRY` this is a
+    bundle of no-op children - instrumented code never checks whether
+    observability is on.
+    """
+
+    def __init__(self, registry, pipeline: str = "default"):
+        self.registry = registry
+        self.pipeline = pipeline
+        p = pipeline
+        # -- core pipeline -------------------------------------------------
+        self.intervals = registry.counter(
+            "repro_intervals_processed_total",
+            "Measurement intervals run through the detector bank.",
+            ("pipeline",),
+        ).labels(p)
+        self.flows = registry.counter(
+            "repro_flows_processed_total",
+            "Flows observed by the detector bank (late drops excluded).",
+            ("pipeline",),
+        ).labels(p)
+        self.alarmed = registry.counter(
+            "repro_intervals_alarmed_total",
+            "Intervals on which the detector voting raised an alarm.",
+            ("pipeline",),
+        ).labels(p)
+        self.extractions = registry.counter(
+            "repro_extractions_total",
+            "Extraction results produced (alarmed intervals with usable "
+            "meta-data).",
+            ("pipeline",),
+        ).labels(p)
+        self.itemsets = registry.counter(
+            "repro_itemsets_extracted_total",
+            "Frequent item-sets reported across all extractions.",
+            ("pipeline",),
+        ).labels(p)
+        stage = registry.histogram(
+            "repro_stage_seconds",
+            "Wall-clock seconds per pipeline stage per interval.",
+            ("pipeline", "stage"),
+        )
+        self.stage_binning = stage.labels(p, "binning")
+        self.stage_detection = stage.labels(p, "detection")
+        self.stage_mining = stage.labels(p, "mining")
+        self.stage_triage = stage.labels(p, "triage")
+        # -- interval assembly ---------------------------------------------
+        self.assembler_accepted = registry.counter(
+            "repro_assembler_flows_accepted_total",
+            "Flows accepted into pending intervals by the assembler.",
+            ("pipeline",),
+        ).labels(p)
+        late = registry.counter(
+            "repro_assembler_late_dropped_total",
+            "Flows dropped by the assembler, split by reason: "
+            "pre_origin (timestamp before interval 0) or closed_interval "
+            "(interval already emitted past the lateness allowance).",
+            ("pipeline", "reason"),
+        )
+        self.late_pre_origin = late.labels(p, "pre_origin")
+        self.late_closed = late.labels(p, "closed_interval")
+        self.backpressure = registry.counter(
+            "repro_assembler_backpressure_emits_total",
+            "Intervals force-emitted because max_pending_intervals was "
+            "exceeded.",
+            ("pipeline",),
+        ).labels(p)
+        self.pending_intervals = registry.gauge(
+            "repro_assembler_pending_intervals",
+            "Intervals currently held open by the assembler.",
+            ("pipeline",),
+        ).labels(p)
+        self.pending_flows = registry.gauge(
+            "repro_assembler_pending_flows",
+            "Flows buffered in not-yet-complete intervals.",
+            ("pipeline",),
+        ).labels(p)
+        self.watermark_lag = registry.gauge(
+            "repro_assembler_watermark_lag_seconds",
+            "Event-time span between the emit cursor and the watermark "
+            "(how much buffered time the assembler is holding).",
+            ("pipeline",),
+        ).labels(p)

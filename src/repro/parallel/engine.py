@@ -17,7 +17,12 @@ from repro.detection.features import DETECTOR_FEATURES, Feature
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
 from repro.parallel.bank import ParallelDetectorBank
-from repro.parallel.executor import Executor, get_executor, resolve_jobs
+from repro.parallel.executor import (
+    Executor,
+    MeteredExecutor,
+    get_executor,
+    resolve_jobs,
+)
 from repro.parallel.son import SON_LOCAL_MINERS, son
 
 
@@ -29,6 +34,10 @@ class ParallelEngine:
         jobs: worker count (``None`` = every core).
         partitions: transaction shards per mining call (``None`` = one
             per worker).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when enabled, the executor is wrapped in a
+            :class:`~repro.parallel.executor.MeteredExecutor` so
+            dispatched tasks and busy time are counted.
     """
 
     def __init__(
@@ -36,10 +45,13 @@ class ParallelEngine:
         backend: str = "thread",
         jobs: int | None = None,
         partitions: int | None = None,
+        metrics=None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.partitions = partitions
         self._executor = get_executor(backend, self.jobs)
+        if metrics is not None and metrics.enabled:
+            self._executor = MeteredExecutor(self._executor, metrics)
 
     @property
     def backend(self) -> str:

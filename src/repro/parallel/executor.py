@@ -22,6 +22,7 @@ process backend.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -127,6 +128,55 @@ class ProcessExecutor(_PoolExecutor):
 
     def _make_pool(self, jobs: int):
         return ProcessPoolExecutor(max_workers=jobs)
+
+
+class MeteredExecutor(Executor):
+    """Wrap an executor and meter its ``map`` calls into a registry.
+
+    Metering happens at the *map* level - tasks dispatched and busy
+    wall-clock per call - rather than per task: the process backend
+    requires module-level picklable worker functions, so per-task
+    closure wrappers are off the table.  The wrapped executor is used
+    (and closed) through the same two-method surface.
+    """
+
+    def __init__(self, inner: Executor, registry) -> None:
+        self._inner = inner
+        self.jobs = inner.jobs
+        self._tasks = registry.counter(
+            "repro_parallel_tasks_total",
+            "Tasks dispatched through the parallel executor.",
+            ("backend",),
+        ).labels(inner.backend)
+        self._busy = registry.counter(
+            "repro_parallel_busy_seconds_total",
+            "Wall-clock seconds the executor spent inside map calls.",
+            ("backend",),
+        ).labels(inner.backend)
+        registry.gauge(
+            "repro_parallel_jobs",
+            "Configured worker count of the parallel executor.",
+            ("backend",),
+        ).labels(inner.backend).set(inner.jobs)
+
+    @property
+    def backend(self) -> str:
+        return self._inner.backend
+
+    @property
+    def inner(self) -> Executor:
+        return self._inner
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        start = time.perf_counter()
+        try:
+            return self._inner.map(fn, items)
+        finally:
+            self._tasks.inc(len(items))
+            self._busy.inc(time.perf_counter() - start)
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 def get_executor(backend: str = "serial", jobs: int | None = None) -> Executor:

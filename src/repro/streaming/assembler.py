@@ -38,6 +38,8 @@ from repro.flows.stream import (
     interval_index,
 )
 from repro.flows.table import FlowTable
+from repro.obs.instruments import PipelineInstruments
+from repro.obs.metrics import NULL_REGISTRY
 
 
 class IntervalAssembler:
@@ -62,6 +64,11 @@ class IntervalAssembler:
             cause: epoch timestamps against the default ``origin=0.0``,
             or milliseconds where seconds were expected).  ``None``
             disables the guard.
+        instruments: optional
+            :class:`~repro.obs.instruments.PipelineInstruments` bundle;
+            the assembler keeps its accepted/late-drop/backpressure
+            counters and pending/watermark gauges current.  Defaults to
+            a no-op bundle.
     """
 
     #: Default :attr:`max_gap_intervals`: ~2.8 years of 900 s intervals,
@@ -76,6 +83,7 @@ class IntervalAssembler:
         max_delay_seconds: float = 0.0,
         max_pending_intervals: int | None = None,
         max_gap_intervals: int | None = DEFAULT_MAX_GAP_INTERVALS,
+        instruments: PipelineInstruments | None = None,
     ):
         if not math.isfinite(interval_seconds) or interval_seconds <= 0:
             raise ConfigError(
@@ -102,16 +110,43 @@ class IntervalAssembler:
         self.origin = float(origin)
         self.max_delay_seconds = float(max_delay_seconds)
         self.max_pending_intervals = max_pending_intervals
+        self._instruments = (
+            instruments
+            if instruments is not None
+            else PipelineInstruments(NULL_REGISTRY)
+        )
         self._pending: dict[int, list[FlowTable]] = {}
         self._next_emit = 0
         self._highest_seen = -1
         self._watermark = -math.inf
         #: Total flows accepted (late drops excluded).
         self.flows_seen = 0
-        #: Flows that arrived after their interval was already emitted.
-        self.late_dropped = 0
+        #: Flows dropped because they started before interval 0 (a
+        #: stream whose origin post-dates some of its data).
+        self.late_dropped_pre_origin = 0
+        #: Flows dropped because their interval had already been
+        #: emitted past the lateness allowance - the drops that
+        #: ``max_delay_seconds`` / ``max_pending_intervals`` tuning can
+        #: actually recover.
+        self.late_dropped_closed = 0
+        #: Intervals force-emitted because ``max_pending_intervals``
+        #: was exceeded (backpressure).
+        self.backpressure_emits = 0
         #: Intervals emitted so far (including empty gap intervals).
         self.intervals_emitted = 0
+
+    @property
+    def late_dropped(self) -> int:
+        """Total flows dropped as late (both reasons).
+
+        Historically a single counter; it conflated flows that predate
+        interval 0 (a bad origin - no tuning recovers those) with flows
+        that missed an already-closed interval (which a larger
+        ``max_delay_seconds`` would have caught).  The split lives in
+        :attr:`late_dropped_pre_origin` / :attr:`late_dropped_closed`;
+        this property keeps the historical total readable.
+        """
+        return self.late_dropped_pre_origin + self.late_dropped_closed
 
     # ------------------------------------------------------------------
     @property
@@ -180,10 +215,16 @@ class IntervalAssembler:
         for i, k in enumerate(int(k) for k in unique_ks.tolist()):
             rows = chunk.select(order[boundaries[i]: boundaries[i + 1]])
             if k < self._next_emit:
-                self.late_dropped += len(rows)
+                if k < 0:
+                    self.late_dropped_pre_origin += len(rows)
+                    self._instruments.late_pre_origin.inc(len(rows))
+                else:
+                    self.late_dropped_closed += len(rows)
+                    self._instruments.late_closed.inc(len(rows))
                 continue
             self._pending.setdefault(k, []).append(rows)
             self.flows_seen += len(rows)
+            self._instruments.assembler_accepted.inc(len(rows))
             if k > self._highest_seen:
                 self._highest_seen = k
         self._watermark = max(self._watermark, float(timestamps.max()))
@@ -212,8 +253,20 @@ class IntervalAssembler:
             )
             if not (due or forced or force_all):
                 break
+            if forced and not due and not force_all:
+                self.backpressure_emits += 1
+                self._instruments.backpressure.inc()
             completed.append(self._emit_next())
+        self._update_gauges()
         return completed
+
+    def _update_gauges(self) -> None:
+        ins = self._instruments
+        ins.pending_intervals.set(self.pending_intervals)
+        ins.pending_flows.set(self.pending_flows)
+        if math.isfinite(self._watermark):
+            cursor = self.origin + self._next_emit * self.interval_seconds
+            ins.watermark_lag.set(max(0.0, self._watermark - cursor))
 
     def _emit_next(self) -> IntervalView:
         k = self._next_emit

@@ -76,7 +76,11 @@ class StreamingExtractor:
             batch-parity default).  Set False for genuinely unbounded
             streams: reports are dropped after each interval, memory
             stays flat, and :attr:`StreamExtraction.detection` is
-            ``None``.  Extractions are governed separately by
+            ``None``.
+        metrics: optional
+            :class:`~repro.obs.metrics.MetricsRegistry` for the owned
+            extractor (ignored when ``extractor`` is given - its
+            registry wins); ``pipeline`` labels this run's metrics.  Extractions are governed separately by
             ``config.streaming.keep_extractions``: when that is False,
             each emitted extraction (and its report state, which pins
             the prefiltered flow table) is evicted once the next batch
@@ -96,12 +100,16 @@ class StreamingExtractor:
         extractor: AnomalyExtractor | None = None,
         keep_reports: bool = True,
         sink: object | None = None,
+        metrics=None,
+        pipeline: str = "default",
     ):
         self._owns_extractor = extractor is None
         self._extractor = (
             extractor
             if extractor is not None
-            else AnomalyExtractor(config, seed=seed)
+            else AnomalyExtractor(
+                config, seed=seed, metrics=metrics, pipeline=pipeline
+            )
         )
         self.config = self._extractor.config
         try:
@@ -131,6 +139,12 @@ class StreamingExtractor:
     @property
     def extractor(self) -> AnomalyExtractor:
         return self._extractor
+
+    @property
+    def metrics(self):
+        """The extractor's metrics registry (no-op when observability
+        is off)."""
+        return self._extractor.metrics
 
     @property
     def assembler(self) -> IntervalAssembler:

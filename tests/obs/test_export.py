@@ -1,0 +1,91 @@
+"""Exporter tests: Prometheus golden file, canonical JSON snapshots."""
+
+import json
+import pathlib
+
+from repro.obs.export import format_value, render_json, snapshot
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_prometheus.txt")
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(buckets=(0.1, 1.0))
+    rows = registry.counter("repro_rows_total", "Rows seen.", ("pipeline",))
+    rows.labels("linkA").inc(3)
+    rows.labels("linkB").inc()
+    registry.gauge("repro_pending", "Pending intervals.").set(2)
+    stage = registry.histogram(
+        "repro_stage_seconds", "Stage wall clock.", ("stage",)
+    )
+    for value in (0.05, 0.5, 5.0):
+        stage.labels("mining").observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_golden_file(self):
+        rendered = _sample_registry().render_prometheus()
+        assert rendered == GOLDEN.read_text()
+
+    def test_creation_order_does_not_matter(self):
+        a = _sample_registry()
+        b = MetricsRegistry(buckets=(0.1, 1.0))
+        # Register in reverse order, observe the same events.
+        stage = b.histogram(
+            "repro_stage_seconds", "Stage wall clock.", ("stage",)
+        )
+        for value in (0.05, 0.5, 5.0):
+            stage.labels("mining").observe(value)
+        b.gauge("repro_pending", "Pending intervals.").set(2)
+        rows = b.counter("repro_rows_total", "Rows seen.", ("pipeline",))
+        rows.labels("linkB").inc()
+        rows.labels("linkA").inc(3)
+        assert a.render_prometheus() == b.render_prometheus()
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_rows_total", "", ("k",))
+        c.labels('a"b\\c\nd').inc()
+        line = registry.render_prometheus().splitlines()[2]
+        assert line == 'repro_rows_total{k="a\\"b\\\\c\\nd"} 1'
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestFormatValue:
+    def test_canonical_renderings(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.5) == "0.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+
+class TestJsonSnapshot:
+    def test_shape(self):
+        snap = snapshot(_sample_registry())
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        rows = by_name["repro_rows_total"]
+        assert rows["type"] == "counter"
+        assert rows["samples"] == [
+            {"labels": {"pipeline": "linkA"}, "value": 3},
+            {"labels": {"pipeline": "linkB"}, "value": 1},
+        ]
+        hist = by_name["repro_stage_seconds"]["samples"][0]
+        assert hist["buckets"] == {"0.1": 1, "1": 2, "+Inf": 3}
+        assert hist["count"] == 3
+
+    def test_render_json_byte_stable(self):
+        a = render_json(_sample_registry())
+        b = render_json(_sample_registry())
+        assert a == b
+        assert a.endswith("\n")
+        json.loads(a)  # one valid document
+
+    def test_registry_snapshot_delegates(self):
+        registry = _sample_registry()
+        assert registry.snapshot() == snapshot(registry)

@@ -1,0 +1,43 @@
+"""Structured logging: namespace, stderr routing, key=value extras."""
+
+import logging
+
+from repro.obs.log import get_logger, kv
+
+
+class TestGetLogger:
+    def test_namespace_rooting(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+        assert get_logger("cli.stream").name == "repro.cli.stream"
+        assert get_logger("repro.cli.fleet").name == "repro.cli.fleet"
+
+    def test_configuration_is_idempotent(self):
+        get_logger()
+        get_logger("cli.stream")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.propagate is False
+
+    def test_emits_message_only_to_current_stderr(self, capsys):
+        get_logger("cli.stream").info("%s intervals, %s flows", 3, 120)
+        captured = capsys.readouterr()
+        # No timestamps or level prefixes: byte-identical to the print
+        # it replaced.
+        assert captured.err == "3 intervals, 120 flows\n"
+        assert captured.out == ""
+
+    def test_child_logger_inherits_routing(self, capsys):
+        get_logger("streaming.assembler").info("late drop")
+        assert capsys.readouterr().err == "late drop\n"
+
+
+class TestKv:
+    def test_pairs_in_call_order(self):
+        assert kv(interval=7, flows=1200) == "interval=7 flows=1200"
+
+    def test_whitespace_values_quoted(self):
+        assert kv(state="two words") == "state='two words'"
+
+    def test_empty(self):
+        assert kv() == ""

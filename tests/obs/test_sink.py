@@ -1,0 +1,45 @@
+"""MetricsSink: interval-close snapshots teed to JSONL."""
+
+import io
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import MetricsSink
+
+
+def test_one_snapshot_per_interval(tmp_path):
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_rows_total")
+    path = tmp_path / "metrics.jsonl"
+    with MetricsSink(path, registry) as sink:
+        counter.inc(10)
+        sink.note_interval(0)
+        counter.inc(5)
+        sink.note_interval(1)
+        assert sink.snapshots == 2
+    lines = path.read_text().splitlines()
+    docs = [json.loads(line) for line in lines]
+    assert [d["interval"] for d in docs] == [0, 1]
+    values = [
+        d["metrics"]["metrics"][0]["samples"][0]["value"] for d in docs
+    ]
+    assert values == [10, 15]
+
+
+def test_append_counts_reports_without_persisting_them(tmp_path):
+    registry = MetricsRegistry()
+    sink = MetricsSink(tmp_path / "metrics.jsonl", registry)
+    sink.append(object())
+    sink.append(object())
+    assert sink.appended == 2
+    sink.close()
+    assert (tmp_path / "metrics.jsonl").read_text() == ""
+
+
+def test_borrowed_handle_not_closed():
+    handle = io.StringIO()
+    registry = MetricsRegistry()
+    with MetricsSink(handle, registry) as sink:
+        sink.note_interval(3)
+    assert not handle.closed
+    assert json.loads(handle.getvalue())["interval"] == 3
