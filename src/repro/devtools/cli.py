@@ -1,0 +1,121 @@
+"""The ``repro-lint`` command-line interface.
+
+Usage::
+
+    repro-lint src/repro                     # text output, exit 1 on findings
+    repro-lint src/repro --format json       # machine-readable report
+    repro-lint src --select RPR001,RPR004    # subset of rules
+    repro-lint --list-rules                  # the rule table
+
+Exit codes follow the gate contract: 0 clean, 1 findings, 2 usage or
+internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.devtools.engine import run_rules
+from repro.devtools.findings import render_json_report, render_text
+from repro.devtools.project import load_project
+from repro.devtools.rules import DEFAULT_RULES, rules_by_code
+
+
+def _parse_codes(
+    parser: argparse.ArgumentParser, option: str, raw: str | None
+) -> set[str] | None:
+    if raw is None:
+        return None
+    known = rules_by_code()
+    codes = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    unknown = sorted(codes - set(known))
+    if unknown:
+        parser.error(
+            f"{option}: unknown rule code(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro codebase "
+            "(rules RPR001-RPR006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--project-root", metavar="DIR",
+        help=(
+            "repository root for relative paths and README lookup "
+            "(default: nearest ancestor with a pyproject.toml)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_type in DEFAULT_RULES:
+            print(f"{rule_type.code}  {rule_type.name:20} "
+                  f"{rule_type.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+    selected = _parse_codes(parser, "--select", args.select)
+    ignored = _parse_codes(parser, "--ignore", args.ignore) or set()
+    rules = [
+        rule_type()
+        for rule_type in DEFAULT_RULES
+        if (selected is None or rule_type.code in selected)
+        and rule_type.code not in ignored
+    ]
+    try:
+        project = load_project(list(args.paths), root=args.project_root)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    result = run_rules(project, rules)
+    if args.format == "json":
+        sys.stdout.write(
+            render_json_report(
+                result.findings, result.checked_files, result.rules
+            )
+        )
+    elif result.findings:
+        print(render_text(result.findings))
+        print(
+            f"repro-lint: {len(result.findings)} finding(s) in "
+            f"{result.checked_files} file(s)"
+        )
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Rule framework and the single-walk visitor dispatch engine.
+
+A :class:`Rule` contributes any of three hooks:
+
+* ``visit_<NodeType>(module, node)`` - called during ONE shared walk
+  of each module's AST (the engine dispatches by node type, so ten
+  rules still cost one traversal);
+* ``finish_module(module)`` - after a module's walk (module-local
+  aggregation);
+* ``finish_project(project)`` - once, after every module (whole-tree
+  rules: import graph, API surface).
+
+Each hook returns an iterable of :class:`Finding` (or ``None``).
+Findings on a line carrying a matching ``# repro: noqa[...]`` comment
+are dropped by the engine, so rules never deal with suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.devtools.findings import Finding, is_suppressed
+from repro.devtools.project import ModuleInfo, Project, load_project
+
+_VISIT_PREFIX = "visit_"
+
+
+class Rule:
+    """Base class of every lint rule (see the module docstring)."""
+
+    #: "RPR0xx" - the stable identifier used in output and noqa.
+    code: str = ""
+    #: Short kebab-case name ("error-envelope").
+    name: str = ""
+    #: One-line statement of the enforced invariant.
+    summary: str = ""
+
+    def handlers(self) -> dict[type[ast.AST], Callable]:
+        """``{node type: bound method}`` discovered from ``visit_*``."""
+        table: dict[type[ast.AST], Callable] = {}
+        for attr in dir(self):
+            if not attr.startswith(_VISIT_PREFIX):
+                continue
+            node_type = getattr(ast, attr[len(_VISIT_PREFIX):], None)
+            if isinstance(node_type, type) and issubclass(node_type, ast.AST):
+                table[node_type] = getattr(self, attr)
+        return table
+
+    def start_module(self, module: ModuleInfo) -> None:
+        """Reset per-module state before the walk (optional)."""
+
+    def finish_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def finish_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    # -- shared lexical helpers -------------------------------------------
+    @staticmethod
+    def enclosing_function(
+        module: ModuleInfo, node: ast.AST
+    ) -> ast.AST | None:
+        """The innermost function/lambda containing ``node`` (or None)."""
+        for parent, _child in module.ancestors(node):
+            if isinstance(
+                parent,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                return parent
+        return None
+
+    @staticmethod
+    def enclosing_class(
+        module: ModuleInfo, node: ast.AST
+    ) -> ast.ClassDef | None:
+        for parent, _child in module.ancestors(node):
+            if isinstance(parent, ast.ClassDef):
+                return parent
+        return None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    checked_files: int
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _collect(
+    target: list[Finding],
+    produced: Iterable[Finding] | None,
+    module: ModuleInfo | None,
+) -> None:
+    if not produced:
+        return
+    for finding in produced:
+        if module is not None and is_suppressed(finding, module.noqa):
+            continue
+        target.append(finding)
+
+
+def run_rules(project: Project, rules: Sequence[Rule]) -> LintResult:
+    """Run ``rules`` over ``project``: one AST walk per module, then
+    the project-level hooks.  Parse errors surface as findings."""
+    findings: list[Finding] = list(project.errors)
+    dispatch: dict[type[ast.AST], list[tuple[Rule, Callable]]] = {}
+    for rule in rules:
+        for node_type, handler in rule.handlers().items():
+            dispatch.setdefault(node_type, []).append((rule, handler))
+    for module in project.modules:
+        for rule in rules:
+            rule.start_module(module)
+        for node in ast.walk(module.tree):
+            for _rule, handler in dispatch.get(type(node), ()):
+                _collect(findings, handler(module, node), module)
+        for rule in rules:
+            _collect(findings, rule.finish_module(module), module)
+    for rule in rules:
+        # Project findings are anchored to specific modules; apply
+        # that module's suppressions when it is in the project.
+        produced = rule.finish_project(project)
+        if not produced:
+            continue
+        by_rel = {module.rel: module for module in project.modules}
+        for finding in produced:
+            module = by_rel.get(finding.path)
+            if module is not None and is_suppressed(finding, module.noqa):
+                continue
+            findings.append(finding)
+    return LintResult(
+        findings=sorted(findings),
+        checked_files=len(project.modules),
+        rules=sorted(rule.code for rule in rules),
+    )
+
+
+def lint_paths(
+    paths: list[str],
+    root: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Convenience wrapper: load ``paths`` and run ``rules`` (the
+    default ruleset when None) - the API the tests and benches use."""
+    if rules is None:
+        from repro.devtools.rules import DEFAULT_RULES
+
+        rules = [rule_type() for rule_type in DEFAULT_RULES]
+    return run_rules(load_project(paths, root=root), rules)

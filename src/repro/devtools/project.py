@@ -1,0 +1,175 @@
+"""Project loading: walk paths, parse modules, derive dotted names."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from repro.devtools.findings import PARSE_ERROR_CODE, Finding, parse_noqa
+
+#: Directories never descended into while collecting sources.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the lookups every rule needs."""
+
+    path: str
+    #: Path relative to the project root (used in findings).
+    rel: str
+    #: Dotted module name ("repro.obs.metrics"); best-effort for files
+    #: outside an importable tree (falls back to the stem).
+    name: str
+    source: str
+    tree: ast.Module
+    #: child node -> parent node, for lexical-ancestry checks.
+    parents: dict[ast.AST, ast.AST] = field(repr=False)
+    #: line -> suppressed codes (None = all), from ``# repro: noqa``.
+    noqa: dict[int, frozenset[str] | None] = field(repr=False)
+
+    def ancestors(self, node: ast.AST):
+        """Yield ``node``'s lexical ancestors, innermost first, paired
+        with the child each was reached from: ``(parent, child)``."""
+        child = node
+        parent = self.parents.get(child)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parents.get(child)
+
+
+@dataclass
+class Project:
+    """Every module under the linted paths, plus the project root."""
+
+    root: str
+    modules: list[ModuleInfo]
+    #: Files that failed to parse, already rendered as findings.
+    errors: list[Finding]
+
+    def __post_init__(self) -> None:
+        self.by_name: dict[str, ModuleInfo] = {
+            module.name: module for module in self.modules
+        }
+
+
+def find_project_root(start: str) -> str:
+    """Nearest ancestor of ``start`` holding a ``pyproject.toml`` (the
+    repo root); falls back to ``start`` itself."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        if os.path.isfile(os.path.join(current, "pyproject.toml")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.abspath(start if os.path.isdir(start) else ".")
+        current = parent
+
+
+def module_name_for(path: str, root: str) -> str:
+    """Dotted module name of ``path``, derived from the tree layout.
+
+    Uses the segment after a ``src/`` directory when one is on the
+    path (the repo's layout), else the segment starting at a ``repro``
+    directory, else the file stem.  ``__init__.py`` names the package.
+    """
+    normalized = os.path.normpath(os.path.abspath(path))
+    parts = normalized.split(os.sep)
+    anchor = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "src":
+            anchor = index + 1
+            break
+    if anchor is None:
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro":
+                anchor = index
+                break
+    if anchor is None or anchor >= len(parts):
+        segments = [parts[-1]]
+    else:
+        segments = parts[anchor:]
+    segments[-1] = segments[-1].removesuffix(".py")
+    if segments[-1] == "__init__":
+        segments.pop()
+    return ".".join(segments) if segments else os.path.basename(path)
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def load_module(
+    path: str, root: str
+) -> tuple[ModuleInfo | None, Finding | None]:
+    """Parse one file; on a syntax error return a parse-error finding
+    instead of a module."""
+    rel = os.path.relpath(os.path.abspath(path), root)
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR_CODE,
+            message=f"cannot parse file: {exc.msg}",
+        )
+    module = ModuleInfo(
+        path=os.path.abspath(path),
+        rel=rel,
+        name=module_name_for(path, root),
+        source=source,
+        tree=tree,
+        parents=_build_parents(tree),
+        noqa=parse_noqa(source),
+    )
+    return module, None
+
+
+def collect_sources(paths: list[str]) -> list[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted
+    for deterministic output.  Missing paths raise ``FileNotFoundError``."""
+    sources: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            sources.append(os.path.abspath(path))
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in SKIP_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    sources.append(
+                        os.path.abspath(os.path.join(dirpath, filename))
+                    )
+    return sorted(set(sources))
+
+
+def load_project(paths: list[str], root: str | None = None) -> Project:
+    """Load every source under ``paths`` into a :class:`Project`."""
+    sources = collect_sources(paths)
+    if root is None:
+        root = find_project_root(paths[0] if paths else ".")
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for source_path in sources:
+        module, error = load_module(source_path, root)
+        if module is not None:
+            modules.append(module)
+        if error is not None:
+            errors.append(error)
+    return Project(root=root, modules=modules, errors=errors)

@@ -1,0 +1,189 @@
+"""RPR006 - ``repro.api.__all__`` matches the README and resolves.
+
+The facade is the compatibility contract: what ``__all__`` exports is
+what the README documents, and every export is actually bound in the
+module.  The README carries the machine-readable half as a fenced
+block under the marker comment::
+
+    <!-- repro-lint: api-surface -->
+    ```text
+    extract stream session ...
+    ```
+
+This rule compares that block, the literal ``__all__``, and the names
+bound at module scope, and reports any drift between the three.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections.abc import Iterator
+
+from repro.devtools.engine import Rule
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo, Project
+
+_MARKER_RE = re.compile(r"<!--\s*repro-lint:\s*api-surface\s*-->")
+_FENCE_RE = re.compile(r"^```")
+
+
+def documented_names(readme_text: str) -> set[str] | None:
+    """Names in the README's api-surface block (None = no marker)."""
+    lines = readme_text.splitlines()
+    start = None
+    for lineno, line in enumerate(lines):
+        if _MARKER_RE.search(line):
+            start = lineno
+            break
+    if start is None:
+        return None
+    names: set[str] = set()
+    in_fence = False
+    for line in lines[start + 1:]:
+        if _FENCE_RE.match(line.strip()):
+            if in_fence:
+                return names
+            in_fence = True
+            continue
+        if in_fence:
+            names.update(line.split())
+    return names if in_fence else None
+
+
+def _all_assignment(tree: ast.Module) -> ast.Assign | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            return node
+    return None
+
+
+def _literal_names(node: ast.AST) -> list[str] | None:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            bound.add(node.target.id)
+    return bound
+
+
+class ApiSurfaceRule(Rule):
+    code = "RPR006"
+    name = "api-surface"
+    summary = (
+        "repro.api.__all__ must match the README's api-surface block "
+        "and every export must resolve"
+    )
+
+    def finish_project(self, project: Project) -> Iterator[Finding]:
+        module = project.by_name.get("repro.api")
+        if module is None:
+            return
+        assignment = _all_assignment(module.tree)
+        if assignment is None:
+            yield self._finding(
+                module, 1, 0, "repro.api defines no literal __all__"
+            )
+            return
+        line, col = assignment.lineno, assignment.col_offset
+        exported = _literal_names(assignment.value)
+        if exported is None:
+            yield self._finding(
+                module, line, col,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+        duplicates = sorted(
+            {name for name in exported if exported.count(name) > 1}
+        )
+        if duplicates:
+            yield self._finding(
+                module, line, col,
+                f"__all__ lists duplicates: {', '.join(duplicates)}",
+            )
+        unresolved = sorted(set(exported) - _bound_names(module.tree))
+        if unresolved:
+            yield self._finding(
+                module, line, col,
+                f"__all__ exports unresolved names: "
+                f"{', '.join(unresolved)}",
+            )
+        yield from self._check_readme(project, module, set(exported))
+
+    def _check_readme(
+        self, project: Project, module: ModuleInfo, exported: set[str]
+    ) -> Iterator[Finding]:
+        readme_path = os.path.join(project.root, "README.md")
+        if not os.path.isfile(readme_path):
+            yield self._finding(
+                module, 1, 0,
+                "no README.md at the project root to document the API "
+                "surface against",
+            )
+            return
+        with open(readme_path, encoding="utf-8") as handle:
+            documented = documented_names(handle.read())
+        assignment = _all_assignment(module.tree)
+        line = assignment.lineno if assignment else 1
+        if documented is None:
+            yield self._finding(
+                module, line, 0,
+                "README.md has no '<!-- repro-lint: api-surface -->' "
+                "block documenting the exported names",
+            )
+            return
+        undocumented = sorted(exported - documented)
+        if undocumented:
+            yield self._finding(
+                module, line, 0,
+                f"exported but not in the README api-surface block: "
+                f"{', '.join(undocumented)}",
+            )
+        phantom = sorted(documented - exported)
+        if phantom:
+            yield self._finding(
+                module, line, 0,
+                f"documented in README but not exported by __all__: "
+                f"{', '.join(phantom)}",
+            )
+
+    def _finding(
+        self, module: ModuleInfo, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+        )

@@ -1,0 +1,129 @@
+"""RPR001 - sqlite operations stay inside the IncidentError envelope.
+
+ISSUE 3's review rounds repeatedly caught raw ``sqlite3.Error``
+escaping :mod:`repro.incidents.store` and crashing the CLI's
+"error: ..." exit-2 contract.  The envelope is lexical: every database
+call in a sqlite-importing module must sit under either
+
+* ``with self._wrap_db_errors():`` (the store's wrapping helper), or
+* a ``try`` whose handler raises ``IncidentError``,
+
+within the same function.  Calling a wrapped helper from a wrapped
+caller does NOT count - the helper itself must carry the envelope, so
+a new call site can never re-introduce the leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.engine import Rule
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo
+
+#: Methods that hit the database when called on a connection/cursor.
+DB_METHODS = frozenset(
+    {"execute", "executemany", "executescript", "commit", "rollback"}
+)
+
+_WRAPPER_NAME = "_wrap_db_errors"
+_ENVELOPE_EXCEPTION = "IncidentError"
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_db_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in DB_METHODS:
+        return True
+    return func.attr == "connect" and _terminal_name(func.value) == "sqlite3"
+
+
+def _is_wrapper_with(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and _terminal_name(
+            expr.func
+        ) == _WRAPPER_NAME:
+            return True
+    return False
+
+
+def _handler_raises_envelope(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if _terminal_name(exc) == _ENVELOPE_EXCEPTION:
+                return True
+    return False
+
+
+class ErrorEnvelopeRule(Rule):
+    code = "RPR001"
+    name = "error-envelope"
+    summary = (
+        "sqlite3/cursor operations must be lexically inside the "
+        "IncidentError wrapping helper or a try raising IncidentError"
+    )
+
+    def start_module(self, module: ModuleInfo) -> None:
+        self._active = any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "sqlite3" for alias in node.names)
+            or isinstance(node, ast.ImportFrom)
+            and node.module == "sqlite3"
+            for node in ast.walk(module.tree)
+        )
+
+    def visit_Call(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not self._active or not _is_db_call(node):
+            return
+        if self._shielded(module, node):
+            return
+        assert isinstance(node.func, ast.Attribute)
+        yield Finding(
+            path=module.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            code=self.code,
+            message=(
+                f"database call .{node.func.attr}() escapes the "
+                f"IncidentError envelope; wrap it in "
+                f"'with self.{_WRAPPER_NAME}():' or a try/except that "
+                f"raises {_ENVELOPE_EXCEPTION}"
+            ),
+        )
+
+    @staticmethod
+    def _shielded(module: ModuleInfo, node: ast.Call) -> bool:
+        for parent, child in module.ancestors(node):
+            if isinstance(
+                parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                # The envelope must live inside the same function.
+                return False
+            if isinstance(parent, ast.With) and _is_wrapper_with(parent):
+                return True
+            if isinstance(parent, ast.Try):
+                # Only code in the guarded body (or else) is shielded -
+                # a db call inside the handler itself is not.
+                in_body = child in parent.body or child in parent.orelse
+                if in_body and any(
+                    _handler_raises_envelope(handler)
+                    for handler in parent.handlers
+                ):
+                    return True
+        return False

@@ -1,0 +1,130 @@
+"""RPR005 - shared state in lock-carrying classes mutates under lock.
+
+The metrics core and the interval assembler are updated from worker
+threads; their classes carry a ``self._lock`` for exactly that reason.
+This rule makes the convention mechanical: in any class that assigns
+``self._lock``, every write to an underscore-prefixed ``self``
+attribute outside ``__init__``-style constructors must happen inside
+a ``with self._lock:`` block in the same method.  Reads are exempt
+(the registry's snapshot path intentionally reads without the lock),
+and classes without a ``_lock`` are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.engine import Rule
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo
+
+#: Constructor-style methods that initialise state before the object
+#: is shared (no other thread can hold it yet).
+EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "_lock"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _written_self_attr(target: ast.AST) -> str | None:
+    """The ``self._x`` attribute a write target mutates (or None)."""
+    if isinstance(target, (ast.Subscript, ast.Starred)):
+        target = target.value
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and target.attr.startswith("_")
+        and target.attr != "_lock"
+    ):
+        return target.attr
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            attr = _written_self_attr(element)
+            if attr is not None:
+                return attr
+    return None
+
+
+def _class_has_lock(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and any(
+            _is_self_lock(t) for t in node.targets
+        ):
+            return True
+    return False
+
+
+def _under_self_lock(module: ModuleInfo, node: ast.AST) -> bool:
+    for parent, _child in module.ancestors(node):
+        if isinstance(
+            parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return False
+        if isinstance(parent, (ast.With, ast.AsyncWith)) and any(
+            _is_self_lock(item.context_expr) for item in parent.items
+        ):
+            return True
+    return False
+
+
+class LockDisciplineRule(Rule):
+    code = "RPR005"
+    name = "lock-discipline"
+    summary = (
+        "in classes carrying self._lock, shared self._* state mutates "
+        "only inside 'with self._lock:'"
+    )
+
+    def finish_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or not _class_has_lock(cls):
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in EXEMPT_METHODS:
+                    continue
+                yield from self._check_method(module, cls, method)
+
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            targets: list[ast.AST]
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                attr = _written_self_attr(target)
+                if attr is None:
+                    continue
+                if _under_self_lock(module, node):
+                    continue
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{cls.name}.{method.name} mutates shared "
+                        f"self.{attr} outside 'with self._lock:' "
+                        f"({cls.name} carries a lock, so this state is "
+                        f"reachable from other threads)"
+                    ),
+                )

@@ -1,0 +1,153 @@
+"""RPR002 - metric names and label schemas come from the catalog.
+
+Two invariants from the ISSUE 6 reviews:
+
+* Every ``registry.counter/gauge/histogram`` call outside
+  :mod:`repro.obs` uses a literal name catalogued in
+  :data:`repro.obs.instruments.CATALOG`, with the catalogued kind and
+  label schema - so the exported metric surface cannot drift from the
+  documented one.
+* Instrumented code never branches on ``registry.enabled`` /
+  ``metrics.enabled`` (the NULL_REGISTRY discipline): the disabled
+  registry hands out no-op instruments precisely so both paths run
+  the same code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.engine import Rule
+from repro.devtools.findings import Finding
+from repro.devtools.project import ModuleInfo
+from repro.obs.instruments import CATALOG
+
+#: Registry factory methods the catalog governs.
+METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Receivers whose ``.enabled`` read marks a discipline break.
+_REGISTRY_RECEIVERS = frozenset(
+    {"metrics", "registry", "_metrics", "_registry"}
+)
+
+#: Packages allowed to build instruments freely / read ``enabled``.
+_EXEMPT_PREFIXES = ("repro.obs", "repro.devtools")
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _literal_str(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _argument(node: ast.Call, index: int, keyword: str) -> ast.AST | None:
+    if len(node.args) > index:
+        return node.args[index]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def _literal_labels(node: ast.AST | None) -> tuple[str, ...] | None:
+    """The label tuple when it is a literal of string constants."""
+    if node is None:
+        return ()
+    if isinstance(node, (ast.Tuple, ast.List)):
+        labels = []
+        for element in node.elts:
+            value = _literal_str(element)
+            if value is None:
+                return None
+            labels.append(value)
+        return tuple(labels)
+    return None
+
+
+class MetricCatalogRule(Rule):
+    code = "RPR002"
+    name = "metric-catalog"
+    summary = (
+        "instrument names/labels must come from obs.instruments.CATALOG; "
+        "never branch on registry.enabled"
+    )
+
+    def start_module(self, module: ModuleInfo) -> None:
+        self._exempt = module.name.startswith(_EXEMPT_PREFIXES)
+
+    def visit_Call(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Finding]:
+        if self._exempt:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or (
+            func.attr not in METRIC_METHODS
+        ):
+            return
+        name = _literal_str(_argument(node, 0, "name"))
+        if name is None:
+            yield self._finding(
+                module, node,
+                f".{func.attr}() needs a literal catalogued metric name "
+                f"(see repro.obs.instruments.CATALOG)",
+            )
+            return
+        spec = CATALOG.get(name)
+        if spec is None:
+            yield self._finding(
+                module, node,
+                f"metric {name!r} is not in the catalog; add it to "
+                f"repro.obs.instruments.CATALOG first",
+            )
+            return
+        if spec.kind != func.attr:
+            yield self._finding(
+                module, node,
+                f"metric {name!r} is catalogued as a {spec.kind}, "
+                f"not a {func.attr}",
+            )
+            return
+        labels = _literal_labels(_argument(node, 2, "labelnames"))
+        if labels is not None and labels != spec.labels:
+            yield self._finding(
+                module, node,
+                f"metric {name!r} is catalogued with labels "
+                f"{spec.labels!r}, not {labels!r}",
+            )
+
+    def visit_Attribute(
+        self, module: ModuleInfo, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        if self._exempt or node.attr != "enabled":
+            return
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if _terminal_name(node.value) in _REGISTRY_RECEIVERS:
+            yield self._finding(
+                module, node,
+                "instrumented code must not branch on registry.enabled "
+                "(NULL_REGISTRY discipline: disabled instruments already "
+                "no-op; gate on config.obs instead when behaviour must "
+                "differ)",
+            )
+
+    def _finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=node.lineno,
+            col=node.col_offset,
+            code=self.code,
+            message=message,
+        )

@@ -5,6 +5,14 @@ One :class:`PipelineInstruments` bundle per pipeline (label
 multi-pipeline runs) keeps the hot paths free of name lookups: the
 session, extractor, and assembler increment pre-resolved children.
 
+:data:`CATALOG` is the machine-readable registry of every metric the
+library emits - name, instrument kind, label schema, and help text.
+It is the single source the bundle below builds from, and the
+contract ``repro-lint`` rule RPR002 enforces: any
+``registry.counter/gauge/histogram`` call outside this module must
+use a catalogued name with the catalogued label schema, so the
+exported surface never drifts silently.
+
 Metric names follow the Prometheus conventions (``repro_`` prefix,
 ``_total`` counters, ``_seconds`` timings); the README's Observability
 section is the human-readable catalog.
@@ -12,8 +20,145 @@ section is the human-readable catalog.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 #: The four per-interval stages timed by ``repro_stage_seconds``.
 STAGES = ("binning", "detection", "mining", "triage")
+
+
+class InstrumentSpec(NamedTuple):
+    """One catalogued metric: kind, label schema, and help text."""
+
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: tuple[str, ...]
+    help: str
+
+
+#: Every metric the library emits, keyed by name.  Adding a metric
+#: means adding it here first; RPR002 rejects uncatalogued names.
+CATALOG: dict[str, InstrumentSpec] = {
+    # -- core pipeline -----------------------------------------------------
+    "repro_intervals_processed_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Measurement intervals run through the detector bank.",
+    ),
+    "repro_flows_processed_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Flows observed by the detector bank (late drops excluded).",
+    ),
+    "repro_intervals_alarmed_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Intervals on which the detector voting raised an alarm.",
+    ),
+    "repro_extractions_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Extraction results produced (alarmed intervals with usable "
+        "meta-data).",
+    ),
+    "repro_itemsets_extracted_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Frequent item-sets reported across all extractions.",
+    ),
+    "repro_stage_seconds": InstrumentSpec(
+        "histogram", ("pipeline", "stage"),
+        "Wall-clock seconds per pipeline stage per interval.",
+    ),
+    # -- interval assembly -------------------------------------------------
+    "repro_assembler_flows_accepted_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Flows accepted into pending intervals by the assembler.",
+    ),
+    "repro_assembler_late_dropped_total": InstrumentSpec(
+        "counter", ("pipeline", "reason"),
+        "Flows dropped by the assembler, split by reason: "
+        "pre_origin (timestamp before interval 0) or closed_interval "
+        "(interval already emitted past the lateness allowance).",
+    ),
+    "repro_assembler_backpressure_emits_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Intervals force-emitted because max_pending_intervals was "
+        "exceeded.",
+    ),
+    "repro_assembler_pending_intervals": InstrumentSpec(
+        "gauge", ("pipeline",),
+        "Intervals currently held open by the assembler.",
+    ),
+    "repro_assembler_pending_flows": InstrumentSpec(
+        "gauge", ("pipeline",),
+        "Flows buffered in not-yet-complete intervals.",
+    ),
+    "repro_assembler_watermark_lag_seconds": InstrumentSpec(
+        "gauge", ("pipeline",),
+        "Event-time span between the emit cursor and the watermark "
+        "(how much buffered time the assembler is holding).",
+    ),
+    # -- incident store ----------------------------------------------------
+    "repro_store_appends_total": InstrumentSpec(
+        "counter", (),
+        "Reports persisted into the incident store.",
+    ),
+    "repro_store_reingest_refusals_total": InstrumentSpec(
+        "counter", (),
+        "Appends refused by the monotonic re-ingest guard.",
+    ),
+    "repro_store_query_seconds": InstrumentSpec(
+        "histogram", (),
+        "Wall-clock seconds per incidents() correlation query.",
+    ),
+    # -- trace io ----------------------------------------------------------
+    "repro_io_rows_parsed_total": InstrumentSpec(
+        "counter", (),
+        "CSV flow rows parsed into chunks.",
+    ),
+    "repro_io_parse_errors_total": InstrumentSpec(
+        "counter", (),
+        "CSV rows rejected as malformed (ragged, non-numeric, "
+        "non-finite timestamp).",
+    ),
+    # -- parallel executor -------------------------------------------------
+    "repro_parallel_tasks_total": InstrumentSpec(
+        "counter", ("backend",),
+        "Tasks dispatched through the parallel executor.",
+    ),
+    "repro_parallel_busy_seconds_total": InstrumentSpec(
+        "counter", ("backend",),
+        "Wall-clock seconds the executor spent inside map calls.",
+    ),
+    "repro_parallel_jobs": InstrumentSpec(
+        "gauge", ("backend",),
+        "Configured worker count of the parallel executor.",
+    ),
+    # -- fleet -------------------------------------------------------------
+    "repro_fleet_fed_rows_total": InstrumentSpec(
+        "counter", (),
+        "Flow rows fed into the fleet (after router validation).",
+    ),
+    "repro_fleet_routed_rows_total": InstrumentSpec(
+        "counter", ("pipeline",),
+        "Flow rows routed to each pipeline.",
+    ),
+    "repro_fleet_misrouted_rows_total": InstrumentSpec(
+        "counter", (),
+        "Flow rows in chunks rejected because the router produced "
+        "out-of-range pipeline indices.",
+    ),
+    "repro_fleet_ranking_seconds": InstrumentSpec(
+        "histogram", (),
+        "Wall-clock seconds per merged fleet-wide incidents() query.",
+    ),
+}
+
+
+def catalogued(registry, name: str):
+    """Build (or fetch) the catalogued instrument family ``name``.
+
+    The get-or-create goes through ``registry`` with the catalog's
+    kind, label schema, and help text, so every call site that
+    resolves an instrument by catalog name agrees by construction.
+    """
+    spec = CATALOG[name]
+    factory = getattr(registry, spec.kind)
+    return factory(name, spec.help, spec.labels)
 
 
 class PipelineInstruments:
@@ -29,75 +174,42 @@ class PipelineInstruments:
         self.pipeline = pipeline
         p = pipeline
         # -- core pipeline -------------------------------------------------
-        self.intervals = registry.counter(
-            "repro_intervals_processed_total",
-            "Measurement intervals run through the detector bank.",
-            ("pipeline",),
+        self.intervals = catalogued(
+            registry, "repro_intervals_processed_total"
         ).labels(p)
-        self.flows = registry.counter(
-            "repro_flows_processed_total",
-            "Flows observed by the detector bank (late drops excluded).",
-            ("pipeline",),
+        self.flows = catalogued(
+            registry, "repro_flows_processed_total"
         ).labels(p)
-        self.alarmed = registry.counter(
-            "repro_intervals_alarmed_total",
-            "Intervals on which the detector voting raised an alarm.",
-            ("pipeline",),
+        self.alarmed = catalogued(
+            registry, "repro_intervals_alarmed_total"
         ).labels(p)
-        self.extractions = registry.counter(
-            "repro_extractions_total",
-            "Extraction results produced (alarmed intervals with usable "
-            "meta-data).",
-            ("pipeline",),
+        self.extractions = catalogued(
+            registry, "repro_extractions_total"
         ).labels(p)
-        self.itemsets = registry.counter(
-            "repro_itemsets_extracted_total",
-            "Frequent item-sets reported across all extractions.",
-            ("pipeline",),
+        self.itemsets = catalogued(
+            registry, "repro_itemsets_extracted_total"
         ).labels(p)
-        stage = registry.histogram(
-            "repro_stage_seconds",
-            "Wall-clock seconds per pipeline stage per interval.",
-            ("pipeline", "stage"),
-        )
+        stage = catalogued(registry, "repro_stage_seconds")
         self.stage_binning = stage.labels(p, "binning")
         self.stage_detection = stage.labels(p, "detection")
         self.stage_mining = stage.labels(p, "mining")
         self.stage_triage = stage.labels(p, "triage")
         # -- interval assembly ---------------------------------------------
-        self.assembler_accepted = registry.counter(
-            "repro_assembler_flows_accepted_total",
-            "Flows accepted into pending intervals by the assembler.",
-            ("pipeline",),
+        self.assembler_accepted = catalogued(
+            registry, "repro_assembler_flows_accepted_total"
         ).labels(p)
-        late = registry.counter(
-            "repro_assembler_late_dropped_total",
-            "Flows dropped by the assembler, split by reason: "
-            "pre_origin (timestamp before interval 0) or closed_interval "
-            "(interval already emitted past the lateness allowance).",
-            ("pipeline", "reason"),
-        )
+        late = catalogued(registry, "repro_assembler_late_dropped_total")
         self.late_pre_origin = late.labels(p, "pre_origin")
         self.late_closed = late.labels(p, "closed_interval")
-        self.backpressure = registry.counter(
-            "repro_assembler_backpressure_emits_total",
-            "Intervals force-emitted because max_pending_intervals was "
-            "exceeded.",
-            ("pipeline",),
+        self.backpressure = catalogued(
+            registry, "repro_assembler_backpressure_emits_total"
         ).labels(p)
-        self.pending_intervals = registry.gauge(
-            "repro_assembler_pending_intervals",
-            "Intervals currently held open by the assembler.",
-            ("pipeline",),
+        self.pending_intervals = catalogued(
+            registry, "repro_assembler_pending_intervals"
         ).labels(p)
-        self.pending_flows = registry.gauge(
-            "repro_assembler_pending_flows",
-            "Flows buffered in not-yet-complete intervals.",
-            ("pipeline",),
+        self.pending_flows = catalogued(
+            registry, "repro_assembler_pending_flows"
         ).labels(p)
-        self.watermark_lag = registry.gauge(
-            "repro_assembler_watermark_lag_seconds",
-            "Event-time span between the emit cursor and the watermark "
-            "(how much buffered time the assembler is holding).",
-            ("pipeline",),
+        self.watermark_lag = catalogued(
+            registry, "repro_assembler_watermark_lag_seconds"
         ).labels(p)
