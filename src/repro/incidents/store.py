@@ -186,26 +186,28 @@ class IncidentStore:
             raise
 
     def _resolve_knob(self, key, given, default):
-        if given is not None:
-            conn = self._conn
-            with conn:
-                conn.execute(
-                    "INSERT OR REPLACE INTO store_meta (key, value) "
-                    "VALUES (?, ?)",
-                    (key, str(given)),
-                )
-            return given
-        row = self._conn.execute(
-            "SELECT value FROM store_meta WHERE key = ?", (key,)
-        ).fetchone()
-        return default if row is None else row[0]
+        with self._wrap_db_errors():
+            if given is not None:
+                conn = self._conn
+                with conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO store_meta (key, value) "
+                        "VALUES (?, ?)",
+                        (key, str(given)),
+                    )
+                return given
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = ?", (key,)
+            ).fetchone()
+            return default if row is None else row[0]
 
     def _reject_version_mismatch(self) -> None:
         """Raise (without writing anything) when the existing store was
         written by a different schema version."""
-        row = self._conn.execute(
-            "SELECT value FROM store_meta WHERE key = 'schema_version'"
-        ).fetchone()
+        with self._wrap_db_errors():
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema_version'"
+            ).fetchone()
         if row is not None and row[0] != str(SCHEMA_VERSION):
             raise IncidentError(
                 f"{self.path}: store schema version {row[0]} != "
@@ -213,15 +215,16 @@ class IncidentStore:
             )
 
     def _stamp_schema_version(self) -> None:
-        row = self._conn.execute(
-            "SELECT value FROM store_meta WHERE key = 'schema_version'"
-        ).fetchone()
-        if row is None:
-            self._conn.execute(
-                "INSERT INTO store_meta (key, value) VALUES (?, ?)",
-                ("schema_version", str(SCHEMA_VERSION)),
-            )
-            self._conn.commit()
+        with self._wrap_db_errors():
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                self._conn.commit()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -259,25 +262,26 @@ class IncidentStore:
     def _insert(
         self, conn: sqlite3.Connection, report: ExtractionReport
     ) -> int:
-        cursor = conn.execute(
-            "INSERT INTO reports (interval, start, end, json) "
-            "VALUES (?, ?, ?, ?)",
-            (report.interval, report.start, report.end,
-             report.to_json()),
-        )
-        report_id = cursor.lastrowid
-        conn.executemany(
-            "INSERT INTO itemsets "
-            "(report_id, interval, key, support, hint) "
-            "VALUES (?, ?, ?, ?, ?)",
-            [
-                (report_id, report.interval,
-                 itemset_key(t.itemset.items), t.itemset.support,
-                 t.hint)
-                for t in report.itemsets
-            ],
-        )
-        return int(report_id)
+        with self._wrap_db_errors():
+            cursor = conn.execute(
+                "INSERT INTO reports (interval, start, end, json) "
+                "VALUES (?, ?, ?, ?)",
+                (report.interval, report.start, report.end,
+                 report.to_json()),
+            )
+            report_id = cursor.lastrowid
+            conn.executemany(
+                "INSERT INTO itemsets "
+                "(report_id, interval, key, support, hint) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [
+                    (report_id, report.interval,
+                     itemset_key(t.itemset.items), t.itemset.support,
+                     t.hint)
+                    for t in report.itemsets
+                ],
+            )
+            return int(report_id)
 
     def _reject_reingest(self, interval: int, last: int | None) -> None:
         """The store is a monotonic log: once the pipeline has noted
@@ -357,11 +361,12 @@ class IncidentStore:
             and interval <= self._last_interval
         ):
             return None
-        conn.execute(
-            "INSERT OR REPLACE INTO store_meta (key, value) "
-            "VALUES ('last_interval', ?)",
-            (str(interval),),
-        )
+        with self._wrap_db_errors():
+            conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) "
+                "VALUES ('last_interval', ?)",
+                (str(interval),),
+            )
         return interval
 
     def note_interval(self, interval: int) -> None:
