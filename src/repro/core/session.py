@@ -177,7 +177,7 @@ class ExtractionSession:
         # owned MetricsSink next to the report sink: one snapshot per
         # processed interval lands in the JSONL trail.
         self._metrics_sink = None
-        if extractor.metrics.enabled and self.config.obs.jsonl_path:
+        if self.config.obs_enabled and self.config.obs.jsonl_path:
             from repro.obs.sink import MetricsSink
             from repro.sinks import TeeSink
 

@@ -16,6 +16,7 @@ from repro.detection.detector import DetectorConfig
 from repro.detection.features import DETECTOR_FEATURES, Feature
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
+from repro.obs.metrics import NULL_REGISTRY
 from repro.parallel.bank import ParallelDetectorBank
 from repro.parallel.executor import (
     Executor,
@@ -49,9 +50,10 @@ class ParallelEngine:
     ):
         self.jobs = resolve_jobs(jobs)
         self.partitions = partitions
-        self._executor = get_executor(backend, self.jobs)
-        if metrics is not None and metrics.enabled:
-            self._executor = MeteredExecutor(self._executor, metrics)
+        self._executor = MeteredExecutor(
+            get_executor(backend, self.jobs),
+            metrics if metrics is not None else NULL_REGISTRY,
+        )
 
     @property
     def backend(self) -> str:

@@ -167,6 +167,12 @@ class MeteredExecutor(Executor):
     def inner(self) -> Executor:
         return self._inner
 
+    @property
+    def _closed(self) -> bool:
+        # "Released" tracks the wrapped pool; serial backends hold no
+        # pool, so they count as closed the moment close() is a no-op.
+        return getattr(self._inner, "_closed", True)
+
     def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
         start = time.perf_counter()
         try:
