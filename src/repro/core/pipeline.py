@@ -441,7 +441,7 @@ class AnomalyExtractor:
                 maximal_only=self.config.maximal_only,
                 local_miner=self.config.miner,
             )
-        miner = MINERS[self.config.miner]
+        miner = MINERS.get(self.config.miner)
         # An empty prefilter output (e.g. intersection mode on a
         # multi-stage anomaly) flows through the same call and yields an
         # empty-but-valid mining result.

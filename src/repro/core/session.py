@@ -218,7 +218,7 @@ class ExtractionSession:
                 self._window_miner = SlidingWindowMiner(
                     window=self.config.window_intervals,
                     min_support=self.config.min_support,
-                    miner=MINERS[self.config.miner],
+                    miner=MINERS.get(self.config.miner),
                     maximal_only=self.config.maximal_only,
                 )
             self.keep_extractions = self.config.keep_extractions

@@ -169,7 +169,7 @@ def resolve_features(spec: object) -> tuple[FeatureLike, ...]:
         from repro.registry import feature_sets
 
         if spec in feature_sets:
-            return tuple(feature_sets[spec])
+            return tuple(feature_sets.get(spec))
         try:
             return (parse_feature(spec),)
         except ConfigError:

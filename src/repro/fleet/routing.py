@@ -89,7 +89,7 @@ def resolve_route(spec: str | Router, n_pipelines: int) -> Router:
 
     if ":" in spec:
         name, _, arg = spec.partition(":")
-        return routers[name](arg or None, n_pipelines)
+        return routers.get(name)(arg or None, n_pipelines)
     if "%" in spec:
         column, _, count = spec.partition("%")
         try:
@@ -104,11 +104,11 @@ def resolve_route(spec: str | Router, n_pipelines: int) -> Router:
                 f"route {spec!r} shards into {declared} pipelines but "
                 f"the fleet has {n_pipelines}"
             )
-        return routers["hash"](column, n_pipelines)
+        return routers.get("hash")(column, n_pipelines)
     if spec in routers:
-        return routers[spec](None, n_pipelines)
+        return routers.get(spec)(None, n_pipelines)
     if spec in ALL_COLUMNS:
-        return routers["hash"](spec, n_pipelines)
+        return routers.get("hash")(spec, n_pipelines)
     raise ConfigError(
         f"unknown route {spec!r}: expected a flow column "
         f"({', '.join(ALL_COLUMNS)}), 'column%N', or a registered "

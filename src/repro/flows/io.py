@@ -212,7 +212,7 @@ def read_trace(path: str | os.PathLike[str]) -> FlowTable:
         raise TraceFormatError(
             f"{path}: unknown trace format (expected one of: {known})"
         )
-    return readers[extension](path)
+    return readers.get(extension)(path)
 
 
 def iter_csv_records(path: str | os.PathLike[str]) -> Iterator[FlowRecord]:
