@@ -1,0 +1,42 @@
+"""repro-lint self-check: full-tree lint stays fast and clean.
+
+The lint gate runs on every CI push, so its wall-clock is part of the
+developer loop.  This bench lints the entire ``src/repro`` tree with
+the full ruleset (the exact work ``repro-lint src/repro`` does),
+asserts the tree is clean, and budgets the run: one pass over the
+~110-file package must finish in a couple of seconds, parse included.
+"""
+
+import os
+import time
+
+from repro.devtools import lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Generous ceiling for CI boxes; the 1-CPU container does it in well
+#: under a second.
+BUDGET_SECONDS = 2.0
+
+
+def test_selfcheck_speed_and_cleanliness(report):
+    start = time.perf_counter()
+    result = lint_paths([SRC], root=REPO_ROOT)
+    elapsed = time.perf_counter() - start
+
+    assert result.findings == []
+    assert result.checked_files > 100
+    assert elapsed < BUDGET_SECONDS
+
+    files_per_second = result.checked_files / elapsed
+    report(
+        f"repro-lint self-check: {result.checked_files} files, "
+        f"{len(result.rules)} rules in {elapsed * 1000:.0f} ms "
+        f"({files_per_second:.0f} files/s), 0 findings",
+        lint_seconds=elapsed,
+        files=result.checked_files,
+        rules=len(result.rules),
+        files_per_second=files_per_second,
+        findings=len(result.findings),
+    )

@@ -1,0 +1,31 @@
+"""Fixture: every sqlite call carries the IncidentError envelope."""
+
+import sqlite3
+from contextlib import contextmanager
+
+
+class IncidentError(Exception):
+    pass
+
+
+class Store:
+    @contextmanager
+    def _wrap_db_errors(self):
+        try:
+            yield
+        except sqlite3.Error as exc:
+            raise IncidentError(str(exc)) from exc
+
+    def open(self, path):
+        try:
+            self._conn = sqlite3.connect(path)
+        except sqlite3.Error as exc:
+            raise IncidentError(f"cannot open {path}") from exc
+
+    def query(self):
+        with self._wrap_db_errors():
+            return self._conn.execute("SELECT 1").fetchone()
+
+    def flush(self):
+        with self._wrap_db_errors():
+            self._conn.commit()

@@ -1,0 +1,9 @@
+"""Fixture: envelope escapes silenced by noqa comments."""
+
+import sqlite3
+
+
+class Store:
+    def open(self, path):
+        self._conn = sqlite3.connect(path)  # repro: noqa[RPR001]
+        self._conn.execute("SELECT 1")  # repro: noqa

@@ -1,0 +1,9 @@
+"""Fixture: sqlite calls escaping the IncidentError envelope."""
+
+import sqlite3
+
+
+class Store:
+    def open(self, path):
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("SELECT 1")

@@ -1,0 +1,20 @@
+"""Fixture: instruments built strictly from the catalog."""
+
+
+def instrument(registry):
+    flows = registry.counter(
+        "repro_flows_processed_total",
+        "Flows observed by the detector bank (late drops excluded).",
+        ("pipeline",),
+    )
+    late = registry.counter(
+        "repro_assembler_late_dropped_total",
+        "Flows dropped by the assembler, split by reason.",
+        ("pipeline", "reason"),
+    )
+    jobs = registry.gauge(
+        "repro_parallel_jobs",
+        "Configured worker count of the parallel executor.",
+        ("backend",),
+    )
+    return flows, late, jobs

@@ -1,0 +1,13 @@
+"""Fixture: catalog violations silenced by noqa comments."""
+
+
+def instrument(registry, metrics, get_name):
+    uncatalogued = registry.counter("repro_bogus_total", "Nope.")  # repro: noqa[RPR002]
+    wrong_kind = registry.gauge("repro_flows_processed_total", "Kind.")  # repro: noqa[RPR002]
+    wrong_labels = registry.counter(  # repro: noqa[RPR002]
+        "repro_assembler_late_dropped_total", "Labels.", ("pipeline",)
+    )
+    dynamic = registry.counter(get_name(), "Dynamic.")  # repro: noqa
+    if metrics.enabled:  # repro: noqa[RPR002]
+        return None
+    return uncatalogued, wrong_kind, wrong_labels, dynamic

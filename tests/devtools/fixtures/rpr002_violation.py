@@ -1,0 +1,13 @@
+"""Fixture: uncatalogued metrics and an enabled-branch."""
+
+
+def instrument(registry, metrics, get_name):
+    uncatalogued = registry.counter("repro_bogus_total", "Nope.")
+    wrong_kind = registry.gauge("repro_flows_processed_total", "Kind.")
+    wrong_labels = registry.counter(
+        "repro_assembler_late_dropped_total", "Labels.", ("pipeline",)
+    )
+    dynamic = registry.counter(get_name(), "Dynamic.")
+    if metrics.enabled:
+        return None
+    return uncatalogued, wrong_kind, wrong_labels, dynamic

@@ -1,0 +1,10 @@
+"""Fixture: registry lookups through the .get API."""
+
+from repro.mining import MINERS
+from repro.registry import readers
+
+
+def lookup(name):
+    miner = MINERS.get(name)
+    reader = readers.get(name)
+    return miner, reader

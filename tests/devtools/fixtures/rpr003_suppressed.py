@@ -1,0 +1,10 @@
+"""Fixture: direct subscripting silenced by noqa comments."""
+
+from repro.mining import MINERS
+from repro.registry import readers
+
+
+def lookup(name):
+    miner = MINERS[name]  # repro: noqa[RPR003]
+    reader = readers[name]  # repro: noqa
+    return miner, reader

@@ -1,0 +1,10 @@
+"""Fixture: direct registry subscripting."""
+
+from repro.mining import MINERS
+from repro.registry import readers
+
+
+def lookup(name):
+    miner = MINERS[name]
+    reader = readers[name]
+    return miner, reader

@@ -1,0 +1,3 @@
+"""Layer-2 module importing downward (allowed)."""
+
+import repro.flows.good

@@ -1,0 +1,1 @@
+"""Layer-1 module with no imports."""

@@ -1,0 +1,12 @@
+"""Layer-3 module using the sanctioned up-reference escapes."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import repro.fleet.manager
+
+
+def build():
+    import repro.fleet.manager as manager
+
+    return manager

@@ -1,0 +1,1 @@
+"""Layer-2 module imported from below."""

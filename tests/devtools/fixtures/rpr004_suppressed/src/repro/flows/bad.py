@@ -1,0 +1,3 @@
+"""Layer break silenced at the import line."""
+
+import repro.core.stuff  # repro: noqa[RPR004]

@@ -1,0 +1,3 @@
+"""Cycle finding is anchored here (first member, sorted)."""
+
+import repro.mining.b  # repro: noqa[RPR004]

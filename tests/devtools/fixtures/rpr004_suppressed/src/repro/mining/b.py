@@ -1,0 +1,3 @@
+"""Other half of the cycle."""
+
+import repro.mining.a

@@ -1,0 +1,3 @@
+"""Layer-1 module reaching up into layer 2."""
+
+import repro.core.stuff

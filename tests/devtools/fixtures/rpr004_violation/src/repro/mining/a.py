@@ -1,0 +1,3 @@
+"""Half of a module-scope import cycle."""
+
+import repro.mining.b

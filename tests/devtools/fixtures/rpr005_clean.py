@@ -1,0 +1,22 @@
+"""Fixture: every shared-state mutation holds the lock."""
+
+import threading
+
+
+class Accumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._history = []
+
+    def add(self, value):
+        with self._lock:
+            self._total += value
+
+    def snapshot(self):
+        return self._total
+
+    def reset(self):
+        with self._lock:
+            self._total = 0
+            self._history = []

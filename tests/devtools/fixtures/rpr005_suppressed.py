@@ -1,0 +1,16 @@
+"""Fixture: unlocked mutations silenced by noqa comments."""
+
+import threading
+
+
+class Accumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._history = []
+
+    def add(self, value):
+        self._total += value  # repro: noqa[RPR005]
+
+    def reset(self):
+        self._history = []  # repro: noqa

@@ -1,0 +1,18 @@
+"""Fixture: shared state mutated outside the lock."""
+
+import threading
+
+
+class Accumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._history = []
+
+    def add(self, value):
+        self._total += value
+
+    def reset(self):
+        with self._lock:
+            self._total = 0
+        self._history = []

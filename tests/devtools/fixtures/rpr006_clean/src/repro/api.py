@@ -1,0 +1,12 @@
+"""Fixture facade matching its README."""
+
+
+def extract():
+    return None
+
+
+def stream():
+    return None
+
+
+__all__ = ["extract", "stream"]

@@ -1,0 +1,8 @@
+"""Fixture facade with a phantom export."""
+
+
+def extract():
+    return None
+
+
+__all__ = ["extract", "ghost"]
