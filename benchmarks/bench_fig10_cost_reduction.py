@@ -10,11 +10,10 @@ accordingly (~800-1200); the shape claims - monotone growth with s and
 saturation - are scale-free.
 """
 
-import numpy as np
-
-from repro.core.cost import cost_curve
 
 from conftest import SUPPORT_GRID
+
+from repro.core.cost import cost_curve
 
 
 def test_fig10_cost_reduction(benchmark, extraction_sweep, report):

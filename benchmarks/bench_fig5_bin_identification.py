@@ -9,11 +9,11 @@ print the per-round KL trace.
 
 import numpy as np
 
+from repro.anomalies import FloodingInjector
 from repro.detection.binid import identify_anomalous_bins
 from repro.detection.threshold import AlarmThreshold
 from repro.sketch.hashing import HashFamily
 from repro.traffic import TraceGenerator, switch_like
-from repro.anomalies import FloodingInjector
 
 
 def _histograms():

@@ -13,13 +13,13 @@ a substantial zero-FP fraction, and zero missed events.
 
 import numpy as np
 
+from conftest import SUPPORT_GRID
+
 from repro.analysis.metrics import judge_itemsets
 from repro.core.prefilter import prefilter
 from repro.flows.stream import interval_of
 from repro.mining.apriori import apriori
 from repro.mining.transactions import TransactionSet
-
-from conftest import SUPPORT_GRID
 
 
 def test_fig9_fp_itemsets_vs_support(benchmark, two_week, extraction_sweep,

@@ -1,12 +1,12 @@
 """Anomaly injection: the seven Table IV classes plus a multi-stage worm."""
 
+from repro.anomalies.backscatter import BackscatterInjector
 from repro.anomalies.base import (
     ANOMALY_CLASSES,
     AnomalyInjector,
     InjectedEvent,
     stamp_label,
 )
-from repro.anomalies.backscatter import BackscatterInjector
 from repro.anomalies.ddos import DDoSInjector
 from repro.anomalies.experiment import NetworkExperimentInjector
 from repro.anomalies.flooding import FloodingInjector

@@ -71,7 +71,10 @@ class BackscatterInjector(AnomalyInjector):
         )
 
     def describe(self) -> str:
-        return f"Backscatter: dstPort {self.dst_port}, {self.flows} single-packet replies"
+        return (
+            f"Backscatter: dstPort {self.dst_port}, "
+            f"{self.flows} single-packet replies"
+        )
 
     def signature(self) -> dict[str, int]:
         return {

@@ -54,17 +54,17 @@ from repro.core.pipeline import (
     TraceExtraction,
 )
 from repro.core.report import ExtractionReport, TriagedItemset
+from repro.core.session import ExtractionSession, run_session
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import CustomFeature, Feature, resolve_features
 from repro.errors import ConfigError, ReproError, TraceFormatError
+from repro.fleet.manager import FleetIncident, FleetManager
 from repro.flows.io import DEFAULT_CHUNK_ROWS, iter_csv, read_trace
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
 from repro.incidents.rank import RankedIncident, rank_incidents  # noqa: F401
 from repro.incidents.store import IncidentStore
 from repro.incidents.store import open_store as _open_store
-from repro.core.session import ExtractionSession, run_session
-from repro.fleet.manager import FleetIncident, FleetManager
 from repro.obs.export import render_json, render_prometheus  # noqa: F401
 from repro.obs.log import get_logger
 from repro.obs.metrics import (

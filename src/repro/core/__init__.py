@@ -19,12 +19,6 @@ from repro.core.pipeline import (
     suggest_min_support,
 )
 from repro.core.prefilter import PrefilterResult, prefilter
-from repro.core.session import (
-    SESSION_MODES,
-    ExtractionSession,
-    StreamExtraction,
-    run_session,
-)
 from repro.core.report import (
     COMMON_SERVICE_PORTS,
     ExtractionReport,
@@ -32,6 +26,12 @@ from repro.core.report import (
     render_itemset_table,
     triage,
     triage_all,
+)
+from repro.core.session import (
+    SESSION_MODES,
+    ExtractionSession,
+    StreamExtraction,
+    run_session,
 )
 
 __all__ = [

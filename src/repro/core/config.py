@@ -39,11 +39,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.detection.detector import DetectorConfig
-from repro.detection.features import (
-    DETECTOR_FEATURES,
-    Feature,
-    resolve_features,
-)
+from repro.detection.features import Feature, resolve_features
 from repro.errors import ConfigError
 from repro.obs.metrics import DEFAULT_BUCKETS
 

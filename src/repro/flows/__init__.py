@@ -1,15 +1,5 @@
 """Flow substrate: NetFlow-style records, columnar tables, IO, windowing."""
 
-from repro.flows.record import (
-    BASELINE_LABEL,
-    PROTO_ICMP,
-    PROTO_TCP,
-    PROTO_UDP,
-    FlowRecord,
-    int_to_ip,
-    ip_to_int,
-)
-from repro.flows.table import ALL_COLUMNS, FEATURE_COLUMNS, FlowTable
 from repro.flows.io import (
     iter_csv,
     iter_csv_handle,
@@ -19,6 +9,15 @@ from repro.flows.io import (
     write_csv,
     write_npz,
 )
+from repro.flows.record import (
+    BASELINE_LABEL,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    FlowRecord,
+    int_to_ip,
+    ip_to_int,
+)
 from repro.flows.stream import (
     DEFAULT_INTERVAL_SECONDS,
     IntervalView,
@@ -26,6 +25,7 @@ from repro.flows.stream import (
     iter_intervals,
     split_intervals,
 )
+from repro.flows.table import ALL_COLUMNS, FEATURE_COLUMNS, FlowTable
 
 __all__ = [
     "BASELINE_LABEL",

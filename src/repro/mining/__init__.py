@@ -4,14 +4,6 @@ from repro.mining.apriori import apriori
 from repro.mining.closed import closed_itemsets, filter_closed, is_closed_in
 from repro.mining.eclat import eclat
 from repro.mining.fpgrowth import fpgrowth
-from repro.mining.multilevel import (
-    LevelledItemset,
-    aggregate_prefixes,
-    mine_multilevel,
-    prefix_mask,
-)
-from repro.mining.streaming import SlidingWindowMiner
-from repro.mining.topk import mine_top_k, support_for_top_k
 from repro.mining.items import (
     FEATURE_SHIFT,
     VALUE_MASK,
@@ -23,6 +15,12 @@ from repro.mining.items import (
     itemsets_sorted,
 )
 from repro.mining.maximal import filter_maximal, is_maximal_in
+from repro.mining.multilevel import (
+    LevelledItemset,
+    aggregate_prefixes,
+    mine_multilevel,
+    prefix_mask,
+)
 from repro.mining.partition import (
     count_candidates,
     local_min_support,
@@ -32,6 +30,8 @@ from repro.mining.partition import (
 )
 from repro.mining.result import LevelStats, MiningResult
 from repro.mining.rules import AssociationRule, derive_rules
+from repro.mining.streaming import SlidingWindowMiner
+from repro.mining.topk import mine_top_k, support_for_top_k
 from repro.mining.transactions import TRANSACTION_WIDTH, TransactionSet
 
 

@@ -24,7 +24,7 @@ from repro.parallel.executor import (
     get_executor,
     resolve_jobs,
 )
-from repro.parallel.son import SON_LOCAL_MINERS, son
+from repro.parallel.son import son
 
 
 class ParallelEngine:

@@ -25,7 +25,6 @@ or at runtime; ``repro.registry.sinks["name"](...)`` builds one.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import IO
 

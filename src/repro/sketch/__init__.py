@@ -1,9 +1,9 @@
 """Hashing, hashed histograms (clones), and sketch substrates."""
 
-from repro.sketch.hashing import MERSENNE_PRIME, HashFamily, UniversalHash
-from repro.sketch.histogram import HashedHistogram, HistogramSnapshot
 from repro.sketch.cloning import CloneSet
 from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashing import MERSENNE_PRIME, HashFamily, UniversalHash
+from repro.sketch.histogram import HashedHistogram, HistogramSnapshot
 
 __all__ = [
     "MERSENNE_PRIME",

@@ -20,8 +20,8 @@ from __future__ import annotations
 import warnings
 from collections.abc import Iterable, Iterator
 
-from repro.core.pipeline import AnomalyExtractor, ExtractionResult
 from repro.core.config import ExtractionConfig
+from repro.core.pipeline import AnomalyExtractor, ExtractionResult
 from repro.core.report import ExtractionReport
 from repro.core.session import ExtractionSession, StreamExtraction
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
@@ -80,7 +80,8 @@ class StreamingExtractor:
         metrics: optional
             :class:`~repro.obs.metrics.MetricsRegistry` for the owned
             extractor (ignored when ``extractor`` is given - its
-            registry wins); ``pipeline`` labels this run's metrics.  Extractions are governed separately by
+            registry wins); ``pipeline`` labels this run's
+            metrics.  Extractions are governed separately by
             ``config.streaming.keep_extractions``: when that is False,
             each emitted extraction (and its report state, which pins
             the prefiltered flow table) is evicted once the next batch

@@ -52,9 +52,9 @@ class BaselineTrafficModel:
         # Host pools.  A random permutation decouples popularity rank from
         # numeric adjacency, like real address plans.
         perm_rng = np.random.default_rng(seed ^ 0x5EED)
-        self._internal_pool = base + perm_rng.permutation(profile.internal_hosts).astype(
-            np.uint64
-        )
+        self._internal_pool = base + perm_rng.permutation(
+            profile.internal_hosts
+        ).astype(np.uint64)
         self._external_pool = (
             np.uint64(0x0B000000)  # 11.0.0.0/8-ish external space
             + perm_rng.permutation(profile.external_hosts).astype(np.uint64)

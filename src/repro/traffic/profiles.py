@@ -12,7 +12,7 @@ used by the benchmarks, ``small_test`` keeps unit tests fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.flows.record import ip_to_int

@@ -346,8 +346,12 @@ def two_day_trace(
     schedule = EventSchedule()
     ddos = _class_injector("ddos", rng, profile, flows=int(20_000 * 0.2))
     scan = _class_injector("scanning", rng, profile, flows=int(21_000 * 0.2))
-    schedule.add_at_interval(ddos, 60, interval_seconds, duration=interval_seconds - 1.0)
-    schedule.add_at_interval(scan, 150, interval_seconds, duration=interval_seconds - 1.0)
+    schedule.add_at_interval(
+        ddos, 60, interval_seconds, duration=interval_seconds - 1.0
+    )
+    schedule.add_at_interval(
+        scan, 150, interval_seconds, duration=interval_seconds - 1.0
+    )
     generator = TraceGenerator(profile, seed=seed)
     return generator.generate(192, schedule=schedule, interval_seconds=interval_seconds)
 

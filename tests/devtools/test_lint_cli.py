@@ -5,10 +5,10 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.devtools.cli import main
 from repro.devtools.findings import JSON_SCHEMA_VERSION
-
-import pytest
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 RPR003_VIOLATION = os.path.join(FIXTURES, "rpr003_violation.py")

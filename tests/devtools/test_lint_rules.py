@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.devtools import lint_paths
 from repro.devtools.rules import rules_by_code
-
-import pytest
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 

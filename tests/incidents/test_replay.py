@@ -17,7 +17,7 @@ from repro.core.report import ExtractionReport
 from repro.core.session import run_session
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import Feature
-from repro.incidents import IncidentStore, correlate, rank_incidents
+from repro.incidents import IncidentStore, correlate
 from repro.mining.items import encode_item
 from repro.traffic import TraceGenerator, small_test
 

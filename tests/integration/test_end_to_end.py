@@ -1,6 +1,5 @@
 """Integration tests: the full pipeline on multi-event traces."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import flow_recall, judge_itemsets
@@ -9,8 +8,8 @@ from repro.core.pipeline import AnomalyExtractor
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import Feature
 from repro.flows.stream import interval_of
+from repro.mining import apriori, eclat, fpgrowth
 from repro.mining.transactions import TransactionSet
-from repro.mining import apriori, fpgrowth, eclat
 
 
 def _config(min_support=300):

@@ -6,7 +6,6 @@ campaign is exercised by the benchmark suite instead.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

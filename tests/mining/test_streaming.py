@@ -5,9 +5,9 @@ import pytest
 
 from repro.errors import MiningError
 from repro.flows.table import FlowTable
+from repro.mining.eclat import eclat
 from repro.mining.streaming import SlidingWindowMiner
 from repro.mining.transactions import TransactionSet
-from repro.mining.eclat import eclat
 
 
 def _batch(dst_port, n=100, seed=0):

@@ -4,8 +4,8 @@ import pytest
 
 from repro.core import AnomalyExtractor, ExtractionConfig
 from repro.detection.detector import DetectorConfig
-from repro.parallel.engine import ParallelEngine
 from repro.mining.transactions import TransactionSet
+from repro.parallel.engine import ParallelEngine
 
 _DETECTOR = DetectorConfig(
     clones=3, bins=128, vote_threshold=3, training_intervals=8

@@ -76,7 +76,9 @@ class TestCountMin:
         with pytest.raises(ConfigError):
             CountMinSketch(width=width, depth=depth)
 
-    @pytest.mark.parametrize("eps,delta", [(0.0, 0.1), (1.5, 0.1), (0.1, 0.0), (0.1, 1.0)])
+    @pytest.mark.parametrize(
+        "eps,delta", [(0.0, 0.1), (1.5, 0.1), (0.1, 0.0), (0.1, 1.0)]
+    )
     def test_bad_error_bounds(self, eps, delta):
         with pytest.raises(ConfigError):
             CountMinSketch.from_error_bounds(eps, delta)

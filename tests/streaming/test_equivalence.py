@@ -7,9 +7,9 @@ import pytest
 
 from repro.core.config import ExtractionConfig
 from repro.core.pipeline import AnomalyExtractor
+from repro.core.session import run_session
 from repro.detection.detector import DetectorConfig
 from repro.flows.io import iter_csv, write_csv
-from repro.core.session import run_session
 from repro.streaming import StreamingExtractor
 
 CHUNK_ROWS = 517  # deliberately misaligned with interval boundaries

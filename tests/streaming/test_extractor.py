@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core.config import ExtractionConfig
+from repro.core.session import run_session
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import Feature
 from repro.errors import ConfigError
-from repro.core.session import run_session
 from repro.streaming import StreamingExtractor
 
 CHUNK_ROWS = 400

@@ -10,8 +10,8 @@ once the caller has had the chance to consume them.
 import pytest
 
 from repro.core import ExtractionConfig
-from repro.flows import split_intervals
 from repro.core.session import run_session
+from repro.flows import split_intervals
 from repro.streaming import StreamingExtractor
 
 _CONFIG = dict(

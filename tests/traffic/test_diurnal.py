@@ -34,7 +34,9 @@ class TestDiurnalFactor:
 
     def test_sunday_also_dips(self):
         sunday = 6 * SECONDS_PER_DAY + 12 * 3600.0
-        assert diurnal_factor(sunday, amplitude=0.0, weekend_dip=0.5) == pytest.approx(0.5)
+        assert diurnal_factor(
+            sunday, amplitude=0.0, weekend_dip=0.5
+        ) == pytest.approx(0.5)
 
     def test_periodic_over_weeks(self):
         t = 10 * 3600.0
