@@ -62,6 +62,10 @@ from repro.fleet.manager import FleetIncident, FleetManager
 from repro.flows.io import DEFAULT_CHUNK_ROWS, iter_csv, read_trace
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
+from repro.incidents.provenance import (
+    IncidentProvenance,
+    explain_incident,
+)
 from repro.incidents.rank import RankedIncident, rank_incidents  # noqa: F401
 from repro.incidents.store import IncidentStore
 from repro.incidents.store import open_store as _open_store
@@ -74,6 +78,7 @@ from repro.obs.metrics import (
     time_stage,
 )
 from repro.obs.sink import MetricsSink
+from repro.obs.trace import NULL_TRACER, Tracer, render_trace
 from repro.registry import (
     Registry,
     feature_sets,
@@ -126,6 +131,12 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
     "time_stage",
+    "tracer",
+    "Tracer",
+    "NULL_TRACER",
+    "render_trace",
+    "explain_incident",
+    "IncidentProvenance",
     "get_logger",
     "Registry",
     "miners",
@@ -204,6 +215,31 @@ def metrics(
     return found
 
 
+def tracer(source: object | None = None) -> Tracer:
+    """The span tracer of a pipeline object, or a fresh one.
+
+    With ``source`` (an :class:`AnomalyExtractor`,
+    :class:`ExtractionSession`, :class:`StreamingExtractor`, or
+    :class:`FleetManager`) this returns the tracer that object records
+    spans into - the no-op :data:`~repro.obs.trace.NULL_TRACER` when
+    tracing is off.  Without ``source`` it builds a fresh enabled
+    :class:`Tracer` to pass into :func:`session`, :func:`extract`,
+    :func:`stream`, or :func:`open_fleet` via ``tracer=``::
+
+        t = repro.tracer()
+        repro.extract("trace.npz", tracer=t)
+        print(repro.render_trace(t, "text"))
+    """
+    if source is None:
+        return Tracer()
+    found = getattr(source, "tracer", None)
+    if found is None or not hasattr(found, "span"):
+        raise ConfigError(
+            f"{type(source).__name__} does not expose a span tracer"
+        )
+    return found
+
+
 def session(
     config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
     *,
@@ -214,6 +250,7 @@ def session(
     sink: ReportSink | None = None,
     keep_reports: bool = True,
     metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
     **overrides: object,
 ) -> ExtractionSession:
     """Open a push-based :class:`ExtractionSession` - the redesigned
@@ -241,10 +278,15 @@ def session(
         metrics: optional :class:`MetricsRegistry` the run records
             into; defaults to one built from ``config.obs`` (the no-op
             registry unless ``[obs] enabled = true``).
+        tracer: optional :class:`Tracer` the run records spans into;
+            defaults to one built from ``config.obs`` (the no-op
+            tracer unless ``[obs] trace_path`` is set).
         **overrides: flat or grouped config fields.
     """
     resolved = resolve_config(config, **overrides)
-    extractor = AnomalyExtractor(resolved, seed=seed, metrics=metrics)
+    extractor = AnomalyExtractor(
+        resolved, seed=seed, metrics=metrics, tracer=tracer
+    )
     try:
         return ExtractionSession(
             extractor,
@@ -272,6 +314,7 @@ def extract(
     seed: int = 0,
     sink: ReportSink | None = None,
     metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
     **overrides: object,
 ) -> TraceExtraction:
     """Run the full batch pipeline (Fig. 3) over a trace.
@@ -289,6 +332,8 @@ def extract(
             ``config.incidents.store_path`` when one is set.
         metrics: optional :class:`MetricsRegistry` the run records
             into (see :func:`metrics`).
+        tracer: optional :class:`Tracer` the run records spans into
+            (see :func:`tracer`).
         **overrides: flat or grouped config fields, e.g.
             ``min_support=500``, ``miner="fpgrowth"``, ``jobs=4``.
 
@@ -298,7 +343,9 @@ def extract(
     """
     flows = _load_flows(trace)
     resolved = resolve_config(config, **overrides)
-    with AnomalyExtractor(resolved, seed=seed, metrics=metrics) as extractor:
+    with AnomalyExtractor(
+        resolved, seed=seed, metrics=metrics, tracer=tracer
+    ) as extractor:
         return extractor.run_trace(
             flows, interval_seconds, origin=origin, sink=sink
         )
@@ -317,6 +364,7 @@ def stream(
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
     keep_reports: bool = True,
     metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
     **overrides: object,
 ) -> StreamExtraction:
     """Run the pipeline chunk-by-chunk with bounded memory.
@@ -356,6 +404,7 @@ def stream(
         sink=sink,
         keep_reports=keep_reports,
         metrics=metrics,
+        tracer=tracer,
         **overrides,
     ) as opened:
         result = run_session(opened, chunks)
@@ -377,6 +426,7 @@ def open_fleet(
     seed: int = 0,
     keep_reports: bool = False,
     metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
     **overrides: object,
 ) -> FleetManager:
     """Open a :class:`FleetManager`: N named pipelines, one router,
@@ -480,6 +530,7 @@ def open_fleet(
         store_dir=store_dir,
         keep_reports=keep_reports,
         metrics=metrics,
+        tracer=tracer,
     )
 
 

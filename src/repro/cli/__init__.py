@@ -14,7 +14,10 @@ subcommand:
   a shared worker pool; prints per-pipeline summaries and the merged
   fleet-wide incident ranking;
 * ``incidents`` - correlate and rank the reports persisted by
-  ``--store`` into cross-interval incidents;
+  ``--store`` into cross-interval incidents; ``incidents <db>
+  explain <id>`` renders one ranked incident's full provenance
+  (contributing intervals, per-feature detector votes, extraction
+  context);
 * ``table2`` - regenerate the Table II running example at any scale;
 * ``topk`` - mine the k most frequent maximal item-sets of a trace.
 
@@ -38,6 +41,8 @@ Examples:
     repro-extract stream trace.csv --store incidents.db
     repro-extract fleet trace.csv --pipelines 2 --route "dst_ip%2"
     repro-extract incidents incidents.db --top 5 --format json
+    repro-extract incidents incidents.db explain 1
+    repro-extract stream trace.csv --trace spans.jsonl
     repro-extract table2 --scale 0.05
 """
 

@@ -209,6 +209,64 @@ def write_metrics(registry, args: argparse.Namespace) -> None:
             handle.write(text)
 
 
+def add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_out",
+        help="record a span trace (per-interval stage timings, "
+        "assembler events, worker shards) and write it to PATH when "
+        "the run completes; '-' writes to stdout",
+    )
+    parser.add_argument(
+        "--trace-format", choices=("jsonl", "chrome", "text"),
+        default=None,
+        help="trace export format: one canonical-JSON span per line, "
+        "Chrome trace-event JSON (load in Perfetto), or a "
+        "human-readable span tree (default: jsonl)",
+    )
+
+
+def build_tracer(args: argparse.Namespace, config):
+    """A real tracer when the run wants one, else ``None``.
+
+    ``--trace PATH`` or a run config with ``[obs] trace_path`` turns
+    span tracing on; everything else runs against the no-op tracer
+    (chosen downstream when this returns ``None``).
+    """
+    from repro.obs.trace import Tracer
+
+    if (
+        getattr(args, "trace_out", None) is None
+        and config.obs.trace_path is None
+    ):
+        return None
+    return Tracer()
+
+
+def write_trace(tracer, args: argparse.Namespace, config) -> None:
+    """Export the trace per ``--trace`` / ``--trace-format``, falling
+    back to the config's ``[obs] trace_path/trace_format`` keys."""
+    import sys
+
+    if tracer is None:
+        return
+    target = getattr(args, "trace_out", None) or config.obs.trace_path
+    if target is None:
+        return
+    fmt = (
+        getattr(args, "trace_format", None)
+        or config.obs.trace_format
+        or "jsonl"
+    )
+    from repro.obs.trace import render_trace
+
+    text = render_trace(tracer, fmt)
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        with open(target, "w") as handle:
+            handle.write(text)
+
+
 def add_parallel_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=positive_int, default=1,
                         action=TrackedAction,

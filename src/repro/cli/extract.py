@@ -13,11 +13,14 @@ from repro.cli._common import (
     add_mining_args,
     add_parallel_args,
     add_store_arg,
+    add_trace_args,
     build_metrics_registry,
+    build_tracer,
     extraction_config,
     load_trace,
     positive_int,
     write_metrics,
+    write_trace,
 )
 from repro.core import AnomalyExtractor, ExtractionReport
 from repro.sinks import TeeSink
@@ -37,6 +40,7 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
     add_format_arg(ext)
     add_store_arg(ext)
     add_metrics_args(ext)
+    add_trace_args(ext)
     ext.set_defaults(func=run)
 
 
@@ -44,8 +48,9 @@ def run(args: argparse.Namespace) -> int:
     flows = load_trace(args.trace)
     config = extraction_config(args)
     registry = build_metrics_registry(args, config)
+    tracer = build_tracer(args, config)
     with AnomalyExtractor(
-        config, seed=args.seed, metrics=registry
+        config, seed=args.seed, metrics=registry, tracer=tracer
     ) as extractor:
         if args.format == "json":
             # Collect the reports run_trace builds anyway (teeing into
@@ -65,13 +70,16 @@ def run(args: argparse.Namespace) -> int:
         for report in reports:
             print(report.to_json())
         write_metrics(registry, args)
+        write_trace(tracer, args, config)
         return 0
     if not result.extractions:
         print("no extractions (no alarms with usable meta-data)")
         write_metrics(registry, args)
+        write_trace(tracer, args, config)
         return 0
     for extraction in result.extractions:
         print(extraction.render())
         print()
     write_metrics(registry, args)
+    write_trace(tracer, args, config)
     return 0

@@ -20,13 +20,16 @@ from repro.cli._common import (
     add_metrics_args,
     add_mining_args,
     add_parallel_args,
+    add_trace_args,
     build_metrics_registry,
+    build_tracer,
     chunk_source,
     config_file_sets,
     explicit_dests,
     extraction_config,
     positive_int,
     write_metrics,
+    write_trace,
 )
 from repro.core.config import FleetSettings, split_fleet_data
 from repro.errors import ConfigError
@@ -87,6 +90,7 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
         "summaries + merged incident ranking)",
     )
     add_metrics_args(fleet)
+    add_trace_args(fleet)
     fleet.set_defaults(func=run)
 
 
@@ -121,6 +125,7 @@ def run(args: argparse.Namespace) -> int:
         )
     configs = _weak_default_retention(args, fleet_data, configs)
     registry = build_metrics_registry(args, base)
+    tracer = build_tracer(args, base)
     chunks = chunk_source(
         args.trace, args.chunk_rows, command="fleet", metrics=registry
     )
@@ -132,6 +137,7 @@ def run(args: argparse.Namespace) -> int:
         seed=args.seed,
         store_dir=store_dir,
         metrics=registry,
+        tracer=tracer,
     ) as fleet:
         for chunk in chunks:
             fleet.feed(chunk)
@@ -140,11 +146,12 @@ def run(args: argparse.Namespace) -> int:
         if args.format == "json":
             print(json.dumps(_document(fleet, results, incidents)))
             _summary(results)
-            write_metrics(registry, args)
-            return 0
-        for line in _render_table(results, incidents):
-            print(line)
+        else:
+            for line in _render_table(results, incidents):
+                print(line)
+    # After the with-block so the fleet.run root span is ended.
     write_metrics(registry, args)
+    write_trace(tracer, args, base)
     return 0
 
 

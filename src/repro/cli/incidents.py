@@ -15,6 +15,16 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
     )
     inc.add_argument("db", help="path to an incident store "
                      "(written by extract/stream --store)")
+    inc.add_argument("action", nargs="?", choices=["explain"],
+                     default=None,
+                     help="'explain' renders the full provenance "
+                     "narrative of one ranked incident (contributing "
+                     "intervals, per-feature detector votes, "
+                     "extraction context)")
+    inc.add_argument("incident_id", nargs="?", type=int, default=None,
+                     metavar="ID",
+                     help="the incident to explain (see the ranked "
+                     "listing for ids)")
     add_config_arg(inc)
     inc.add_argument("--top", type=positive_int, default=None,
                      help="only the k best-ranked incidents")
@@ -35,13 +45,18 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
                      "default: the value the store was written with, "
                      "else 2)")
     add_format_arg(inc, json_help="a single JSON array of incidents "
-                   "(one JSON object with --show)")
+                   "(one JSON object with --show or explain)")
     inc.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
+    from repro.errors import IncidentError
     from repro.incidents import open_store
 
+    if args.action == "explain" and args.incident_id is None:
+        raise IncidentError(
+            "explain needs an incident id: incidents <db> explain <id>"
+        )
     jaccard, quiet_gap = args.jaccard, args.quiet_gap
     if args.config is not None:
         # A run config's [incidents] knobs serve as defaults here too,
@@ -59,6 +74,8 @@ def run(args: argparse.Namespace) -> int:
             quiet_gap=quiet_gap,
             profile=args.profile,
         )
+        if args.action == "explain":
+            return _explain_incident(store, ranked, args)
         if args.show is not None:
             return _show_incident(store, ranked, args)
         total = len(ranked)
@@ -92,17 +109,29 @@ def run(args: argparse.Namespace) -> int:
         return 0
 
 
-def _show_incident(store, ranked, args: argparse.Namespace) -> int:
+def _lookup(ranked, incident_id: int):
+    """One ranked incident by id, or an IncidentError naming what the
+    store does have (the exit-2 contract for unknown ids)."""
     from repro.errors import IncidentError
 
     by_id = {r.incident.incident_id: r for r in ranked}
-    entry = by_id.get(args.show)
+    entry = by_id.get(incident_id)
     if entry is None:
         have = (
             f"{len(by_id)} incidents (ids {min(by_id)}..{max(by_id)})"
             if by_id else "no incidents"
         )
-        raise IncidentError(f"no incident #{args.show}; store has {have}")
+        raise IncidentError(f"no incident #{incident_id}; store has {have}")
+    return entry
+
+
+def _show_incident(store, ranked, args: argparse.Namespace) -> int:
+    from repro.incidents import (
+        explain_incident,
+        render_vote_breakdown,
+    )
+
+    entry = _lookup(ranked, args.show)
     # Bound to this incident's own span: a closed predecessor may share
     # the same item-set key and its activity is not ours to show.
     history = store.itemset_history(
@@ -110,18 +139,36 @@ def _show_incident(store, ranked, args: argparse.Namespace) -> int:
         since=entry.incident.first_seen,
         until=entry.incident.last_seen,
     )
+    provenance = explain_incident(store, entry)
     if args.format == "json":
         data = entry.to_dict()
         data["history"] = [
             {"interval": i, "support": s, "hint": h}
             for i, s, h in history
         ]
+        data["vote_breakdown"] = provenance.vote_breakdown()
         print(json.dumps(data, sort_keys=True))
         return 0
     print(entry.render())
     for name, value in sorted(entry.components.items()):
         print(f"  {name}: {value:.3f}")
+    for line in render_vote_breakdown(
+        provenance.vote_breakdown(), len(provenance.intervals)
+    ):
+        print(line)
     print("  key item-set history:")
     for interval, support, hint in history:
         print(f"    interval {interval}: support {support} ({hint})")
+    return 0
+
+
+def _explain_incident(store, ranked, args: argparse.Namespace) -> int:
+    from repro.incidents import explain_incident
+
+    entry = _lookup(ranked, args.incident_id)
+    provenance = explain_incident(store, entry)
+    if args.format == "json":
+        print(json.dumps(provenance.to_dict(), sort_keys=True))
+        return 0
+    print(provenance.render())
     return 0

@@ -13,13 +13,16 @@ from repro.cli._common import (
     add_metrics_args,
     add_mining_args,
     add_store_arg,
+    add_trace_args,
     build_metrics_registry,
+    build_tracer,
     chunk_source,
     config_file_sets,
     explicit_dests,
     extraction_config,
     positive_int,
     write_metrics,
+    write_trace,
 )
 from repro.flows.io import DEFAULT_CHUNK_ROWS
 from repro.obs.log import get_logger
@@ -64,12 +67,14 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
     add_format_arg(stream)
     add_store_arg(stream)
     add_metrics_args(stream)
+    add_trace_args(stream)
     stream.set_defaults(func=run)
 
 
 def run(args: argparse.Namespace) -> int:
     config = extraction_config(args)
     registry = build_metrics_registry(args, config)
+    tracer = build_tracer(args, config)
     chunks = chunk_source(args.trace, args.chunk_rows, metrics=registry)
     if (
         "keep_extractions" not in explicit_dests(args)
@@ -99,6 +104,7 @@ def run(args: argparse.Namespace) -> int:
         # accumulate - this is what keeps day-long pipes flat.
         keep_reports=False,
         metrics=registry,
+        tracer=tracer,
     ) as streamer:
         for chunk in chunks:
             for extraction in streamer.process_chunk(chunk):
@@ -129,4 +135,5 @@ def run(args: argparse.Namespace) -> int:
     else:
         print(summary)
     write_metrics(registry, args)
+    write_trace(tracer, args, config)
     return 0

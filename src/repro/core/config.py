@@ -217,13 +217,30 @@ class ObsSettings:
             tees one canonical metrics snapshot per processed interval
             to this JSONL file via
             :class:`~repro.obs.sink.MetricsSink`.
+        trace_path: when set, span tracing is on: the extractor builds
+            a live :class:`~repro.obs.trace.Tracer` and the CLI writes
+            the finished trace here (``-`` for stdout).  When unset
+            (the default) the shared
+            :data:`~repro.obs.trace.NULL_TRACER` no-op is used.
+        trace_format: trace exporter - ``jsonl`` (one canonical-JSON
+            span per line; the default), ``chrome`` (trace-event JSON
+            loadable in Perfetto), or ``text`` (indented span tree).
     """
 
     enabled: bool = False
     histogram_buckets: tuple[float, ...] = DEFAULT_BUCKETS
     jsonl_path: str | None = None
+    trace_path: str | None = None
+    trace_format: str | None = None
 
     def __post_init__(self) -> None:
+        if self.trace_format is not None and self.trace_format not in (
+            "jsonl", "chrome", "text",
+        ):
+            raise ConfigError(
+                f"trace_format must be one of 'jsonl', 'chrome', "
+                f"'text': {self.trace_format!r}"
+            )
         try:
             buckets = tuple(float(b) for b in self.histogram_buckets)
         except (TypeError, ValueError) as exc:
@@ -263,6 +280,8 @@ _FLAT_FIELDS: dict[str, tuple[str, str]] = {
     "incident_quiet_gap": ("incidents", "quiet_gap"),
     "obs_enabled": ("obs", "enabled"),
     "metrics_jsonl_path": ("obs", "jsonl_path"),
+    "trace_path": ("obs", "trace_path"),
+    "trace_format": ("obs", "trace_format"),
 }
 
 _GROUP_TYPES: dict[str, type] = {
@@ -516,6 +535,14 @@ class ExtractionConfig:
     @property
     def metrics_jsonl_path(self) -> str | None:
         return self.obs.jsonl_path
+
+    @property
+    def trace_path(self) -> str | None:
+        return self.obs.trace_path
+
+    @property
+    def trace_format(self) -> str | None:
+        return self.obs.trace_format
 
     # ------------------------------------------------------------------
     # Derivation

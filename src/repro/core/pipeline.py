@@ -36,6 +36,7 @@ from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
 from repro.obs.instruments import PipelineInstruments
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, time_stage
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @runtime_checkable
@@ -163,6 +164,12 @@ class AnomalyExtractor:
     :data:`~repro.obs.metrics.NULL_REGISTRY` (extraction output is
     byte-identical either way).  ``pipeline`` is the label every metric
     of this extractor carries - the fleet passes its link names.
+
+    ``tracer`` attaches a :class:`~repro.obs.trace.Tracer` recording
+    per-stage/per-interval span trees; omitted, the extractor builds
+    one when ``config.obs.trace_path`` is set, else runs against the
+    no-op :data:`~repro.obs.trace.NULL_TRACER` (same byte-identical
+    invariant as metrics).
     """
 
     def __init__(
@@ -172,6 +179,7 @@ class AnomalyExtractor:
         engine: object | None = None,
         metrics: MetricsRegistry | None = None,
         pipeline: str = "default",
+        tracer=None,
     ):
         self.config = config or ExtractionConfig()
         # Registry before any resource: instrument bundles are handed
@@ -182,7 +190,14 @@ class AnomalyExtractor:
                 if self.config.obs_enabled
                 else NULL_REGISTRY
             )
+        if tracer is None:
+            tracer = (
+                Tracer()
+                if self.config.obs.trace_path is not None
+                else NULL_TRACER
+            )
         self._metrics = metrics
+        self._tracer = tracer
         self._instruments = PipelineInstruments(metrics, pipeline)
         self._store = None
         if self.config.store_path is not None:
@@ -245,6 +260,12 @@ class AnomalyExtractor:
         return self._instruments
 
     @property
+    def tracer(self):
+        """The span tracer this extractor records into (the no-op
+        :data:`~repro.obs.trace.NULL_TRACER` when tracing is off)."""
+        return self._tracer
+
+    @property
     def engine(self):
         """The parallel engine, or None on the serial path."""
         return self._engine
@@ -284,8 +305,11 @@ class AnomalyExtractor:
         ins = self._instruments
         ins.intervals.inc()
         ins.flows.inc(len(flows))
-        with time_stage(ins.stage_detection):
+        with time_stage(ins.stage_detection), self._tracer.span(
+            "stage.detection", flows=len(flows)
+        ) as span:
             report = self._bank.observe(flows)
+            span.set_attribute("alarm", report.alarm)
         if not report.alarm:
             return None
         ins.alarmed.inc()
@@ -414,7 +438,9 @@ class AnomalyExtractor:
         if len(flows) == 0:
             raise ExtractionError("cannot extract from an empty interval")
         ins = self._instruments
-        with time_stage(ins.stage_mining):
+        with time_stage(ins.stage_mining), self._tracer.span(
+            "stage.mining", flows=len(flows)
+        ) as span:
             selected = prefilter(flows, metadata, self.config.prefilter_mode)
             support = (
                 min_support
@@ -422,6 +448,9 @@ class AnomalyExtractor:
                 else self.config.min_support
             )
             mining = self._mine(selected.flows, support)
+            span.set_attribute("selected", selected.selected_flows)
+            span.set_attribute("min_support", support)
+            span.set_attribute("itemsets", len(mining.itemsets))
         ins.extractions.inc()
         ins.itemsets.inc(len(mining.itemsets))
         return ExtractionResult(

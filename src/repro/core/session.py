@@ -172,6 +172,16 @@ class ExtractionSession:
         self.config = extractor.config
         self.interval_seconds = interval_seconds
         self.origin = origin
+        self._tracer = extractor.tracer
+        # The run's root span: parents under the ambient span when one
+        # is active (the fleet's root), else starts a new trace.  Ended
+        # at finish()/close(), re-activated around every feed so the
+        # per-interval trees nest under it.
+        self._span = self._tracer.span(
+            "session.run",
+            mode=mode,
+            pipeline=extractor.instruments.pipeline,
+        )
         self._sink = sink if sink is not None else extractor.store
         # With observability on and a telemetry path configured, tee an
         # owned MetricsSink next to the report sink: one snapshot per
@@ -213,6 +223,7 @@ class ExtractionSession:
                 max_delay_seconds=self.config.max_delay_seconds,
                 max_pending_intervals=self.config.max_pending_intervals,
                 instruments=extractor.instruments,
+                tracer=self._tracer,
             )
             if self.config.window_intervals > 1:
                 self._window_miner = SlidingWindowMiner(
@@ -264,6 +275,11 @@ class ExtractionSession:
         return self._extractor.metrics
 
     @property
+    def tracer(self):
+        """The extractor's span tracer (no-op when tracing is off)."""
+        return self._tracer
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -284,6 +300,7 @@ class ExtractionSession:
         if self._closed:
             return
         self._closed = True
+        self._span.end()
         try:
             if self._metrics_sink is not None:
                 self._metrics_sink.close()
@@ -320,7 +337,9 @@ class ExtractionSession:
                 self._pending.append(chunk)
             return []
         assert self.assembler is not None
-        with time_stage(self._extractor.instruments.stage_binning):
+        with self._span.active(), time_stage(
+            self._extractor.instruments.stage_binning
+        ), self._tracer.span("stage.binning", rows=len(chunk)):
             views = self.assembler.push(chunk)
         return self._process_views(views)
 
@@ -338,7 +357,9 @@ class ExtractionSession:
         if self.mode == "batch":
             return []
         assert self.assembler is not None
-        with time_stage(self._extractor.instruments.stage_binning):
+        with self._span.active(), time_stage(
+            self._extractor.instruments.stage_binning
+        ), self._tracer.span("stage.binning", rows=0):
             views = self.assembler.flush()
         return self._process_views(views)
 
@@ -355,6 +376,7 @@ class ExtractionSession:
         else:
             self.flush()
         self._finished = True
+        self._span.end()
         return self.result()
 
     def _drain_batch(self) -> list[ExtractionResult]:
@@ -389,7 +411,9 @@ class ExtractionSession:
         binning = self._extractor.instruments.stage_binning
         it = iter(views)
         while True:
-            with time_stage(binning) as span:
+            with time_stage(binning) as span, self._tracer.span(
+                "stage.binning"
+            ):
                 view = next(it, None)
                 if view is None:
                     span.cancel()
@@ -461,33 +485,44 @@ class ExtractionSession:
             self._recent.clear()
         results = []
         last_index: int | None = None
-        for view in views:
-            last_index = view.index
-            extraction = self._process_interval(view)
-            if extraction is not None:
-                results.append(extraction)
-                self.extraction_count += 1
-                if self.keep_extractions:
-                    self.extractions.append(extraction)
-                else:
-                    self._recent.append(extraction)
-                # In window mode the extraction describes the whole
-                # mined window, so its report bounds must span it too;
-                # the deque length is the window's current fill, only
-                # known now - record it so report_for can build the
-                # report later.
-                window = 1
-                if self._window_miner is not None:
-                    window = max(1, len(self._window_raw_flows))
-                self._report_state[id(extraction)] = window
-                if self._sink is not None:
-                    # Triage = report construction + sink/store push.
-                    with time_stage(
-                        self._extractor.instruments.stage_triage
-                    ):
-                        self._sink.append(self.report_for(extraction))
-            if not self.keep_reports:
-                self._extractor.detector_bank.clear_reports()
+        with self._span.active():
+            for view in views:
+                last_index = view.index
+                with self._tracer.span(
+                    "session.interval",
+                    interval=view.index,
+                    flows=len(view.flows),
+                ) as interval_span:
+                    extraction = self._process_interval(view)
+                    if extraction is not None:
+                        interval_span.set_attribute(
+                            "itemsets", len(extraction.mining.itemsets)
+                        )
+                        results.append(extraction)
+                        self.extraction_count += 1
+                        if self.keep_extractions:
+                            self.extractions.append(extraction)
+                        else:
+                            self._recent.append(extraction)
+                        # In window mode the extraction describes the
+                        # whole mined window, so its report bounds must
+                        # span it too; the deque length is the window's
+                        # current fill, only known now - record it so
+                        # report_for can build the report later.
+                        window = 1
+                        if self._window_miner is not None:
+                            window = max(1, len(self._window_raw_flows))
+                        self._report_state[id(extraction)] = window
+                        if self._sink is not None:
+                            # Triage = report construction + sink push.
+                            with time_stage(
+                                self._extractor.instruments.stage_triage
+                            ), self._tracer.span("stage.triage"):
+                                self._sink.append(
+                                    self.report_for(extraction)
+                                )
+                    if not self.keep_reports:
+                        self._extractor.detector_bank.clear_reports()
         # Clean intervals leave no report but must still age incidents;
         # both windowing sources emit views in interval order, so the
         # last index seen is the furthest the pipeline processed.
@@ -502,8 +537,11 @@ class ExtractionSession:
         ins = self._extractor.instruments
         ins.intervals.inc()
         ins.flows.inc(len(view.flows))
-        with time_stage(ins.stage_detection):
+        with time_stage(ins.stage_detection), self._tracer.span(
+            "stage.detection", flows=len(view.flows)
+        ) as span:
             report = self._extractor.detector_bank.observe(view.flows)
+            span.set_attribute("alarm", report.alarm)
         metadata = report.metadata()
         self._window_raw_flows.append(len(view.flows))
         if not report.alarm or metadata.is_empty():
@@ -512,7 +550,9 @@ class ExtractionSession:
             self._window_miner.push(FlowTable.empty())
             return None
         ins.alarmed.inc()
-        with time_stage(ins.stage_mining):
+        with time_stage(ins.stage_mining), self._tracer.span(
+            "stage.mining", flows=len(view.flows)
+        ):
             selected = prefilter(
                 view.flows, metadata, self.config.prefilter_mode
             )

@@ -20,6 +20,9 @@ RPR005    lock-discipline      shared ``self._*`` state in lock-carrying
                                classes mutates under ``with self._lock``
 RPR006    api-surface          ``repro.api.__all__`` matches the README
                                and every export resolves
+RPR007    span-catalog         span/event names come from
+                               ``repro.obs.instruments.SPANS`` /
+                               ``EVENTS``
 ========  ===================  ==============================================
 
 Findings are suppressed per line with ``# repro: noqa[RPR001]`` (or a

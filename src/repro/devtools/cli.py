@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based invariant checker for the repro codebase "
-            "(rules RPR001-RPR006)."
+            "(rules RPR001-RPR007)."
         ),
     )
     parser.add_argument(

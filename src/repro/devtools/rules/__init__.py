@@ -8,6 +8,7 @@ from repro.devtools.rules.layering import LayeringRule
 from repro.devtools.rules.locking import LockDisciplineRule
 from repro.devtools.rules.metrics_catalog import MetricCatalogRule
 from repro.devtools.rules.registry_discipline import RegistryDisciplineRule
+from repro.devtools.rules.span_catalog import SpanCatalogRule
 
 #: Every built-in rule class, in code order.
 DEFAULT_RULES = (
@@ -17,6 +18,7 @@ DEFAULT_RULES = (
     LayeringRule,
     LockDisciplineRule,
     ApiSurfaceRule,
+    SpanCatalogRule,
 )
 
 
@@ -33,5 +35,6 @@ __all__ = [
     "LockDisciplineRule",
     "MetricCatalogRule",
     "RegistryDisciplineRule",
+    "SpanCatalogRule",
     "rules_by_code",
 ]

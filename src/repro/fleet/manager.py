@@ -43,6 +43,7 @@ from repro.flows.table import FlowTable
 from repro.incidents.correlate import Incident
 from repro.incidents.rank import RankedIncident, resolve_profile
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, time_stage
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["FleetIncident", "FleetManager"]
 
@@ -118,6 +119,13 @@ class FleetManager:
             the whole fleet.  Omitted, a registry is built when any
             pipeline config sets ``obs.enabled``, else the fleet runs
             against the no-op registry.
+        tracer: one :class:`~repro.obs.trace.Tracer` shared by every
+            pipeline; the fleet opens a ``fleet.run`` root span and
+            every pipeline's ``session.run`` tree nests under it, so
+            one export shows the whole fleet's trace.  Omitted, a
+            tracer is built when any pipeline config sets
+            ``obs.trace_path``, else the no-op
+            :data:`~repro.obs.trace.NULL_TRACER` is used.
 
     The fleet builds ONE shared worker pool: the maximum ``jobs``
     across pipeline configs, on the backend/partitions of the first
@@ -140,6 +148,7 @@ class FleetManager:
         store_dir: str | os.PathLike[str] | None = None,
         keep_reports: bool = False,
         metrics: MetricsRegistry | None = None,
+        tracer=None,
     ):
         if not pipelines:
             raise ConfigError("a fleet needs at least one pipeline")
@@ -197,6 +206,14 @@ class FleetManager:
                 else NULL_REGISTRY
             )
         self._metrics = metrics
+        if tracer is None:
+            traced = [
+                c for c in resolved.values()
+                if c.obs.trace_path is not None
+            ]
+            tracer = Tracer() if traced else NULL_TRACER
+        self._tracer = tracer
+        self._span = tracer.span("fleet.run", pipelines=len(self._names))
         self._m_fed = metrics.counter(
             "repro_fleet_fed_rows_total",
             "Flow rows fed into the fleet (after router validation).",
@@ -233,23 +250,27 @@ class FleetManager:
                     partitions=parallel[0].partitions,
                     metrics=metrics,
                 )
-            for name, config in resolved.items():
-                extractor = AnomalyExtractor(
-                    config,
-                    seed=seed,
-                    engine=self._engine if config.jobs > 1 else None,
-                    metrics=metrics,
-                    pipeline=name,
-                )
-                self._extractors[name] = extractor
-                self._sessions[name] = ExtractionSession(
-                    extractor,
-                    mode=mode,
-                    interval_seconds=interval_seconds,
-                    origin=origin,
-                    keep_reports=keep_reports,
-                    owns_extractor=True,
-                )
+            # Build pipelines under the fleet root span so every
+            # session's own root parents beneath it in the trace.
+            with self._span.active():
+                for name, config in resolved.items():
+                    extractor = AnomalyExtractor(
+                        config,
+                        seed=seed,
+                        engine=self._engine if config.jobs > 1 else None,
+                        metrics=metrics,
+                        pipeline=name,
+                        tracer=tracer,
+                    )
+                    self._extractors[name] = extractor
+                    self._sessions[name] = ExtractionSession(
+                        extractor,
+                        mode=mode,
+                        interval_seconds=interval_seconds,
+                        origin=origin,
+                        keep_reports=keep_reports,
+                        owns_extractor=True,
+                    )
         except BaseException:
             # The k-th pipeline failed to build (store locked, bad
             # knob): the k-1 already-opened stores and the shared pool
@@ -276,6 +297,12 @@ class FleetManager:
         """The fleet-wide metrics registry (no-op when observability
         is off everywhere)."""
         return self._metrics
+
+    @property
+    def tracer(self):
+        """The fleet-wide span tracer (no-op when tracing is off
+        everywhere)."""
+        return self._tracer
 
     def session(self, pipeline: str) -> ExtractionSession:
         """The named pipeline's session."""
@@ -395,7 +422,9 @@ class FleetManager:
             top: keep only the k best-ranked fleet incidents.
         """
         self._check_open("query incidents")
-        with time_stage(self._m_ranking):
+        with self._span.active(), time_stage(
+            self._m_ranking
+        ), self._tracer.span("fleet.rank", profile=profile):
             return self._ranked_incidents(profile, jaccard, quiet_gap, top)
 
     def _ranked_incidents(
@@ -473,6 +502,7 @@ class FleetManager:
         if self._closed:
             return
         self._closed = True
+        self._span.end()
         first: BaseException | None = None
         try:
             for session in self._sessions.values():

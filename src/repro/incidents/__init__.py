@@ -19,10 +19,15 @@ this package adds the operator-facing layer on top of the batch
   persistence, peak support, and an active/quiet/closed lifecycle;
 * :func:`~repro.incidents.rank.rank_incidents` - HURRA-style scoring
   (support mass, persistence, triage, detector votes) under a pluggable
-  weight profile.
+  weight profile;
+* :func:`~repro.incidents.provenance.explain_incident` - joins one
+  ranked incident back to its contributing intervals (per-interval
+  key support, per-feature detector votes, extraction context) for
+  the ``incidents <db> explain <id>`` narrative.
 
 CLI: ``repro-extract extract/stream --store PATH`` to persist,
-``repro-extract incidents PATH`` to query.
+``repro-extract incidents PATH`` to query, ``repro-extract incidents
+PATH explain ID`` to explain one ranked incident end to end.
 """
 
 from repro.incidents.correlate import (
@@ -31,6 +36,13 @@ from repro.incidents.correlate import (
     IncidentCorrelator,
     correlate,
     jaccard_items,
+)
+from repro.incidents.provenance import (
+    IncidentProvenance,
+    IntervalContribution,
+    explain_incident,
+    render_vote_breakdown,
+    vote_breakdown,
 )
 from repro.incidents.rank import (
     PROFILES,
@@ -52,8 +64,13 @@ __all__ = [
     "INCIDENT_STATES",
     "Incident",
     "IncidentCorrelator",
+    "IncidentProvenance",
+    "IntervalContribution",
     "correlate",
+    "explain_incident",
     "jaccard_items",
+    "render_vote_breakdown",
+    "vote_breakdown",
     "PROFILES",
     "RankedIncident",
     "WeightProfile",

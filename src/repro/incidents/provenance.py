@@ -1,0 +1,197 @@
+"""End-to-end provenance of one ranked incident.
+
+A ranked incident is a summary - one score, one item-set key, one
+interval span.  When an operator asks *why* it ranked where it did,
+the answer lives scattered across the store: which intervals
+contributed, what the key item-set's support was in each, which
+feature detectors voted the interval anomalous, and how the extraction
+was configured when it fired.  :func:`explain_incident` joins all of
+that back together into an :class:`IncidentProvenance`, and the
+renderer turns it into the HURRA-style narrative behind
+``repro-extract incidents <db> explain <id>``.
+
+Everything here is a read-only join over :class:`IncidentStore`
+queries (:meth:`~repro.incidents.store.IncidentStore.itemset_history`
+bounded to the incident's own first/last-seen span, plus
+:meth:`~repro.incidents.store.IncidentStore.report_at` per
+contributing interval) - no new state is persisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.mining.items import format_item
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.incidents.rank import RankedIncident
+    from repro.incidents.store import IncidentStore
+
+
+@dataclass(frozen=True)
+class IntervalContribution:
+    """One interval's part in an incident: the key item-set's support
+    there, its triage hint, and the detector/extraction context of the
+    interval's report."""
+
+    interval: int
+    start: float
+    end: float
+    #: Support of the incident's key item-set in this interval.
+    support: int
+    hint: str
+    #: Feature detectors that alarmed this interval (the votes).
+    alarmed_features: tuple[str, ...]
+    input_flows: int
+    selected_flows: int
+    algorithm: str
+    min_support: int
+
+    @property
+    def votes(self) -> int:
+        return len(self.alarmed_features)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "start": self.start,
+            "end": self.end,
+            "support": self.support,
+            "hint": self.hint,
+            "alarmed_features": list(self.alarmed_features),
+            "votes": self.votes,
+            "input_flows": self.input_flows,
+            "selected_flows": self.selected_flows,
+            "algorithm": self.algorithm,
+            "min_support": self.min_support,
+        }
+
+
+@dataclass(frozen=True)
+class IncidentProvenance:
+    """A ranked incident joined back to everything that produced it."""
+
+    entry: "RankedIncident"
+    intervals: tuple[IntervalContribution, ...]
+
+    def vote_breakdown(self) -> dict[str, int]:
+        """Per-feature detector votes: in how many contributing
+        intervals each feature's detector alarmed."""
+        return vote_breakdown(self.intervals)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = self.entry.to_dict()
+        data["provenance"] = [c.to_dict() for c in self.intervals]
+        data["vote_breakdown"] = self.vote_breakdown()
+        return data
+
+    def render(self) -> str:
+        """The operator narrative: what it is, why it scored, which
+        detectors voted, and every contributing interval."""
+        inc = self.entry.incident
+        lines = [self.entry.render()]
+        lines.append(
+            f"  item-set key: {{{inc.describe_key()}}}"
+        )
+        seen = inc.intervals_seen
+        span = inc.span_intervals
+        lines.append(
+            f"  lifetime: intervals {inc.first_seen}..{inc.last_seen} "
+            f"(seen in {seen} of {span} spanned), state {inc.state}"
+        )
+        lines.append("  score components:")
+        for name, value in sorted(self.entry.components.items()):
+            lines.append(f"    {name}: {value:.3f}")
+        lines.extend(render_vote_breakdown(
+            self.vote_breakdown(), len(self.intervals)
+        ))
+        lines.append("  contributing intervals:")
+        for c in self.intervals:
+            voters = ", ".join(c.alarmed_features) or "none"
+            lines.append(
+                f"    interval {c.interval} [{c.start:g}..{c.end:g}]: "
+                f"support {c.support} ({c.hint}); "
+                f"{c.votes} detector votes ({voters}); "
+                f"{c.selected_flows}/{c.input_flows} flows selected; "
+                f"{c.algorithm} @ min-support {c.min_support}"
+            )
+        hints = ", ".join(
+            f"{hint} x{count}" for hint, count in sorted(inc.hints.items())
+        )
+        lines.append(f"  triage history: {hints or 'none'}")
+        if len(inc.items) > len(inc.key):
+            extra = sorted(set(inc.items) - set(inc.key))
+            lines.append(
+                "  absorbed items beyond the key: "
+                + ", ".join(format_item(i) for i in extra)
+            )
+        return "\n".join(lines)
+
+
+def vote_breakdown(
+    intervals: tuple[IntervalContribution, ...] | list[IntervalContribution],
+) -> dict[str, int]:
+    """Fold per-interval alarmed features into feature -> vote counts,
+    ordered by (votes desc, name) for stable rendering."""
+    counts: dict[str, int] = {}
+    for contribution in intervals:
+        for feature in contribution.alarmed_features:
+            counts[feature] = counts.get(feature, 0) + 1
+    return dict(
+        sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+
+
+def render_vote_breakdown(
+    breakdown: dict[str, int], total: int
+) -> list[str]:
+    """Text lines for a per-feature vote breakdown (shared by the
+    ``--show`` detail view and ``explain``)."""
+    lines = ["  detector votes by feature:"]
+    if not breakdown:
+        lines.append("    (no recorded votes)")
+        return lines
+    for feature, votes in breakdown.items():
+        lines.append(
+            f"    {feature}: alarmed in {votes}/{total} "
+            "contributing intervals"
+        )
+    return lines
+
+
+def explain_incident(
+    store: "IncidentStore", entry: "RankedIncident"
+) -> IncidentProvenance:
+    """Join one ranked incident back to its contributing intervals.
+
+    The history is bounded to the incident's own first/last-seen span
+    (a closed predecessor may share the item-set key; its activity is
+    not this incident's).  Intervals in the history always have a
+    stored report - the item-set row and the report row are written in
+    the same transaction - so :meth:`report_at` cannot miss.
+    """
+    incident = entry.incident
+    history = store.itemset_history(
+        incident.key,
+        since=incident.first_seen,
+        until=incident.last_seen,
+    )
+    contributions = []
+    for interval, support, hint in history:
+        report = store.report_at(interval)
+        contributions.append(IntervalContribution(
+            interval=interval,
+            start=report.start,
+            end=report.end,
+            support=support,
+            hint=hint,
+            alarmed_features=report.alarmed_features,
+            input_flows=report.input_flows,
+            selected_flows=report.selected_flows,
+            algorithm=report.algorithm,
+            min_support=report.min_support,
+        ))
+    return IncidentProvenance(
+        entry=entry, intervals=tuple(contributions)
+    )

@@ -14,6 +14,11 @@ counters; this package is that groundwork, dependency-free:
   catalog, pre-bound for the hot paths;
 * :mod:`repro.obs.sink` - :class:`~repro.obs.sink.MetricsSink`, teeing
   one snapshot per processed interval to JSONL;
+* :mod:`repro.obs.trace` - :class:`~repro.obs.trace.Tracer` /
+  :class:`~repro.obs.trace.Span` span trees with the
+  :data:`~repro.obs.trace.NULL_TRACER` no-op, carrier-based
+  cross-process propagation, and JSONL / Chrome trace-event / text
+  exporters;
 * :mod:`repro.obs.log` - stdlib loggers under the ``repro.*``
   namespace with ``key=value`` extras.
 
@@ -39,10 +44,28 @@ from repro.obs.metrics import (
     time_stage,
 )
 from repro.obs.sink import MetricsSink
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    current_span,
+    inject,
+    render_trace,
+    render_trace_chrome,
+    render_trace_jsonl,
+    render_trace_text,
+    worker_span,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
     "STAGES",
     "Counter",
     "Gauge",
@@ -51,11 +74,23 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSink",
     "NullRegistry",
+    "NullSpan",
+    "NullTracer",
     "PipelineInstruments",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "current_span",
     "get_logger",
+    "inject",
     "kv",
     "render_json",
     "render_prometheus",
+    "render_trace",
+    "render_trace_chrome",
+    "render_trace_jsonl",
+    "render_trace_text",
     "snapshot",
     "time_stage",
+    "worker_span",
 ]

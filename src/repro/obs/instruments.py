@@ -149,6 +149,56 @@ CATALOG: dict[str, InstrumentSpec] = {
 }
 
 
+#: Every span name the tracer emits, keyed by name.  Adding a span
+#: means adding it here first; RPR007 rejects uncatalogued names, so
+#: the trace vocabulary stays as closed as the metric surface.
+SPANS: dict[str, str] = {
+    "session.run": (
+        "One extraction session, construction to close (the root of a "
+        "solo run's trace; nests under fleet.run in a fleet)."
+    ),
+    "session.interval": (
+        "One completed measurement interval through detection, mining "
+        "and triage."
+    ),
+    "fleet.run": (
+        "One FleetManager lifetime; every pipeline's session.run "
+        "parents under it."
+    ),
+    "fleet.rank": "One merged fleet-wide incident ranking query.",
+    "mining.shard": (
+        "One SON partition processed by a worker (thread or process); "
+        "parents under the interval that dispatched it via the "
+        "carrier."
+    ),
+}
+SPANS.update(
+    {
+        f"stage.{stage}": (
+            f"The {stage} stage of the pipeline (same vocabulary as "
+            "the repro_stage_seconds histogram)."
+        )
+        for stage in STAGES
+    }
+)
+
+#: Every span-event name, keyed by name (RPR007, like SPANS).
+EVENTS: dict[str, str] = {
+    "assembler.watermark": (
+        "The assembler's event-time watermark advanced (attribute: "
+        "the new watermark)."
+    ),
+    "assembler.late_drop": (
+        "Rows arrived too late and were dropped (attributes: reason "
+        "pre_origin|closed_interval, row count)."
+    ),
+    "assembler.backpressure": (
+        "An interval was force-emitted because max_pending_intervals "
+        "was exceeded."
+    ),
+}
+
+
 def catalogued(registry, name: str):
     """Build (or fetch) the catalogued instrument family ``name``.
 

@@ -33,6 +33,7 @@ from repro.mining.partition import (
 )
 from repro.mining.result import MiningResult
 from repro.mining.transactions import TransactionSet
+from repro.obs.trace import current_span, inject, worker_span
 from repro.parallel.executor import Executor, SerialExecutor
 
 #: The built-in exact miners for the per-shard candidate pass.  Kept as
@@ -68,8 +69,8 @@ def _resolve_local_miner(name: str):
 
 
 def _mine_shard(
-    task: tuple[TransactionSet, int, str],
-) -> list[tuple[int, ...]]:
+    task: tuple[TransactionSet, int, str, dict | None, int],
+) -> tuple[list[tuple[int, ...]], dict | None]:
     """Candidate-pass worker: locally frequent item-sets of one shard.
 
     Module-level with a single tuple argument so the process backend can
@@ -77,20 +78,40 @@ def _mine_shard(
     and entry-point miners resolve in any process, while miners
     registered at runtime require the serial or thread backend (the
     registration lives only in the registering process).
+
+    The trace carrier (``None`` when tracing is off) crosses the
+    process boundary inside the task tuple; the finished span record
+    travels back with the result for the caller to adopt - worker
+    processes cannot touch the parent's tracer.
     """
-    shard, shard_support, local_miner = task
-    result = _resolve_local_miner(local_miner)(
-        shard, shard_support, maximal_only=False
-    )
-    return list(result.all_frequent)
+    shard, shard_support, local_miner, carrier, index = task
+    with worker_span(
+        "mining.shard",
+        carrier,
+        phase="mine",
+        shard=index,
+        transactions=len(shard),
+    ) as record:
+        result = _resolve_local_miner(local_miner)(
+            shard, shard_support, maximal_only=False
+        )
+    return list(result.all_frequent), record
 
 
 def _count_shard(
-    task: tuple[TransactionSet, list[tuple[int, ...]]],
-) -> dict[tuple[int, ...], int]:
+    task: tuple[TransactionSet, list[tuple[int, ...]], dict | None, int],
+) -> tuple[dict[tuple[int, ...], int], dict | None]:
     """Counting-pass worker: exact candidate supports on one shard."""
-    shard, candidates = task
-    return count_candidates(shard, candidates)
+    shard, candidates, carrier, index = task
+    with worker_span(
+        "mining.shard",
+        carrier,
+        phase="count",
+        shard=index,
+        candidates=len(candidates),
+    ) as record:
+        counts = count_candidates(shard, candidates)
+    return counts, record
 
 
 def son(
@@ -133,18 +154,34 @@ def son(
         if partitions is None:
             partitions = max(1, executor.jobs)
         shards = partition_transactions(transactions, partitions)
-        candidate_lists = executor.map(
+        # Capture the ambient span once; the carrier rides in every
+        # task tuple so worker-side shard spans parent under the
+        # interval that dispatched them, across any backend.
+        carrier = inject()
+        ambient = current_span()
+        mined = executor.map(
             _mine_shard,
             [
                 (shard, local_min_support(min_support, len(shard), n),
-                 local_miner)
-                for shard in shards
+                 local_miner, carrier, i)
+                for i, shard in enumerate(shards)
             ],
         )
+        candidate_lists = [payload for payload, _ in mined]
         candidates = merge_candidates(candidate_lists)
-        shard_counts = executor.map(
-            _count_shard, [(shard, candidates) for shard in shards]
+        counted = executor.map(
+            _count_shard,
+            [
+                (shard, candidates, carrier, i)
+                for i, shard in enumerate(shards)
+            ],
         )
+        shard_counts = [payload for payload, _ in counted]
+        if ambient is not None:
+            ambient.tracer.adopt(
+                [record for _, record in mined]
+                + [record for _, record in counted]
+            )
         return merge_results(
             shard_counts,
             n_transactions=n,

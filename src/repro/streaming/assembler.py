@@ -40,6 +40,7 @@ from repro.flows.stream import (
 from repro.flows.table import FlowTable
 from repro.obs.instruments import PipelineInstruments
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
 
 
 class IntervalAssembler:
@@ -69,6 +70,11 @@ class IntervalAssembler:
             the assembler keeps its accepted/late-drop/backpressure
             counters and pending/watermark gauges current.  Defaults to
             a no-op bundle.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; watermark
+            advances, late drops, and backpressure force-emits are
+            recorded as events on the ambient span (the session's
+            ``stage.binning``).  Defaults to the no-op
+            :data:`~repro.obs.trace.NULL_TRACER`.
     """
 
     #: Default :attr:`max_gap_intervals`: ~2.8 years of 900 s intervals,
@@ -84,6 +90,7 @@ class IntervalAssembler:
         max_pending_intervals: int | None = None,
         max_gap_intervals: int | None = DEFAULT_MAX_GAP_INTERVALS,
         instruments: PipelineInstruments | None = None,
+        tracer=None,
     ):
         if not math.isfinite(interval_seconds) or interval_seconds <= 0:
             raise ConfigError(
@@ -115,6 +122,7 @@ class IntervalAssembler:
             if instruments is not None
             else PipelineInstruments(NULL_REGISTRY)
         )
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._pending: dict[int, list[FlowTable]] = {}
         self._next_emit = 0
         self._highest_seen = -1
@@ -218,16 +226,30 @@ class IntervalAssembler:
                 if k < 0:
                     self.late_dropped_pre_origin += len(rows)
                     self._instruments.late_pre_origin.inc(len(rows))
+                    self._tracer.event(
+                        "assembler.late_drop",
+                        reason="pre_origin",
+                        rows=len(rows),
+                    )
                 else:
                     self.late_dropped_closed += len(rows)
                     self._instruments.late_closed.inc(len(rows))
+                    self._tracer.event(
+                        "assembler.late_drop",
+                        reason="closed_interval",
+                        rows=len(rows),
+                        interval=k,
+                    )
                 continue
             self._pending.setdefault(k, []).append(rows)
             self.flows_seen += len(rows)
             self._instruments.assembler_accepted.inc(len(rows))
             if k > self._highest_seen:
                 self._highest_seen = k
-        self._watermark = max(self._watermark, float(timestamps.max()))
+        advanced = max(self._watermark, float(timestamps.max()))
+        if advanced > self._watermark:
+            self._watermark = advanced
+            self._tracer.event("assembler.watermark", watermark=advanced)
         return self._drain()
 
     def flush(self) -> list[IntervalView]:
@@ -256,6 +278,9 @@ class IntervalAssembler:
             if forced and not due and not force_all:
                 self.backpressure_emits += 1
                 self._instruments.backpressure.inc()
+                self._tracer.event(
+                    "assembler.backpressure", interval=self._next_emit
+                )
             completed.append(self._emit_next())
         self._update_gauges()
         return completed

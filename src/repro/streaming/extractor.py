@@ -90,6 +90,10 @@ class StreamingExtractor:
             appear, and read totals from
             :attr:`StreamExtraction.extraction_count`.  Together the
             two knobs make day-scale noisy pipes run truly flat.
+        tracer: optional :class:`~repro.obs.trace.Tracer` for the
+            owned extractor (ignored when ``extractor`` is given - its
+            tracer wins); the session records its per-interval span
+            tree into it.
     """
 
     def __init__(
@@ -103,13 +107,15 @@ class StreamingExtractor:
         sink: object | None = None,
         metrics=None,
         pipeline: str = "default",
+        tracer=None,
     ):
         self._owns_extractor = extractor is None
         self._extractor = (
             extractor
             if extractor is not None
             else AnomalyExtractor(
-                config, seed=seed, metrics=metrics, pipeline=pipeline
+                config, seed=seed, metrics=metrics, pipeline=pipeline,
+                tracer=tracer,
             )
         )
         self.config = self._extractor.config
@@ -146,6 +152,11 @@ class StreamingExtractor:
         """The extractor's metrics registry (no-op when observability
         is off)."""
         return self._extractor.metrics
+
+    @property
+    def tracer(self):
+        """The extractor's span tracer (no-op when tracing is off)."""
+        return self._extractor.tracer
 
     @property
     def assembler(self) -> IntervalAssembler:

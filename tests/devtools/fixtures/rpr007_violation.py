@@ -1,0 +1,12 @@
+"""Fixture: uncatalogued span/event names and a dynamic name."""
+
+
+def instrument(tracer, span, carrier, pick_name):
+    from repro.obs.trace import worker_span
+
+    bogus = tracer.span("stage.made_up", flows=1)
+    dynamic = tracer.span(pick_name())
+    tracer.event("assembler.bogus_event", rows=3)
+    span.add_event("not.catalogued")
+    record = worker_span("shard.wrong", carrier)
+    return bogus, dynamic, record

@@ -97,4 +97,5 @@ class TestResultShape:
         result = lint_paths([str(tmp_path)])
         assert result.rules == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         ]

@@ -30,6 +30,7 @@ FLAT_CASES = [
     ("RPR002", "rpr002", 5),
     ("RPR003", "rpr003", 2),
     ("RPR005", "rpr005", 2),
+    ("RPR007", "rpr007", 5),
 ]
 
 
@@ -98,6 +99,20 @@ class TestRuleDetails:
         assert any("Accumulator.add" in m and "_total" in m for m in messages)
         assert any(
             "Accumulator.reset" in m and "_history" in m for m in messages
+        )
+
+    def test_rpr007_distinguishes_failure_modes(self):
+        path = os.path.join(FIXTURES, "rpr007_violation.py")
+        messages = [
+            f.message for f in lint_fixture(path, "RPR007").findings
+        ]
+        assert any(
+            "'stage.made_up' is not in the catalog" in m for m in messages
+        )
+        assert any("needs a literal catalogued name" in m for m in messages)
+        assert any("instruments.EVENTS" in m for m in messages)
+        assert any(
+            "worker_span() name 'shard.wrong'" in m for m in messages
         )
 
 

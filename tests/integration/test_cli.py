@@ -403,6 +403,46 @@ class TestIncidentCommands:
         ) == 2
         assert "unknown weight profile" in capsys.readouterr().err
 
+    def test_incidents_show_includes_vote_breakdown(self, stored, capsys):
+        assert main(["incidents", stored, "--show", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "detector votes by feature:" in out
+        assert "contributing intervals" in out
+
+    def test_incidents_explain_narrative(self, stored, capsys):
+        assert main(["incidents", stored, "explain", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "score components:" in out
+        assert "detector votes by feature:" in out
+        assert "contributing intervals:" in out
+        assert "min-support 300" in out
+
+    def test_incidents_explain_json(self, stored, capsys):
+        assert main(
+            ["incidents", stored, "explain", "1", "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["incident_id"] == 1
+        assert doc["provenance"]
+        contribution = doc["provenance"][0]
+        assert {
+            "interval", "support", "hint", "alarmed_features", "votes",
+            "input_flows", "selected_flows", "algorithm", "min_support",
+        } <= set(contribution)
+        assert doc["vote_breakdown"]
+        # Votes in the breakdown sum to the per-interval vote counts.
+        assert sum(doc["vote_breakdown"].values()) == sum(
+            c["votes"] for c in doc["provenance"]
+        )
+
+    def test_incidents_explain_unknown_id_exits_2(self, stored, capsys):
+        assert main(["incidents", stored, "explain", "9999"]) == 2
+        assert "no incident #9999" in capsys.readouterr().err
+
+    def test_incidents_explain_without_id_exits_2(self, stored, capsys):
+        assert main(["incidents", stored, "explain"]) == 2
+        assert "explain needs an incident id" in capsys.readouterr().err
+
     def test_stream_store_matches_extract_store(
         self, stored, tmp_path, ddos_trace
     ):
@@ -842,3 +882,127 @@ class TestFleetCommand:
             ["--seed", "1", "fleet", csv_trace, "--config", str(config)]
         ) == 0
         assert seen == {"east": True, "west": False}
+
+
+class TestTraceFlag:
+    """--trace/--trace-format: span export without output drift."""
+
+    @pytest.fixture(scope="class")
+    def csv_trace(self, tmp_path_factory, ddos_trace):
+        from repro.flows import write_csv
+
+        path = tmp_path_factory.mktemp("trace-cli") / "trace.csv"
+        write_csv(ddos_trace.flows, str(path))
+        return str(path)
+
+    _ARGS = [
+        "--bins", "256", "--training", "16", "--min-support", "300",
+    ]
+
+    def test_stream_trace_writes_jsonl(self, csv_trace, tmp_path, capsys):
+        out = tmp_path / "spans.jsonl"
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._ARGS,
+             "--trace", str(out)]
+        ) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert lines
+        docs = [json.loads(line) for line in lines]
+        for doc in docs:
+            assert {
+                "trace_id", "span_id", "parent_id", "name",
+                "start", "end", "attributes", "events",
+            } <= set(doc)
+        root = docs[0]
+        assert root["name"] == "session.run"
+        # write_trace runs after the session closed: the root is ended.
+        assert root["end"] is not None
+        names = {doc["name"] for doc in docs}
+        assert {"stage.binning", "session.interval",
+                "stage.detection", "stage.mining"} <= names
+
+    def test_stream_output_identical_with_and_without_trace(
+        self, csv_trace, tmp_path, capsys
+    ):
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._ARGS]
+        ) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._ARGS,
+             "--trace", str(tmp_path / "spans.jsonl")]
+        ) == 0
+        traced = capsys.readouterr().out
+        assert "interval 24" in plain
+        assert traced == plain
+
+    def test_extract_trace_chrome_format(self, csv_trace, tmp_path, capsys):
+        out = tmp_path / "spans.chrome.json"
+        assert main(
+            ["--seed", "1", "extract", csv_trace, *self._ARGS,
+             "--trace", str(out), "--trace-format", "chrome"]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(
+            e["name"] == "session.run" for e in doc["traceEvents"]
+        )
+
+    def test_trace_to_stdout(self, csv_trace, capsys):
+        assert main(
+            ["--seed", "1", "stream", csv_trace, *self._ARGS,
+             "--format", "json", "--trace", "-", "--trace-format", "text"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "session.run" in out
+        assert "stage.detection" in out
+
+    def test_fleet_trace_nests_sessions(self, csv_trace, tmp_path, capsys):
+        out = tmp_path / "fleet-spans.jsonl"
+        assert main(
+            ["--seed", "1", "fleet", csv_trace, *self._ARGS,
+             "--pipelines", "2", "--route", "dst_ip%2",
+             "--trace", str(out)]
+        ) == 0
+        capsys.readouterr()
+        docs = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        roots = [d for d in docs if d["name"] == "fleet.run"]
+        assert len(roots) == 1
+        sessions = [d for d in docs if d["name"] == "session.run"]
+        assert len(sessions) == 2
+        assert all(
+            d["parent_id"] == roots[0]["span_id"] for d in sessions
+        )
+        assert any(d["name"] == "fleet.rank" for d in docs)
+
+    def test_config_trace_path_used_without_flag(
+        self, csv_trace, tmp_path, capsys
+    ):
+        out = tmp_path / "config-spans.txt"
+        config = tmp_path / "run.toml"
+        config.write_text(
+            "[detector]\nbins = 256\ntraining_intervals = 16\n"
+            "[mining]\nmin_support = 300\n"
+            f"[obs]\ntrace_path = '{out}'\ntrace_format = 'text'\n"
+        )
+        assert main(
+            ["--seed", "1", "stream", csv_trace, "--config", str(config)]
+        ) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert text.startswith("trace ")
+        assert "session.run" in text
+
+    def test_bad_trace_format_in_config_rejected(
+        self, csv_trace, tmp_path, capsys
+    ):
+        config = tmp_path / "bad.toml"
+        config.write_text("[obs]\ntrace_format = 'otlp'\n")
+        assert main(
+            ["stream", csv_trace, "--config", str(config)]
+        ) == 2
+        assert "trace_format" in capsys.readouterr().err

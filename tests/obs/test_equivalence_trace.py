@@ -1,0 +1,194 @@
+"""Tracing must be free: spans on vs off is byte-identical output.
+
+The NULL_TRACER discipline mirrors the metrics one - instrumented code
+never branches on whether tracing is enabled, so enabling a tracer may
+never change what the pipeline extracts, in batch, stream, or fleet
+mode.  Plus the cross-process contract: mining shards record worker
+spans that the parent adopts under the right trace.
+"""
+
+import numpy as np
+
+from repro.core.config import ExtractionConfig
+from repro.core.pipeline import AnomalyExtractor
+from repro.detection.detector import DetectorConfig
+from repro.fleet.manager import FleetManager
+from repro.mining.transactions import TransactionSet
+from repro.obs.trace import Tracer
+from repro.parallel.executor import get_executor
+from repro.parallel.son import son
+
+CHUNK_ROWS = 517
+
+
+def _config(**overrides):
+    return ExtractionConfig(
+        detector=DetectorConfig(
+            clones=3, bins=256, vote_threshold=3, training_intervals=16
+        ),
+        min_support=300,
+        **overrides,
+    )
+
+
+def _chunked(table, rows):
+    for lo in range(0, len(table), rows):
+        yield table.select(np.arange(lo, min(lo + rows, len(table))))
+
+
+def _rendered(extractions):
+    return "\n\n".join(e.render() for e in extractions)
+
+
+class TestTraceOnVsOff:
+    def test_batch_output_byte_identical(self, ddos_trace):
+        def run(tracer):
+            with AnomalyExtractor(
+                _config(), seed=1, tracer=tracer
+            ) as extractor:
+                return extractor.run_trace(
+                    ddos_trace.flows, ddos_trace.interval_seconds
+                )
+
+        off = run(None)
+        tracer = Tracer()
+        on = run(tracer)
+        assert off.extractions  # the comparison is not vacuous
+        assert _rendered(on.extractions) == _rendered(off.extractions)
+        assert on.flagged_intervals == off.flagged_intervals
+        assert tracer.spans  # and the traced run really recorded
+
+    def test_stream_output_byte_identical(self, ddos_trace):
+        def run(tracer):
+            with AnomalyExtractor(
+                _config(), seed=1, tracer=tracer
+            ) as extractor:
+                return extractor.run_stream(
+                    _chunked(ddos_trace.flows, CHUNK_ROWS),
+                    ddos_trace.interval_seconds,
+                )
+
+        off = run(None)
+        on = run(Tracer())
+        assert off.extractions
+        assert _rendered(on.extractions) == _rendered(off.extractions)
+        assert on.late_dropped == off.late_dropped
+
+    def test_reports_byte_identical_via_json(self, ddos_trace):
+        def reports(tracer):
+            collected = []
+            with AnomalyExtractor(
+                _config(), seed=1, tracer=tracer
+            ) as extractor:
+                extractor.run_trace(
+                    ddos_trace.flows,
+                    ddos_trace.interval_seconds,
+                    sink=collected,
+                )
+            return [r.to_json() for r in collected]
+
+        assert reports(Tracer()) == reports(None)
+
+    def test_fleet_incidents_byte_identical(self, ddos_trace):
+        def run(tracer):
+            with FleetManager(
+                {"linkA": _config(), "linkB": _config()},
+                route="dst_ip",
+                interval_seconds=ddos_trace.interval_seconds,
+                seed=1,
+                tracer=tracer,
+            ) as fleet:
+                for chunk in _chunked(ddos_trace.flows, CHUNK_ROWS):
+                    fleet.feed(chunk)
+                fleet.finish()
+                return [i.to_dict() for i in fleet.incidents()]
+
+        off = run(None)
+        tracer = Tracer()
+        on = run(tracer)
+        assert off  # incidents found either way
+        assert on == off
+        names = [s.name for s in tracer.spans]
+        assert names.count("session.run") == 2  # one per pipeline
+        assert "fleet.run" in names and "fleet.rank" in names
+
+    def test_trace_path_config_does_not_change_output(self, ddos_trace):
+        with AnomalyExtractor(
+            _config(obs={"trace_path": "unused.jsonl"}), seed=1
+        ) as extractor:
+            on = extractor.run_trace(
+                ddos_trace.flows, ddos_trace.interval_seconds
+            )
+            assert extractor.tracer.enabled
+        with AnomalyExtractor(_config(), seed=1) as extractor:
+            off = extractor.run_trace(
+                ddos_trace.flows, ddos_trace.interval_seconds
+            )
+            assert not extractor.tracer.enabled
+        assert _rendered(on.extractions) == _rendered(off.extractions)
+
+
+class TestFleetTraceTree:
+    def test_session_roots_nest_under_fleet_run(self, ddos_trace):
+        tracer = Tracer()
+        with FleetManager(
+            {"linkA": _config(), "linkB": _config()},
+            route="dst_ip",
+            interval_seconds=ddos_trace.interval_seconds,
+            seed=1,
+            tracer=tracer,
+        ) as fleet:
+            for chunk in _chunked(ddos_trace.flows, CHUNK_ROWS):
+                fleet.feed(chunk)
+            fleet.finish()
+            fleet.incidents()
+        spans = tracer.spans
+        fleet_root = next(s for s in spans if s.name == "fleet.run")
+        sessions = [s for s in spans if s.name == "session.run"]
+        ranks = [s for s in spans if s.name == "fleet.rank"]
+        assert all(s.parent_id == fleet_root.span_id for s in sessions)
+        assert all(s.trace_id == fleet_root.trace_id for s in spans)
+        assert all(r.parent_id == fleet_root.span_id for r in ranks)
+        # Interval spans nest under their own pipeline's session root.
+        session_ids = {s.span_id for s in sessions}
+        intervals = [s for s in spans if s.name == "session.interval"]
+        assert intervals
+        assert all(s.parent_id in session_ids for s in intervals)
+
+
+class TestCrossProcessPropagation:
+    def test_mining_shards_adopt_under_ambient_span(self, table2_small):
+        transactions = TransactionSet.from_flows(table2_small.flows)
+        tracer = Tracer()
+        with get_executor("process", jobs=2) as executor:
+            with tracer.span("session.run") as root:
+                traced = son(
+                    transactions,
+                    table2_small.min_support,
+                    partitions=3,
+                    executor=executor,
+                )
+            untraced = son(
+                transactions,
+                table2_small.min_support,
+                partitions=3,
+                executor=executor,
+            )
+        # Tracing never changes the mining result.
+        assert traced.all_frequent == untraced.all_frequent
+        shards = [s for s in tracer.spans if s.name == "mining.shard"]
+        # Phase 1 (mine) + phase 2 (count), one record per shard each.
+        assert len(shards) == 6
+        assert {s.attributes["phase"] for s in shards} == {"mine", "count"}
+        assert all(s.trace_id == root.trace_id for s in shards)
+        assert all(s.parent_id == root.span_id for s in shards)
+        assert all(s.end_time is not None for s in shards)
+
+    def test_untraced_son_records_nothing(self, table2_small):
+        transactions = TransactionSet.from_flows(table2_small.flows)
+        with get_executor("process", jobs=2) as executor:
+            result = son(
+                transactions, table2_small.min_support,
+                partitions=2, executor=executor,
+            )
+        assert result.itemsets  # ran fine with no ambient span
