@@ -1,6 +1,6 @@
 """The stable, documented facade of the repro library.
 
-Six verbs cover the paper's workflow end to end:
+Seven verbs cover the paper's workflow end to end:
 
 * :func:`extract` - batch extraction over a trace (file or
   :class:`~repro.flows.table.FlowTable`);
@@ -12,7 +12,10 @@ Six verbs cover the paper's workflow end to end:
   one router and one shared worker pool;
 * :func:`open_store` - open/create a persistent incident store;
 * :func:`rank` - correlate and rank a store's reports into triaged
-  incidents.
+  incidents;
+* :func:`serve` - run a fleet as a long-lived daemon (HTTP/TCP
+  ingest, incident queries, Prometheus metrics) with durable
+  checkpoint/resume.
 
 Everything accepts either a ready :class:`ExtractionConfig`, a nested
 dict, or a path to a TOML run config, plus flat keyword overrides::
@@ -36,6 +39,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TextIO
 
 from repro.core.config import (
     ExtractionConfig,
@@ -43,8 +47,10 @@ from repro.core.config import (
     IncidentSettings,
     MiningSettings,
     ParallelSettings,
+    ServiceSettings,
     StreamingSettings,
     split_fleet_data,
+    split_run_data,
 )
 from repro.core.pipeline import (
     AnomalyExtractor,
@@ -57,7 +63,13 @@ from repro.core.report import ExtractionReport, TriagedItemset
 from repro.core.session import ExtractionSession, run_session
 from repro.detection.detector import DetectorConfig
 from repro.detection.features import CustomFeature, Feature, resolve_features
-from repro.errors import ConfigError, ReproError, TraceFormatError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    ReproError,
+    ServiceError,
+    TraceFormatError,
+)
 from repro.fleet.manager import FleetIncident, FleetManager
 from repro.flows.io import DEFAULT_CHUNK_ROWS, iter_csv, read_trace
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
@@ -96,6 +108,7 @@ __all__ = [
     "open_fleet",
     "open_store",
     "rank",
+    "serve",
     "metrics",
     "resolve_config",
     # Curated re-exports (the stable names).
@@ -105,6 +118,7 @@ __all__ = [
     "FleetManager",
     "FleetIncident",
     "FleetSettings",
+    "ServiceSettings",
     "ExtractionConfig",
     "DetectorConfig",
     "MiningSettings",
@@ -146,6 +160,8 @@ __all__ = [
     "routers",
     "ReproError",
     "ConfigError",
+    "ServiceError",
+    "CheckpointError",
 ]
 
 
@@ -585,3 +601,126 @@ def rank(
     if top is not None:
         ranked = ranked[:top]
     return ranked
+
+
+def serve(
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    pipelines: (
+        int | Sequence[str] | Mapping[str, object] | None
+    ) = None,
+    route: str | None = None,
+    store_dir: str | os.PathLike[str] | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    ingest_port: int | None = None,
+    checkpoint_path: str | os.PathLike[str] | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    log: TextIO | None = None,
+    **overrides: object,
+) -> None:
+    """Run a fleet as a long-lived extraction daemon (blocking).
+
+    Opens a :class:`FleetManager` exactly like :func:`open_fleet`, then
+    serves it over the stdlib HTTP/TCP service until SIGINT/SIGTERM:
+    ``POST /ingest`` and the optional TCP line socket feed the fleet,
+    ``GET /incidents`` / ``GET /incidents/<id>`` serve the merged
+    ranking and per-incident provenance, ``GET /metrics`` the
+    Prometheus export, ``GET /healthz`` per-pipeline watermark lag and
+    backpressure.  A dict or TOML config may carry a ``[service]``
+    table (:class:`ServiceSettings`); keyword arguments here override
+    it, the same flags-over-file layering as ``repro-extract serve``::
+
+        repro.serve("fleet.toml", resume=True)
+        repro.serve(pipelines=2, route="dst_ip%2", port=0,
+                    checkpoint_path="run.ckpt")
+
+    With ``checkpoint_path`` set (it requires durable per-pipeline
+    stores, so ``store_dir`` too) the daemon persists the whole fleet's
+    resume state every ``checkpoint_every`` accepted ingest batches and
+    once more at graceful shutdown; ``resume=True`` restores a killed
+    run from that file and continues mid-stream without re-ingesting.
+
+    Args:
+        config: base config / nested dict / TOML path (see
+            :func:`open_fleet`); dict/TOML may include ``[fleet]`` and
+            ``[service]`` tables.
+        pipelines / route / store_dir: as in :func:`open_fleet`, except
+            that with nothing configured the daemon defaults to one
+            ``link0`` pipeline instead of raising.
+        host / port / ingest_port / checkpoint_path / checkpoint_every:
+            :class:`ServiceSettings` overrides (``port=0`` binds an
+            ephemeral port, announced on ``log``).
+        resume: continue the run persisted at ``checkpoint_path``.
+        interval_seconds / origin / seed / metrics / tracer: as in
+            :func:`open_fleet`; ``metrics`` defaults to a *live*
+            registry - ``/metrics`` is part of the daemon's contract.
+        log: optional text stream for the "serving http://..."
+            announcement (default ``sys.stderr``).
+        **overrides: flat or grouped base-config fields.
+    """
+    from repro.service.supervisor import run_service
+
+    service_data: Mapping | None = None
+    fleet_config: ExtractionConfig | Mapping | None
+    if isinstance(config, (str, os.PathLike)):
+        fleet_data, service_data, raw = split_run_data(config)
+        data = dict(raw)
+        if fleet_data is not None:
+            data["fleet"] = fleet_data
+        fleet_config = data
+    elif isinstance(config, Mapping):
+        data = dict(config)
+        service_data = data.pop("service", None)
+        fleet_config = data
+    else:
+        fleet_config = config
+    try:
+        settings = ServiceSettings.from_data(service_data)
+    except ConfigError as exc:
+        if isinstance(config, (str, os.PathLike)):
+            raise ConfigError(f"{config}: {exc}") from exc
+        raise
+    kw: dict[str, object] = {}
+    if host is not None:
+        kw["host"] = host
+    if port is not None:
+        kw["port"] = port
+    if ingest_port is not None:
+        kw["ingest_port"] = ingest_port
+    if checkpoint_path is not None:
+        kw["checkpoint_path"] = os.fspath(checkpoint_path)
+    if checkpoint_every is not None:
+        kw["checkpoint_every"] = checkpoint_every
+    if kw:
+        import dataclasses
+
+        settings = dataclasses.replace(settings, **kw)
+    if pipelines is None:
+        configured = isinstance(fleet_config, Mapping) and isinstance(
+            fleet_config.get("fleet"), Mapping
+        ) and fleet_config["fleet"].get("pipelines")
+        if not configured:
+            # A daemon without explicit pipelines watches one link.
+            pipelines = 1
+    if metrics is None:
+        metrics = MetricsRegistry()
+    with open_fleet(
+        fleet_config,
+        pipelines=pipelines,
+        route=route,
+        store_dir=store_dir,
+        interval_seconds=interval_seconds,
+        origin=origin,
+        seed=seed,
+        metrics=metrics,
+        tracer=tracer,
+        **overrides,
+    ) as fleet:
+        run_service(fleet, settings, resume=resume, log=log)

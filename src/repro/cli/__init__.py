@@ -13,6 +13,11 @@ subcommand:
 * ``fleet`` - N named per-link pipelines behind one record router and
   a shared worker pool; prints per-pipeline summaries and the merged
   fleet-wide incident ranking;
+* ``serve`` - run the fleet as a long-lived daemon: ``POST /ingest``
+  and an optional TCP line socket feed it, ``GET /incidents`` serves
+  the merged ranking, ``GET /metrics`` the Prometheus export, and a
+  durable checkpoint file makes ``--resume`` continue a killed run
+  mid-stream without re-ingesting;
 * ``incidents`` - correlate and rank the reports persisted by
   ``--store`` into cross-interval incidents; ``incidents <db>
   explain <id>`` renders one ranked incident's full provenance
@@ -40,6 +45,7 @@ Examples:
     cat trace.csv | repro-extract stream - --window 4
     repro-extract stream trace.csv --store incidents.db
     repro-extract fleet trace.csv --pipelines 2 --route "dst_ip%2"
+    repro-extract serve --config fleet.toml --resume
     repro-extract incidents incidents.db --top 5 --format json
     repro-extract incidents incidents.db explain 1
     repro-extract stream trace.csv --trace spans.jsonl
@@ -57,6 +63,7 @@ from repro.cli import (
     fleet,
     generate,
     incidents,
+    serve,
     stream,
     table2,
     topk,
@@ -76,8 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {__version__}")
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
-    for module in (generate, detect, extract, stream, fleet, incidents,
-                   table2, topk):
+    for module in (generate, detect, extract, stream, fleet, serve,
+                   incidents, table2, topk):
         module.add_parser(sub)
     return parser
 

@@ -17,7 +17,9 @@ Three concerns live here so every subcommand module stays small:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
+import signal
 
 from repro.core import ExtractionConfig
 from repro.core.config import load_toml_data
@@ -26,6 +28,53 @@ from repro.flows import read_trace
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.parallel import EXECUTOR_BACKENDS
 from repro.registry import feature_sets, miners
+
+
+class GracefulInterrupt(Exception):
+    """SIGINT/SIGTERM surfaced as an exception by :func:`interrupt_guard`.
+
+    Carries the signal number so the command can exit with the
+    conventional ``128 + signum`` code after flushing.
+    """
+
+    def __init__(self, signum: int):
+        self.signum = signum
+        super().__init__(f"interrupted by {signal.Signals(signum).name}")
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum
+
+
+@contextlib.contextmanager
+def interrupt_guard():
+    """Convert SIGINT/SIGTERM inside the block into
+    :class:`GracefulInterrupt`.
+
+    The streaming commands wrap only their *feed loop* in this guard:
+    an interrupt then stops ingesting but still runs the flush, the
+    summary, and the ``--store``/``--metrics``/``--trace`` writers, so
+    a Ctrl-C'd overnight run keeps everything it extracted instead of
+    dying with a bare ``KeyboardInterrupt``.  Handlers are restored on
+    exit; outside the main thread (where ``signal.signal`` refuses)
+    the guard degrades to a no-op.
+    """
+    def raise_interrupt(signum, frame):
+        raise GracefulInterrupt(signum)
+
+    previous: dict[int, object] = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, raise_interrupt)
+        except (ValueError, OSError):
+            # Not the main thread: leave delivery to the default
+            # handlers rather than fail the run.
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]
 
 
 def load_trace(path: str):

@@ -13,6 +13,7 @@ import argparse
 import json
 
 from repro.cli._common import (
+    GracefulInterrupt,
     TrackedTrueAction,
     add_config_arg,
     add_detector_args,
@@ -27,6 +28,7 @@ from repro.cli._common import (
     config_file_sets,
     explicit_dests,
     extraction_config,
+    interrupt_guard,
     positive_int,
     write_metrics,
     write_trace,
@@ -139,8 +141,20 @@ def run(args: argparse.Namespace) -> int:
         metrics=registry,
         tracer=tracer,
     ) as fleet:
-        for chunk in chunks:
-            fleet.feed(chunk)
+        interrupted: GracefulInterrupt | None = None
+        try:
+            # Guard only the feed loop: an interrupt stops ingesting,
+            # but finish() below still flushes every pipeline, so the
+            # ranking/stores/--metrics/--trace cover everything routed
+            # before the signal.
+            with interrupt_guard():
+                for chunk in chunks:
+                    fleet.feed(chunk)
+        except GracefulInterrupt as exc:
+            interrupted = exc
+            get_logger("cli.fleet").info(
+                "%s; flushing pipelines and saving output", exc
+            )
         results = fleet.finish()
         incidents = fleet.incidents(profile=args.profile, top=args.top)
         if args.format == "json":
@@ -152,7 +166,7 @@ def run(args: argparse.Namespace) -> int:
     # After the with-block so the fleet.run root span is ended.
     write_metrics(registry, args)
     write_trace(tracer, args, base)
-    return 0
+    return interrupted.exit_code if interrupted is not None else 0
 
 
 def _weak_default_retention(args, fleet_data, configs):

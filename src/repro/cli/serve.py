@@ -1,0 +1,182 @@
+"""``repro-extract serve`` - the long-running extraction daemon.
+
+Wraps a :class:`~repro.fleet.manager.FleetManager` in the stdlib-only
+HTTP/TCP service (:mod:`repro.service`): ``POST /ingest`` and the
+optional TCP line socket feed the fleet, ``GET /incidents`` serves the
+merged ranking, ``GET /metrics`` the Prometheus export, and
+``GET /healthz`` the per-pipeline assembler posture.  With
+``checkpoint_path`` configured the daemon periodically persists the
+whole fleet's resume state; after a crash, ``--resume`` continues the
+run mid-stream without re-ingesting (clients replay from the
+``checkpointed_sequence`` the resumed daemon reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.cli._common import (
+    TrackedTrueAction,
+    add_config_arg,
+    add_detector_args,
+    add_mining_args,
+    add_parallel_args,
+    config_file_sets,
+    explicit_dests,
+    extraction_config,
+    positive_int,
+)
+from repro.core.config import (
+    FleetSettings,
+    ServiceSettings,
+    split_run_data,
+)
+from repro.errors import ConfigError
+from repro.fleet import FleetManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Routing spec used when neither ``--route`` nor the run config names
+#: one (mirrors the ``fleet`` subcommand).
+DEFAULT_ROUTE_COLUMN = "dst_ip"
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    serve = sub.add_parser(
+        "serve",
+        help="run the extraction daemon: HTTP/TCP ingest, incident "
+        "queries, Prometheus metrics, durable checkpoint resume",
+    )
+    add_config_arg(serve)
+    add_detector_args(serve)
+    add_mining_args(serve)
+    add_parallel_args(serve)
+    serve.add_argument("--resume", default=False, action="store_true",
+                       help="restore the fleet from the configured "
+                       "checkpoint file and continue that run "
+                       "mid-stream (cold start when no checkpoint "
+                       "exists yet)")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default from [service] "
+                       "host, else 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="HTTP port (0 = ephemeral; default from "
+                       "[service] port, else 8181)")
+    serve.add_argument("--ingest-port", type=int, default=None,
+                       help="enable the TCP line-ingest socket on this "
+                       "port (each line one header-less CSV flow row)")
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="durable checkpoint file (overrides "
+                       "[service] checkpoint_path)")
+    serve.add_argument("--checkpoint-every", type=positive_int,
+                       default=None, metavar="N",
+                       help="checkpoint every N accepted ingest "
+                       "batches (overrides [service] "
+                       "checkpoint_every)")
+    serve.add_argument("--checkpoint-sync", default=None,
+                       action="store_true",
+                       help="fsync every checkpoint write (power-loss "
+                       "durability; kill-safe resume needs only the "
+                       "default atomic rename)")
+    serve.add_argument("--origin", type=float, default=0.0,
+                       help="timestamp of interval 0")
+    serve.add_argument("--pipelines", type=positive_int, default=None,
+                       metavar="N",
+                       help="run N generated pipelines (link0..linkN-1) "
+                       "on the base config; mutually exclusive with "
+                       "[fleet.pipelines.<name>] sections in --config")
+    serve.add_argument("--route", default=None, metavar="SPEC",
+                       help="routing spec: a flow column ('dst_ip'), a "
+                       "'column%%N' shard, or a registered router "
+                       f"(default: {DEFAULT_ROUTE_COLUMN} hash-sharded "
+                       "over the pipelines)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="directory of per-pipeline incident stores "
+                       "(required for checkpointing: durable resume "
+                       "needs durable stores)")
+    serve.add_argument("--keep-extractions", default=False,
+                       action=TrackedTrueAction,
+                       help="retain every extraction result in memory "
+                       "for the whole daemon lifetime (the library "
+                       "default; the service reads stores and "
+                       "counters, so long-lived daemons run flat "
+                       "without it)")
+    serve.set_defaults(func=run)
+
+
+def run(args: argparse.Namespace) -> int:
+    fleet_data = None
+    service_data = None
+    file_data = None
+    if args.config:
+        fleet_data, service_data, file_data = split_run_data(args.config)
+    base = extraction_config(args, file_data=file_data)
+    try:
+        fleet_settings = FleetSettings.from_data(fleet_data, base)
+        settings = ServiceSettings.from_data(service_data)
+    except ConfigError as exc:
+        raise ConfigError(f"{args.config}: {exc}") from exc
+    overrides: dict[str, object] = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.ingest_port is not None:
+        overrides["ingest_port"] = args.ingest_port
+    if args.checkpoint is not None:
+        overrides["checkpoint_path"] = args.checkpoint
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if args.checkpoint_sync is not None:
+        overrides["checkpoint_sync"] = args.checkpoint_sync
+    if overrides:
+        settings = dataclasses.replace(settings, **overrides)
+    route = args.route if args.route is not None else fleet_settings.route
+    if route is None:
+        route = DEFAULT_ROUTE_COLUMN
+    store_dir = (
+        args.store_dir
+        if args.store_dir is not None
+        else fleet_settings.store_dir
+    )
+    configs = fleet_settings.pipeline_configs()
+    if args.pipelines is not None:
+        if configs:
+            raise ConfigError(
+                "both --pipelines and [fleet.pipelines.<name>] sections "
+                "given; configure the fleet in one place"
+            )
+        configs = {f"link{i}": base for i in range(args.pipelines)}
+    if not configs:
+        # A daemon without explicit pipelines watches one link.
+        configs = {"link0": base}
+    if (
+        "keep_extractions" not in explicit_dests(args)
+        and not config_file_sets(args, "streaming", "keep_extractions")
+    ):
+        # The daemon's weak default, mirroring stream/fleet: it serves
+        # stores and counters, never the in-memory extraction list, so
+        # retention would only grow for the lifetime of the process.
+        configs = {
+            name: config.replace(keep_extractions=False)
+            for name, config in configs.items()
+        }
+    # The daemon always runs a live registry: /metrics is part of its
+    # contract, not an opt-in export.
+    registry = MetricsRegistry(buckets=base.obs.histogram_buckets)
+    tracer = Tracer() if base.obs.trace_path is not None else None
+    from repro.service.supervisor import run_service
+
+    with FleetManager(
+        configs,
+        route=route,
+        interval_seconds=args.interval_seconds,
+        origin=args.origin,
+        seed=args.seed,
+        store_dir=store_dir,
+        metrics=registry,
+        tracer=tracer,
+    ) as fleet:
+        run_service(fleet, settings, resume=args.resume)
+    return 0

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 
 from repro.cli._common import (
+    GracefulInterrupt,
     TrackedAction,
     TrackedTrueAction,
     add_config_arg,
@@ -20,6 +21,7 @@ from repro.cli._common import (
     config_file_sets,
     explicit_dests,
     extraction_config,
+    interrupt_guard,
     positive_int,
     write_metrics,
     write_trace,
@@ -94,6 +96,7 @@ def run(args: argparse.Namespace) -> int:
             print(extraction.render())
             print()
 
+    interrupted: GracefulInterrupt | None = None
     with StreamingExtractor(
         config,
         seed=args.seed,
@@ -106,9 +109,17 @@ def run(args: argparse.Namespace) -> int:
         metrics=registry,
         tracer=tracer,
     ) as streamer:
-        for chunk in chunks:
-            for extraction in streamer.process_chunk(chunk):
-                emit(streamer, extraction)
+        try:
+            # Only the feed loop is guarded: an interrupt stops
+            # ingesting but the flush below still completes every
+            # buffered interval, so --store/--metrics/--trace keep
+            # everything extracted before the signal.
+            with interrupt_guard():
+                for chunk in chunks:
+                    for extraction in streamer.process_chunk(chunk):
+                        emit(streamer, extraction)
+        except GracefulInterrupt as exc:
+            interrupted = exc
         for extraction in streamer.flush():
             emit(streamer, extraction)
         result = streamer.result()
@@ -116,6 +127,8 @@ def run(args: argparse.Namespace) -> int:
         f"{result.intervals} intervals, {result.flows} flows, "
         f"{result.extraction_count} extractions"
     )
+    if interrupted is not None:
+        summary += f" ({interrupted}; flushed and saved)"
     if result.late_dropped:
         summary += (
             f", {result.late_dropped} late flows dropped "
@@ -136,4 +149,4 @@ def run(args: argparse.Namespace) -> int:
         print(summary)
     write_metrics(registry, args)
     write_trace(tracer, args, config)
-    return 0
+    return interrupted.exit_code if interrupted is not None else 0

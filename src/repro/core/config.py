@@ -622,6 +622,12 @@ class ExtractionConfig:
                         "FleetSettings.from_toml / api.open_fleet / "
                         "the 'fleet' CLI subcommand)"
                     )
+                elif key == "service":
+                    hint = (
+                        " (service run configs load through "
+                        "ServiceSettings.from_data / api.serve / "
+                        "the 'serve' CLI subcommand)"
+                    )
                 elif target is not None:
                     hint = f" (did you mean [{target[0]}] {target[1]}?)"
                 else:
@@ -938,6 +944,164 @@ def split_fleet_data(
     """
     raw = dict(load_toml_data(path))
     return raw.pop("fleet", None), raw
+
+
+#: Keys accepted in a ``[service]`` table.
+_SERVICE_KEYS = (
+    "host",
+    "port",
+    "ingest_port",
+    "checkpoint_path",
+    "checkpoint_every",
+    "checkpoint_sync",
+    "max_body_bytes",
+    "chunk_rows",
+)
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Daemon-level execution settings (the ``[service]`` run-config
+    table).
+
+    A service run config is a fleet run config (base sections plus
+    ``[fleet]``) with one more table::
+
+        [service]
+        port = 8181
+        checkpoint_path = "state/fleet.ckpt"
+        checkpoint_every = 4
+
+    Attributes:
+        host: HTTP (and TCP ingest) bind address.
+        port: HTTP port (0 = ephemeral, for tests).
+        ingest_port: optional TCP line-ingest port (``None`` disables
+            the socket; 0 = ephemeral).
+        checkpoint_path: durable checkpoint file; ``None`` disables
+            checkpointing (and with it ``--resume``).
+        checkpoint_every: write a checkpoint every N ingest batches
+            (plus one final write at graceful shutdown).  Size N to
+            one or two measurement intervals of batches: a crash only
+            re-replays the batches since the last write (which resume
+            absorbs exactly), and two-interval cadence is what keeps
+            checkpointing inside the benchmarked <5% ingest budget
+            (``benchmarks/bench_service_ingest.py``).
+        checkpoint_sync: fsync each checkpoint write.  Off by default -
+            the atomic rename alone survives a killed process, which
+            is the resume contract; turn it on when the deployment
+            must also survive power loss, at a measurable per-write
+            cost (see ``benchmarks/bench_service_ingest.py``).
+        max_body_bytes: largest accepted HTTP request body.
+        chunk_rows: TCP ingest batch size (rows buffered per feed).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8181
+    ingest_port: int | None = None
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 4
+    checkpoint_sync: bool = False
+    max_body_bytes: int = 64 * 1024 * 1024
+    chunk_rows: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigError("[service] host must be non-empty")
+        for key in ("port", "ingest_port"):
+            value = getattr(self, key)
+            if value is None:
+                continue
+            if not isinstance(value, int) or not 0 <= value <= 65535:
+                raise ConfigError(
+                    f"[service] {key} must be a port in [0, 65535]: "
+                    f"{value!r}"
+                )
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"[service] checkpoint_every must be >= 1: "
+                f"{self.checkpoint_every}"
+            )
+        if self.max_body_bytes < 1:
+            raise ConfigError(
+                f"[service] max_body_bytes must be >= 1: "
+                f"{self.max_body_bytes}"
+            )
+        if self.chunk_rows < 1:
+            raise ConfigError(
+                f"[service] chunk_rows must be >= 1: {self.chunk_rows}"
+            )
+
+    @classmethod
+    def from_data(cls, data: Mapping | None) -> "ServiceSettings":
+        """Build settings from a raw ``[service]`` table (``None`` for
+        a config without one); unknown keys raise :class:`ConfigError`
+        with a did-you-mean hint, like every other config surface."""
+        if data is None:
+            return cls()
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"[service] must be a table, got {type(data).__name__}"
+            )
+        for key in data:
+            if key not in _SERVICE_KEYS:
+                raise ConfigError(
+                    f"[service] unknown key {key!r}"
+                    f"{_close_match_hint(str(key), sorted(_SERVICE_KEYS))}"
+                    f"; valid keys: {sorted(_SERVICE_KEYS)}"
+                )
+        checked: dict[str, object] = {}
+        for key, expected in (
+            ("host", str),
+            ("checkpoint_path", str),
+        ):
+            if key in data:
+                value = data[key]
+                if not isinstance(value, str):
+                    raise ConfigError(
+                        f"[service] {key} must be a string, "
+                        f"got {type(value).__name__}: {value!r}"
+                    )
+                checked[key] = value
+        for key in (
+            "port",
+            "ingest_port",
+            "checkpoint_every",
+            "max_body_bytes",
+            "chunk_rows",
+        ):
+            if key in data:
+                value = data[key]
+                # bool is an int subclass; reject it explicitly.
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ConfigError(
+                        f"[service] {key} must be an integer, "
+                        f"got {type(value).__name__}: {value!r}"
+                    )
+                checked[key] = value
+        if "checkpoint_sync" in data:
+            value = data["checkpoint_sync"]
+            if not isinstance(value, bool):
+                raise ConfigError(
+                    f"[service] checkpoint_sync must be a boolean, "
+                    f"got {type(value).__name__}: {value!r}"
+                )
+            checked["checkpoint_sync"] = value
+        return cls(**checked)  # type: ignore[arg-type]
+
+
+def split_run_data(
+    path: str | os.PathLike[str],
+) -> tuple[Mapping | None, Mapping | None, dict]:
+    """Load a run-config TOML and split off its ``[fleet]`` and
+    ``[service]`` tables.
+
+    Returns ``(fleet_data, service_data, remaining_sections)`` - the
+    loading step behind :func:`repro.api.serve` and the ``serve`` CLI
+    subcommand (the remaining sections build the base
+    :class:`ExtractionConfig`).
+    """
+    raw = dict(load_toml_data(path))
+    return raw.pop("fleet", None), raw.pop("service", None), raw
 
 
 @dataclass(frozen=True, slots=True)

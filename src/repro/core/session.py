@@ -55,7 +55,7 @@ from repro.core.pipeline import (
 from repro.core.prefilter import PrefilterResult, prefilter
 from repro.core.report import ExtractionReport
 from repro.detection.manager import DetectionRun
-from repro.errors import ExtractionError
+from repro.errors import CheckpointError, ExtractionError
 from repro.flows.stream import (
     DEFAULT_INTERVAL_SECONDS,
     IntervalView,
@@ -255,6 +255,12 @@ class ExtractionSession:
         self._report_state: dict[int, int | ExtractionReport] = {}
         self.windows_mined = 0
         self.windows_skipped = 0
+        #: Set by :meth:`from_state`: intervals at or below this index
+        #: are already durable in the sink (persisted before the crash
+        #: the checkpoint recovers from), so their re-processed reports
+        #: are recognized as replays and skipped instead of tripping
+        #: the store's re-ingest guard.
+        self._resume_floor: int | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -471,6 +477,124 @@ class ExtractionSession:
         return report
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of a stream session's resume state.
+
+        Covers everything a resumed process needs to continue the
+        stream byte-identically: the assembler's pending bins and
+        watermark, the sliding-window miner context, the detector
+        bank's learned state, and the session's own progress counters.
+        The retained ``extractions`` list and detector reports are NOT
+        serialized - they are post-hoc conveniences, and the durable
+        record of emitted reports is the sink (incident store).
+        """
+        if self.mode != "stream":
+            raise CheckpointError(
+                "only stream sessions checkpoint: batch mode holds the "
+                "whole trace and re-runs from scratch"
+            )
+        self._check_open("checkpoint")
+        assert self.assembler is not None
+        return {
+            "mode": self.mode,
+            "assembler": self.assembler.to_state(),
+            "window_miner": (
+                None
+                if self._window_miner is None
+                else self._window_miner.to_state()
+            ),
+            "window_raw_flows": list(self._window_raw_flows),
+            "extraction_count": self.extraction_count,
+            "windows_mined": self.windows_mined,
+            "windows_skipped": self.windows_skipped,
+            "detectors": self._extractor.detector_bank.to_state(),
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this freshly built
+        session (same config, seed, mode, and windowing as the
+        checkpointed one).
+
+        Restoring also arms the resume floor: reports for intervals the
+        sink already covers (its ``last_interval`` marker) are treated
+        as replays and skipped, so re-feeding the stream from the last
+        checkpointed position continues mid-stream instead of tripping
+        the store's re-ingest guard.
+        """
+        self._check_open("restore")
+        if self.mode != "stream":
+            raise CheckpointError(
+                "only stream sessions restore from a checkpoint"
+            )
+        if not isinstance(state, dict) or state.get("mode") != "stream":
+            raise CheckpointError(
+                f"session checkpoint state must carry mode='stream', "
+                f"got {state.get('mode') if isinstance(state, dict) else state!r}"
+            )
+        assert self.assembler is not None
+        if self.extraction_count or self.assembler.intervals_emitted or (
+            self.assembler.flows_seen
+        ):
+            raise CheckpointError(
+                "restore into a fresh session: this one has already "
+                "processed data"
+            )
+        try:
+            assembler_state = state["assembler"]
+            miner_state = state["window_miner"]
+            raw_flows = [int(n) for n in state["window_raw_flows"]]
+            counters = {
+                key: int(state[key])
+                for key in (
+                    "extraction_count", "windows_mined", "windows_skipped"
+                )
+            }
+            detector_state = state["detectors"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed session checkpoint state: {exc}"
+            ) from exc
+        if (miner_state is None) != (self._window_miner is None):
+            raise CheckpointError(
+                "session checkpoint window mode does not match this "
+                "session's window_intervals; restore with the "
+                "configuration the checkpoint was written under"
+            )
+        self.assembler.from_state(assembler_state)
+        if self._window_miner is not None:
+            self._window_miner.from_state(miner_state)
+        self._window_raw_flows.clear()
+        self._window_raw_flows.extend(raw_flows)
+        self.extraction_count = counters["extraction_count"]
+        self.windows_mined = counters["windows_mined"]
+        self.windows_skipped = counters["windows_skipped"]
+        self._extractor.detector_bank.from_state(detector_state)
+        self._resume_floor = self._sink_last_interval()
+
+    def _sink_last_interval(self) -> int | None:
+        """The newest interval the durable sink already covers (the
+        incident store's marker), or None without one."""
+        store = self._extractor.store
+        if store is not None:
+            return store.last_interval()
+        last = getattr(self._sink, "last_interval", None)
+        if callable(last):
+            marker = last()
+            return None if marker is None else int(marker)
+        return None
+
+    def _replayed(self, interval: int) -> bool:
+        """True when a restored session re-processed an interval whose
+        report is already durable (deterministic replay below the
+        resume floor) - the append is skipped, not duplicated."""
+        return (
+            self._resume_floor is not None
+            and interval <= self._resume_floor
+        )
+
+    # ------------------------------------------------------------------
     # The one orchestration path
     # ------------------------------------------------------------------
     def _process_views(
@@ -513,7 +637,9 @@ class ExtractionSession:
                         if self._window_miner is not None:
                             window = max(1, len(self._window_raw_flows))
                         self._report_state[id(extraction)] = window
-                        if self._sink is not None:
+                        if self._sink is not None and not self._replayed(
+                            extraction.interval
+                        ):
                             # Triage = report construction + sink push.
                             with time_stage(
                                 self._extractor.instruments.stage_triage

@@ -24,8 +24,8 @@ from repro.detection.threshold import (
     estimate_threshold,
 )
 from repro.detection.voting import vote
-from repro.errors import ConfigError
-from repro.flows.table import FlowTable
+from repro.errors import CheckpointError, ConfigError
+from repro.flows.table import FlowTable, pack_array, unpack_array
 from repro.sketch.cloning import CloneSet
 from repro.sketch.histogram import HistogramSnapshot
 
@@ -150,6 +150,127 @@ class HistogramDetector:
 
     def diff_series(self, clone: int) -> np.ndarray:
         return np.asarray(self._diff_series[clone], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the detector's cross-interval state.
+
+        The clone hash functions are NOT serialized: they derive
+        deterministically from ``(seed, feature)`` at construction, so
+        a restored detector rebuilds them and only the learned state -
+        reference snapshots, KL/diff series, calibration - travels in
+        the checkpoint.  The bulky per-clone histograms use the packed
+        array encoding (bit-exact and cheap to serialize, which the
+        per-batch service checkpoint needs).
+        """
+        return {
+            "interval": self._interval,
+            "prev": [
+                None
+                if snap is None
+                else {
+                    "counts": pack_array(snap.counts),
+                    "observed": pack_array(snap.observed),
+                }
+                for snap in self._prev
+            ],
+            "prev_kl": list(self._prev_kl),
+            "kl_series": [list(series) for series in self._kl_series],
+            "diff_series": [list(series) for series in self._diff_series],
+            "training_diffs": [
+                list(series) for series in self._training_diffs
+            ],
+            "thresholds": [
+                None
+                if thr is None
+                else {"sigma": thr.sigma, "multiplier": thr.multiplier}
+                for thr in self._thresholds
+            ],
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this detector (which must
+        be built with the same config, feature, and seed - the hash
+        streams are rebuilt, not restored)."""
+        cfg = self.config
+        try:
+            per_clone = {
+                key: state[key]
+                for key in (
+                    "prev", "prev_kl", "kl_series", "diff_series",
+                    "training_diffs", "thresholds",
+                )
+            }
+            interval = int(state["interval"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed detector checkpoint state: {exc}"
+            ) from exc
+        for key, series in per_clone.items():
+            if len(series) != cfg.clones:
+                raise CheckpointError(
+                    f"detector checkpoint has {len(series)} clones of "
+                    f"{key!r} but the config declares {cfg.clones}; "
+                    f"restore with the configuration the checkpoint "
+                    f"was written under"
+                )
+        prev: list[HistogramSnapshot | None] = []
+        for c, snap in enumerate(per_clone["prev"]):
+            if snap is None:
+                prev.append(None)
+                continue
+            try:
+                prev.append(
+                    HistogramSnapshot(
+                        hash_fn=self._clones[c].hash_fn,
+                        counts=np.asarray(
+                            unpack_array(snap["counts"]),
+                            dtype=np.float64,
+                        ),
+                        observed=np.asarray(
+                            unpack_array(snap["observed"]),
+                            dtype=np.uint64,
+                        ),
+                    )
+                )
+            except (KeyError, TypeError, ValueError, ConfigError) as exc:
+                raise CheckpointError(
+                    f"malformed clone {c} snapshot in detector "
+                    f"checkpoint: {exc}"
+                ) from exc
+        thresholds: list[AlarmThreshold | None] = []
+        for thr in per_clone["thresholds"]:
+            if thr is None:
+                thresholds.append(None)
+                continue
+            try:
+                thresholds.append(
+                    AlarmThreshold(
+                        sigma=float(thr["sigma"]),
+                        multiplier=float(thr["multiplier"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError, ConfigError) as exc:
+                raise CheckpointError(
+                    f"malformed threshold in detector checkpoint: {exc}"
+                ) from exc
+        self._interval = interval
+        self._prev = prev
+        self._prev_kl = [float(kl) for kl in per_clone["prev_kl"]]
+        self._kl_series = [
+            [float(v) for v in series] for series in per_clone["kl_series"]
+        ]
+        self._diff_series = [
+            [float(v) for v in series]
+            for series in per_clone["diff_series"]
+        ]
+        self._training_diffs = [
+            [float(v) for v in series]
+            for series in per_clone["training_diffs"]
+        ]
+        self._thresholds = thresholds
 
     # ------------------------------------------------------------------
     def observe(self, flows: FlowTable) -> FeatureObservation:

@@ -25,7 +25,7 @@ from repro.detection.features import (
     resolve_features,
 )
 from repro.detection.metadata import Metadata
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.flows.stream import iter_intervals
 from repro.flows.table import FlowTable
 
@@ -162,6 +162,46 @@ class DetectorBank:
             reports=self.reports,
             detectors=self.detectors,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of every detector's learned state.
+
+        The accumulated per-interval ``reports`` are NOT serialized -
+        they are post-hoc analysis data, unbounded on long streams, and
+        the service path runs with ``keep_reports=False`` anyway.  A
+        restored bank resumes detection exactly; it does not replay the
+        report log.
+        """
+        return {
+            "features": [f.short_name for f in self.features],
+            "detectors": {
+                feature.short_name: detector.to_state()
+                for feature, detector in self._detectors.items()
+            },
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this bank (which must be
+        configured with the same features, config, and seed)."""
+        try:
+            names = [str(name) for name in state["features"]]
+            detectors = state["detectors"]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed detector-bank checkpoint state: {exc}"
+            ) from exc
+        expected = [f.short_name for f in self.features]
+        if names != expected:
+            raise CheckpointError(
+                f"detector-bank checkpoint monitors features {names} "
+                f"but this bank monitors {expected}; restore with the "
+                f"configuration the checkpoint was written under"
+            )
+        for feature, detector in self._detectors.items():
+            detector.from_state(detectors[feature.short_name])
 
     def observe(self, flows: FlowTable) -> IntervalReport:
         """Feed one interval to every detector."""

@@ -8,7 +8,8 @@ anywhere::
              anomalies, traffic, analysis   (domain)
     layer 2  core                           (orchestration)
     layer 3  streaming, parallel, incidents, sinks
-    layer 4  fleet, api, cli, devtools, __main__, repro (package root)
+    layer 4  fleet, service, api, cli, devtools, __main__,
+             repro (package root)
 
 A module may import same-layer or lower-layer modules at module scope.
 Function-scope (lazy) imports are the sanctioned escape hatch for the
@@ -34,7 +35,8 @@ LAYERS: dict[str, int] = {
     "anomalies": 1, "traffic": 1, "analysis": 1,
     "core": 2,
     "streaming": 3, "parallel": 3, "incidents": 3, "sinks": 3,
-    "fleet": 4, "api": 4, "cli": 4, "devtools": 4, "__main__": 4,
+    "fleet": 4, "service": 4, "api": 4, "cli": 4, "devtools": 4,
+    "__main__": 4,
 }
 
 #: Layer of the ``repro`` package root itself (its ``__init__``

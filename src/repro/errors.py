@@ -46,3 +46,14 @@ class ExtractionError(ReproError):
 
 class IncidentError(ReproError):
     """Invalid incident-store operation (bad schema, path, or query)."""
+
+
+class ServiceError(ReproError):
+    """The extraction daemon was driven or configured incorrectly
+    (bad request framing, unusable bind address, invalid lifecycle)."""
+
+
+class CheckpointError(ServiceError):
+    """A durable checkpoint could not be written, read, or restored
+    (schema-version mismatch, corrupt payload, or state that does not
+    match the pipeline it is being restored into)."""

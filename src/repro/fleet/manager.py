@@ -36,7 +36,7 @@ from repro.core.pipeline import (
     TraceExtraction,
 )
 from repro.core.session import ExtractionSession, StreamExtraction
-from repro.errors import ConfigError, ExtractionError
+from repro.errors import CheckpointError, ConfigError, ExtractionError
 from repro.fleet.routing import Router, resolve_route
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
 from repro.flows.table import FlowTable
@@ -394,6 +394,82 @@ class FleetManager:
                 for name, session in self._sessions.items()
             }
         return self._results
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of every pipeline's resume state.
+
+        Each pipeline carries its session state plus the interval its
+        incident store had durably covered when the snapshot was taken.
+        The store marker is advisory (the store itself is the durable
+        copy); it lets :meth:`from_state` confirm the stores being
+        restored against are at least as far along as the checkpoint -
+        a store *ahead* of the checkpoint is the normal crash shape
+        (appends land before the checkpoint write), a store *behind* it
+        means the checkpoint belongs to different store files.
+        """
+        self._check_open("checkpoint")
+        if self._results is not None:
+            raise CheckpointError(
+                "fleet already finished; checkpoints capture a live run"
+            )
+        pipelines: dict[str, dict] = {}
+        for name in self._names:
+            store = self._extractors[name].store
+            pipelines[name] = {
+                "session": self._sessions[name].to_state(),
+                "store_last_interval": (
+                    None if store is None else store.last_interval()
+                ),
+            }
+        return {"pipelines": pipelines}
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this freshly built fleet
+        (same pipeline names, configs, seed, and stores)."""
+        self._check_open("restore")
+        if self._results is not None:
+            raise CheckpointError(
+                "fleet already finished; restore into a fresh fleet"
+            )
+        try:
+            pipelines = state["pipelines"]
+            names = list(pipelines)
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed fleet checkpoint state: {exc}"
+            ) from exc
+        if names != list(self._names):
+            raise CheckpointError(
+                f"fleet checkpoint covers pipelines {names} but this "
+                f"fleet runs {list(self._names)}; restore with the "
+                f"configuration the checkpoint was written under"
+            )
+        for name in self._names:
+            entry = pipelines[name]
+            try:
+                session_state = entry["session"]
+                marker = entry["store_last_interval"]
+            except (KeyError, TypeError) as exc:
+                raise CheckpointError(
+                    f"malformed checkpoint entry for pipeline "
+                    f"{name!r}: {exc}"
+                ) from exc
+            store = self._extractors[name].store
+            if marker is not None:
+                last = None if store is None else store.last_interval()
+                if last is None or last < int(marker):
+                    raise CheckpointError(
+                        f"pipeline {name!r}: checkpoint says the store "
+                        f"had covered interval {marker} but the "
+                        f"attached store reports "
+                        f"{last if last is not None else 'nothing'}; "
+                        f"the checkpoint belongs to different store "
+                        f"files"
+                    )
+            self._sessions[name].from_state(session_state)
 
     # ------------------------------------------------------------------
     # Fleet-wide queries

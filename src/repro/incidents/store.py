@@ -295,7 +295,10 @@ class IncidentStore:
             raise IncidentError(
                 f"{self.path}: already covers intervals up to {last}; "
                 f"appending interval {interval} would duplicate "
-                "reports - re-ingest into a fresh store"
+                "reports - re-ingest into a fresh store, or resume the "
+                "run instead of replaying it (`repro-extract serve "
+                "--resume` restores a checkpointed daemon mid-stream "
+                "and skips intervals the store already covers)"
             )
 
     def append(self, report: ExtractionReport) -> int:

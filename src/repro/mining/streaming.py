@@ -13,7 +13,7 @@ from __future__ import annotations
 import inspect
 from collections import Counter, deque
 
-from repro.errors import MiningError
+from repro.errors import CheckpointError, MiningError
 from repro.flows.table import FlowTable
 from repro.mining.eclat import eclat
 from repro.mining.result import MiningResult
@@ -103,6 +103,47 @@ class SlidingWindowMiner:
                 self._item_counts[item] = new
             else:
                 del self._item_counts[item]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: the window's batches and push counter.
+
+        The incremental item supports are deliberately NOT serialized -
+        :meth:`from_state` recomputes them by replaying
+        :meth:`_add_counts` over the restored batches, so a checkpoint
+        can never carry counts that disagree with its own window.
+        """
+        return {
+            "batches": [batch.to_state() for batch in self._batches],
+            "pushed": self._pushed,
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this miner (which must be
+        configured with the same window)."""
+        try:
+            batches = [
+                FlowTable.from_state(data) for data in state["batches"]
+            ]
+            pushed = int(state["pushed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed window-miner checkpoint state: {exc}"
+            ) from exc
+        if len(batches) > self.window:
+            raise CheckpointError(
+                f"checkpoint holds {len(batches)} window batches but "
+                f"the miner's window is {self.window}; restore with the "
+                f"configuration the checkpoint was written under"
+            )
+        self._batches.clear()
+        self._item_counts.clear()
+        for batch in batches:
+            self._batches.append(batch)
+            self._add_counts(batch, sign=+1)
+        self._pushed = pushed
 
     # ------------------------------------------------------------------
     def frequent_item_count(self) -> int:

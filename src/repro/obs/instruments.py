@@ -146,6 +146,34 @@ CATALOG: dict[str, InstrumentSpec] = {
         "histogram", (),
         "Wall-clock seconds per merged fleet-wide incidents() query.",
     ),
+    # -- service -----------------------------------------------------------
+    "repro_service_requests_total": InstrumentSpec(
+        "counter", ("method", "route", "status"),
+        "HTTP requests served by the extraction daemon, by method, "
+        "route pattern, and response status.",
+    ),
+    "repro_service_request_seconds": InstrumentSpec(
+        "histogram", ("route",),
+        "Wall-clock seconds per served HTTP request, by route pattern.",
+    ),
+    "repro_service_ingest_rows_total": InstrumentSpec(
+        "counter", (),
+        "Flow rows accepted through the service ingest surface (HTTP "
+        "POST /ingest and the TCP line protocol combined).",
+    ),
+    "repro_checkpoint_writes_total": InstrumentSpec(
+        "counter", (),
+        "Durable checkpoints written by the service.",
+    ),
+    "repro_checkpoint_write_seconds": InstrumentSpec(
+        "histogram", (),
+        "Wall-clock seconds per durable checkpoint write (snapshot + "
+        "serialize + atomic replace).",
+    ),
+    "repro_checkpoint_bytes": InstrumentSpec(
+        "gauge", (),
+        "Size in bytes of the most recently written checkpoint file.",
+    ),
 }
 
 
@@ -170,6 +198,18 @@ SPANS: dict[str, str] = {
         "One SON partition processed by a worker (thread or process); "
         "parents under the interval that dispatched it via the "
         "carrier."
+    ),
+    "service.request": (
+        "One HTTP request handled by the extraction daemon "
+        "(attributes: method, route, status)."
+    ),
+    "service.checkpoint": (
+        "One durable checkpoint write: fleet snapshot, canonical JSON "
+        "serialization, atomic file replace."
+    ),
+    "service.resume": (
+        "One daemon resume: checkpoint read, fleet state restore, "
+        "ingest-sequence recovery."
     ),
 }
 SPANS.update(

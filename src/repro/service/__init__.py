@@ -1,0 +1,49 @@
+"""The extraction daemon: Fig. 3 as a long-running resumable service.
+
+The paper's pipeline is an offline evaluation over recorded traces; an
+operator deploying it watches live links for weeks.  This package wraps
+the multi-link :class:`~repro.fleet.manager.FleetManager` in a
+dependency-free asyncio daemon (stdlib only - the toolchain bakes in no
+web framework and the service must not need one):
+
+* :mod:`repro.service.protocol` - a minimal HTTP/1.1 request parser and
+  response renderer over asyncio streams.
+* :mod:`repro.service.app` - the request dispatcher: ``POST /ingest``
+  (CSV or JSONL chunk bodies), ``GET /incidents`` and
+  ``GET /incidents/<id>`` (the merged fleet ranking and per-incident
+  provenance), ``GET /metrics`` (Prometheus text), and ``GET /healthz``
+  (watermark lag and backpressure per pipeline).
+* :mod:`repro.service.checkpoint` - versioned durable snapshots of the
+  whole fleet, written atomically, so a ``kill -9``'d daemon restarted
+  with ``--resume`` continues mid-stream without re-ingesting: the
+  incident store's monotonic re-ingest guard becomes the resume
+  feature rather than an error.
+* :mod:`repro.service.supervisor` - server lifecycle: the HTTP
+  listener, the optional line-oriented TCP ingest socket, signal-driven
+  graceful shutdown with a final checkpoint, and the resume path.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    fleet_checkpoint,
+    read_checkpoint,
+    restore_fleet,
+    write_checkpoint,
+)
+from repro.service.protocol import HttpRequest, read_request, render_response
+from repro.service.supervisor import ServiceSupervisor, run_service
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "HttpRequest",
+    "ServiceApp",
+    "ServiceSupervisor",
+    "fleet_checkpoint",
+    "read_checkpoint",
+    "read_request",
+    "render_response",
+    "restore_fleet",
+    "run_service",
+    "write_checkpoint",
+]

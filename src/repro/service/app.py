@@ -1,0 +1,510 @@
+"""The daemon's request dispatcher (transport-independent).
+
+:class:`ServiceApp` owns everything between a parsed
+:class:`~repro.service.protocol.HttpRequest` and a status/body pair:
+route matching, ingest parsing (CSV and JSONL), the ingest sequence
+protocol, periodic checkpointing, the merged incident ranking, incident
+provenance, the Prometheus export, and the health probe.  Keeping it
+synchronous and transport-free is what makes it testable without a
+socket - the supervisor is a thin asyncio shell around
+:meth:`ServiceApp.handle`.
+
+The ingest sequence protocol: every accepted ingest batch (one HTTP
+``POST /ingest`` body, one TCP batch) increments ``sequence``; every
+``checkpoint_every``-th batch also writes a durable checkpoint, and the
+response reports both ``sequence`` and ``checkpointed_sequence``.  A
+client that crashes the daemon replays its stream from
+``checkpointed_sequence``; the restored fleet's resume floors absorb
+the overlap.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    IncidentError,
+    ReproError,
+    ServiceError,
+    TraceFormatError,
+)
+from repro.fleet.manager import FleetManager
+from repro.flows.io import iter_csv_handle
+from repro.flows.table import ALL_COLUMNS, FlowTable
+from repro.incidents.provenance import explain_incident
+from repro.obs.instruments import catalogued
+from repro.service.checkpoint import fleet_checkpoint, write_checkpoint
+from repro.service.protocol import HttpRequest
+
+#: JSONL ingest: columns a record must carry ("label" defaults to the
+#: baseline, matching FlowTable.from_arrays).
+_REQUIRED_JSONL_KEYS = tuple(c for c in ALL_COLUMNS if c != "label")
+
+_JSON_CONTENT = "application/json"
+
+
+def _json_body(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_body(message: str) -> bytes:
+    return _json_body({"error": message})
+
+
+class ServiceApp:
+    """Dispatch requests against one live fleet.
+
+    Args:
+        fleet: the running :class:`FleetManager` (the app borrows it;
+            the supervisor/CLI owns its lifecycle).
+        checkpoint_path: durable checkpoint file, or ``None`` to run
+            without checkpointing (``checkpointed_sequence`` stays 0
+            and ``/healthz`` reports ``"checkpointing": false``).
+        checkpoint_every: write a checkpoint every N accepted ingest
+            batches.
+        checkpoint_sync: fsync each checkpoint before the atomic
+            rename.  Off by default: kill-safety needs only the
+            rename, and fsync dominates the per-interval checkpoint
+            budget on ordinary disks.
+        chunk_rows: rows per chunk fed into the fleet from one ingest
+            body (bounds parser memory on large bodies).
+        sequence: the resumed ingest sequence (0 for a fresh run).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetManager,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        checkpoint_sync: bool = False,
+        chunk_rows: int = 4096,
+        sequence: int = 0,
+    ):
+        if checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1: {checkpoint_every}"
+            )
+        if chunk_rows < 1:
+            raise ConfigError(f"chunk_rows must be >= 1: {chunk_rows}")
+        if sequence < 0:
+            raise ConfigError(f"sequence must be >= 0: {sequence}")
+        if checkpoint_path is not None:
+            for name in fleet.names:
+                store = fleet.extractor(name).store
+                if store is None or store.path == ":memory:":
+                    raise ConfigError(
+                        f"checkpointing requires a durable incident "
+                        f"store per pipeline, but {name!r} uses "
+                        f"{':memory:' if store else 'no store'}; set "
+                        f"store_dir/store_path or drop checkpoint_path"
+                    )
+        self.fleet = fleet
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_sync = checkpoint_sync
+        self.chunk_rows = chunk_rows
+        self.sequence = sequence
+        #: Sequence covered by the newest durable checkpoint.  A
+        #: resumed daemon starts with both counters equal; they only
+        #: diverge between checkpoint writes.
+        self.checkpointed_sequence = sequence
+        self._tracer = fleet.tracer
+        registry = fleet.metrics
+        self._m_requests = catalogued(
+            registry, "repro_service_requests_total"
+        )
+        self._m_request_seconds = catalogued(
+            registry, "repro_service_request_seconds"
+        )
+        self._m_ingest_rows = catalogued(
+            registry, "repro_service_ingest_rows_total"
+        ).labels()
+        self._m_ckpt_writes = catalogued(
+            registry, "repro_checkpoint_writes_total"
+        ).labels()
+        self._m_ckpt_seconds = catalogued(
+            registry, "repro_checkpoint_write_seconds"
+        ).labels()
+        self._m_ckpt_bytes = catalogued(
+            registry, "repro_checkpoint_bytes"
+        ).labels()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> tuple[int, bytes, str]:
+        """Serve one request; returns (status, body, content type).
+
+        Library errors map to client statuses (400 bad input, 404
+        unknown incident, 409 ingest conflicts, 413 oversized bodies);
+        anything unexpected becomes a 500 carrying the exception text.
+        """
+        route = self._route_of(request)
+        started = time.perf_counter()
+        with self._tracer.span(
+            "service.request", method=request.method, route=route
+        ) as span:
+            try:
+                status, body, content_type = self._dispatch(
+                    request, route
+                )
+            except ServiceError as exc:
+                status, body, content_type = (
+                    400, _error_body(str(exc)), _JSON_CONTENT
+                )
+            except TraceFormatError as exc:
+                status, body, content_type = (
+                    400, _error_body(str(exc)), _JSON_CONTENT
+                )
+            except IncidentError as exc:
+                code = 404 if "no incident" in str(exc) else 409
+                status, body, content_type = (
+                    code, _error_body(str(exc)), _JSON_CONTENT
+                )
+            except (ConfigError, CheckpointError) as exc:
+                status, body, content_type = (
+                    400, _error_body(str(exc)), _JSON_CONTENT
+                )
+            except ReproError as exc:
+                status, body, content_type = (
+                    500, _error_body(str(exc)), _JSON_CONTENT
+                )
+            span.set_attribute("status", status)
+        self._m_requests.labels(
+            request.method, route, str(status)
+        ).inc()
+        self._m_request_seconds.labels(route).observe(
+            time.perf_counter() - started
+        )
+        return status, body, content_type
+
+    @staticmethod
+    def _route_of(request: HttpRequest) -> str:
+        path = request.path.rstrip("/") or "/"
+        if path in ("/ingest", "/incidents", "/metrics", "/healthz"):
+            return path
+        if path.startswith("/incidents/"):
+            return "/incidents/{id}"
+        return "unknown"
+
+    def _dispatch(
+        self, request: HttpRequest, route: str
+    ) -> tuple[int, bytes, str]:
+        if route == "unknown":
+            return (
+                404,
+                _error_body(f"no route for {request.path!r}"),
+                _JSON_CONTENT,
+            )
+        if route == "/ingest":
+            if request.method != "POST":
+                return self._method_not_allowed(request, "POST")
+            return self._handle_ingest(request)
+        if request.method != "GET":
+            return self._method_not_allowed(request, "GET")
+        if route == "/metrics":
+            return (
+                200,
+                self.fleet.metrics.render_prometheus().encode("utf-8"),
+                "text/plain; version=0.0.4",
+            )
+        if route == "/healthz":
+            return 200, _json_body(self.health()), _JSON_CONTENT
+        if route == "/incidents":
+            return self._handle_incidents(request)
+        return self._handle_incident_detail(request)
+
+    @staticmethod
+    def _method_not_allowed(
+        request: HttpRequest, allowed: str
+    ) -> tuple[int, bytes, str]:
+        return (
+            405,
+            _error_body(
+                f"{request.method} not allowed on {request.path}; "
+                f"use {allowed}"
+            ),
+            _JSON_CONTENT,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _handle_ingest(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str]:
+        fmt = request.query.get("format", "csv")
+        pipeline = request.query.get("pipeline")
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(
+                f"ingest body is not valid UTF-8: {exc}"
+            ) from exc
+        if fmt == "csv":
+            rows = self._feed_csv(text, pipeline)
+        elif fmt == "jsonl":
+            rows = self._feed_jsonl(text, pipeline)
+        else:
+            raise ServiceError(
+                f"unknown ingest format {fmt!r}; use csv or jsonl"
+            )
+        sequence = self.batch_accepted(rows)
+        return (
+            200,
+            _json_body(
+                {
+                    "rows": rows,
+                    "sequence": sequence,
+                    "checkpointed_sequence": self.checkpointed_sequence,
+                }
+            ),
+            _JSON_CONTENT,
+        )
+
+    def batch_accepted(self, rows: int) -> int:
+        """Advance the ingest sequence for one accepted batch and run
+        the periodic checkpoint policy; returns the new sequence.
+        Shared by the HTTP and TCP ingest surfaces."""
+        self._m_ingest_rows.inc(rows)
+        self.sequence += 1
+        if (
+            self.checkpoint_path is not None
+            and self.sequence % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        return self.sequence
+
+    def ingest_lines(
+        self, lines: list[str], pipeline: str | None = None
+    ) -> tuple[int, int]:
+        """Ingest header-less CSV rows (the TCP line protocol's batch
+        unit); returns ``(rows, sequence)``.  The batch is parsed and
+        fed atomically before the sequence advances - a malformed row
+        rejects the whole batch and the sequence stays put."""
+        text = "\n".join([",".join(ALL_COLUMNS), *lines]) + "\n"
+        rows = self._feed_csv(text, pipeline)
+        return rows, self.batch_accepted(rows)
+
+    def _feed_csv(self, text: str, pipeline: str | None) -> int:
+        """Parse a CSV body (header required) and feed the fleet."""
+        rows = 0
+        for chunk in iter_csv_handle(
+            io.StringIO(text),
+            chunk_rows=self.chunk_rows,
+            name="ingest",
+            metrics=self.fleet.metrics,
+        ):
+            self.fleet.feed(chunk, pipeline=pipeline)
+            rows += len(chunk)
+        return rows
+
+    def _feed_jsonl(self, text: str, pipeline: str | None) -> int:
+        """Parse a JSONL body (one flow object per line) and feed the
+        fleet in ``chunk_rows``-sized chunks."""
+        columns: dict[str, list[float]] = {c: [] for c in ALL_COLUMNS}
+        rows = 0
+
+        def flush() -> None:
+            nonlocal columns
+            if not columns["start"]:
+                return
+            self.fleet.feed(
+                FlowTable(
+                    {c: np.asarray(v) for c, v in columns.items()}
+                ),
+                pipeline=pipeline,
+            )
+            columns = {c: [] for c in ALL_COLUMNS}
+
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"ingest:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ServiceError(
+                    f"ingest:{line_no}: each line must be a flow "
+                    f"object, got {type(record).__name__}"
+                )
+            missing = [
+                key for key in _REQUIRED_JSONL_KEYS if key not in record
+            ]
+            if missing:
+                raise ServiceError(
+                    f"ingest:{line_no}: flow object missing keys "
+                    f"{missing}"
+                )
+            try:
+                for key in _REQUIRED_JSONL_KEYS:
+                    value = record[key]
+                    columns[key].append(
+                        float(value) if key == "start" else int(value)
+                    )
+                columns["label"].append(int(record.get("label", 0)))
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"ingest:{line_no}: bad value: {exc}"
+                ) from exc
+            rows += 1
+            if rows % self.chunk_rows == 0:
+                flush()
+        flush()
+        return rows
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Write a durable checkpoint now; returns bytes written.
+
+        The incident stores are already durable (their appends landed
+        during feed), so the ordering contract of
+        :mod:`repro.service.checkpoint` holds by construction.
+        """
+        if self.checkpoint_path is None:
+            raise CheckpointError(
+                "no checkpoint_path configured; enable [service] "
+                "checkpoint_path to checkpoint"
+            )
+        started = time.perf_counter()
+        with self._tracer.span(
+            "service.checkpoint", sequence=self.sequence
+        ) as span:
+            doc = fleet_checkpoint(self.fleet, self.sequence)
+            size = write_checkpoint(
+                self.checkpoint_path, doc, sync=self.checkpoint_sync
+            )
+            span.set_attribute("bytes", size)
+        self.checkpointed_sequence = self.sequence
+        self._m_ckpt_writes.inc()
+        self._m_ckpt_seconds.observe(time.perf_counter() - started)
+        self._m_ckpt_bytes.set(size)
+        return size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _handle_incidents(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str]:
+        profile = request.query.get("profile", "balanced")
+        top_text = request.query.get("top")
+        top: int | None = None
+        if top_text is not None:
+            try:
+                top = int(top_text)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"top must be an integer: {top_text!r}"
+                ) from exc
+        entries = self.fleet.incidents(profile=profile, top=top)
+        payload = []
+        for entry in entries:
+            data = entry.to_dict()
+            data["id"] = (
+                f"{entry.pipeline}:{entry.incident.incident_id}"
+            )
+            payload.append(data)
+        return (
+            200,
+            _json_body({"incidents": payload, "count": len(payload)}),
+            _JSON_CONTENT,
+        )
+
+    def _handle_incident_detail(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str]:
+        raw = request.path.rstrip("/").rsplit("/", 1)[-1]
+        pipeline, sep, id_text = raw.partition(":")
+        if not sep:
+            raise ServiceError(
+                f"incident id must be <pipeline>:<number>, got {raw!r}"
+            )
+        try:
+            incident_id = int(id_text)
+        except ValueError as exc:
+            raise ServiceError(
+                f"incident id must be <pipeline>:<number>, got {raw!r}"
+            ) from exc
+        profile = request.query.get("profile", "balanced")
+        entries = self.fleet.incidents(profile=profile)
+        match = next(
+            (
+                e
+                for e in entries
+                if e.pipeline == pipeline
+                and e.incident.incident_id == incident_id
+            ),
+            None,
+        )
+        if match is None:
+            have = ", ".join(
+                f"{e.pipeline}:{e.incident.incident_id}"
+                for e in entries
+            )
+            raise IncidentError(
+                f"no incident {raw!r}; fleet has "
+                f"{have if have else 'none'}"
+            )
+        store = self.fleet.extractor(pipeline).store
+        if store is None:
+            raise ServiceError(
+                f"pipeline {pipeline!r} has no incident store to "
+                f"explain from"
+            )
+        provenance = explain_incident(store, match.ranked)
+        data = provenance.to_dict()
+        data["id"] = raw
+        data["pipeline"] = pipeline
+        return 200, _json_body(data), _JSON_CONTENT
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` document: ingest progress, checkpoint
+        state, and per-pipeline assembler posture (watermark, lag,
+        pending buffers, drops, backpressure)."""
+        pipelines: dict[str, Any] = {}
+        for name in self.fleet.names:
+            session = self.fleet.session(name)
+            assembler = session.assembler
+            if assembler is None:
+                pipelines[name] = {"mode": "batch"}
+                continue
+            watermark = assembler.watermark
+            lag = watermark - (
+                assembler.next_interval * session.interval_seconds
+                + session.origin
+            )
+            pipelines[name] = {
+                "watermark": (
+                    None if watermark == float("-inf") else watermark
+                ),
+                "next_interval": assembler.next_interval,
+                "watermark_lag_seconds": (
+                    None if watermark == float("-inf") else lag
+                ),
+                "pending_intervals": assembler.pending_intervals,
+                "pending_flows": assembler.pending_flows,
+                "flows_seen": assembler.flows_seen,
+                "late_dropped": assembler.late_dropped,
+                "backpressure_emits": assembler.backpressure_emits,
+                "intervals_emitted": assembler.intervals_emitted,
+            }
+        return {
+            "status": "ok",
+            "sequence": self.sequence,
+            "checkpointed_sequence": self.checkpointed_sequence,
+            "checkpointing": self.checkpoint_path is not None,
+            "pipelines": pipelines,
+        }

@@ -31,7 +31,7 @@ import math
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.flows.stream import (
     DEFAULT_INTERVAL_SECONDS,
     IntervalView,
@@ -175,6 +175,83 @@ class IntervalAssembler:
     def watermark(self) -> float:
         """Largest flow start time seen (-inf before any flow)."""
         return self._watermark
+
+    @property
+    def next_interval(self) -> int:
+        """Index of the next interval to emit (the emit cursor)."""
+        return self._next_emit
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the assembler's mutable state.
+
+        Configuration (interval length, origin, lateness) is NOT part
+        of the state - it comes from the constructor, so a restored
+        assembler must be built with the same knobs.  The pending bins
+        are serialized as ``[interval, [chunk columns, ...]]`` pairs
+        (JSON objects cannot key on ints), preserving per-interval
+        chunk arrival order - the property that keeps resumed output
+        byte-identical.
+        """
+        return {
+            "pending": [
+                [k, [part.to_state() for part in parts]]
+                for k, parts in sorted(self._pending.items())
+            ],
+            "next_emit": self._next_emit,
+            "highest_seen": self._highest_seen,
+            "watermark": (
+                self._watermark if math.isfinite(self._watermark) else None
+            ),
+            "flows_seen": self.flows_seen,
+            "late_dropped_pre_origin": self.late_dropped_pre_origin,
+            "late_dropped_closed": self.late_dropped_closed,
+            "backpressure_emits": self.backpressure_emits,
+            "intervals_emitted": self.intervals_emitted,
+        }
+
+    def from_state(self, state: dict) -> None:
+        """Restore :meth:`to_state` data into this assembler.
+
+        Replaces the mutable state wholesale; the assembler should be
+        freshly constructed (with the same configuration the snapshot
+        was taken under).
+        """
+        try:
+            pending = {
+                int(k): [FlowTable.from_state(part) for part in parts]
+                for k, parts in state["pending"]
+            }
+            watermark = state["watermark"]
+            restored = {
+                "next_emit": int(state["next_emit"]),
+                "highest_seen": int(state["highest_seen"]),
+                "flows_seen": int(state["flows_seen"]),
+                "late_dropped_pre_origin": int(
+                    state["late_dropped_pre_origin"]
+                ),
+                "late_dropped_closed": int(state["late_dropped_closed"]),
+                "backpressure_emits": int(state["backpressure_emits"]),
+                "intervals_emitted": int(state["intervals_emitted"]),
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed assembler checkpoint state: {exc}"
+            ) from exc
+        self._pending = pending
+        self._next_emit = restored["next_emit"]
+        self._highest_seen = restored["highest_seen"]
+        self._watermark = (
+            -math.inf if watermark is None else float(watermark)
+        )
+        self.flows_seen = restored["flows_seen"]
+        self.late_dropped_pre_origin = restored["late_dropped_pre_origin"]
+        self.late_dropped_closed = restored["late_dropped_closed"]
+        self.backpressure_emits = restored["backpressure_emits"]
+        self.intervals_emitted = restored["intervals_emitted"]
+        self._update_gauges()
 
     # ------------------------------------------------------------------
     def push(self, chunk: FlowTable) -> list[IntervalView]:

@@ -141,3 +141,71 @@ class TestMisc:
 
     def test_repr_mentions_counts(self, tiny_flows):
         assert "n=6" in repr(tiny_flows)
+
+
+class TestPackedState:
+    """The packed-array checkpoint codec (pack_array / to_state)."""
+
+    def test_state_round_trip(self, tiny_flows):
+        assert FlowTable.from_state(tiny_flows.to_state()) == tiny_flows
+
+    def test_to_state_is_memoized(self, tiny_flows):
+        assert tiny_flows.to_state() is tiny_flows.to_state()
+
+    def test_state_is_deterministic(self, tiny_flows):
+        clone = FlowTable.concat([tiny_flows])
+        assert tiny_flows.to_state() == clone.to_state()
+
+    def test_plain_sequence_state_accepted(self):
+        state = {name: [1] for name in ALL_COLUMNS}
+        state["start"] = [1.5]
+        table = FlowTable.from_state(state)
+        assert len(table) == 1
+        assert table.start[0] == 1.5
+
+    def test_malformed_packed_array_rejected(self, tiny_flows):
+        state = {
+            name: dict(packed) for name, packed in
+            tiny_flows.to_state().items()
+        }
+        state["src_ip"] = {"dtype": "<u4", "data": "!!not-base64!!"}
+        with pytest.raises(FlowError, match="malformed table state"):
+            FlowTable.from_state(state)
+
+    def test_ragged_packed_buffer_rejected(self, tiny_flows):
+        import base64
+
+        state = {
+            name: dict(packed) for name, packed in
+            tiny_flows.to_state().items()
+        }
+        state["src_ip"] = {
+            "dtype": "<u4",
+            "data": base64.b64encode(b"abc").decode(),
+        }
+        with pytest.raises(FlowError, match="does not\\s+divide"):
+            FlowTable.from_state(state)
+
+    def test_narrowing_is_value_lossless(self):
+        from repro.flows.table import pack_array, unpack_array
+
+        rng = np.random.default_rng(7)
+        arrays = [
+            rng.integers(0, 2**16, 2048).astype(np.uint32),
+            rng.integers(0, 2**32, 2048).astype(np.uint64),
+            rng.integers(0, 200, 2048).astype(np.float64),
+            rng.uniform(0, 1, 2048),
+            np.concatenate([[np.nan, -1.0, 0.5], np.zeros(2048)]),
+        ]
+        for array in arrays:
+            packed = pack_array(array)
+            restored = unpack_array(packed).astype(array.dtype)
+            assert np.array_equal(restored, array, equal_nan=True)
+
+    def test_narrowing_shrinks_integer_columns(self):
+        from repro.flows.table import pack_array
+
+        ports = np.arange(4096, dtype=np.uint32)
+        assert pack_array(ports)["dtype"] == "<u2"
+        counts = np.arange(256, dtype=np.float64)
+        assert pack_array(counts)["dtype"] == "|u1"

@@ -1,0 +1,74 @@
+"""Shared workload for the service tests: a small two-link stream.
+
+Every test here drives the same deterministic 16-chunk stream (one
+chunk per 10 s interval, planted heavy-hitter anomalies in four of
+them) through a two-pipeline fleet, because the service contract under
+test is *equivalence*: whatever the daemon does - ingest over HTTP,
+checkpoint, die, resume - the merged incident ranking must match the
+uninterrupted run byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import resolve_config
+from repro.detection.detector import DetectorConfig
+from repro.flows.table import FlowTable
+
+#: One chunk per interval; anomalies planted after training warms up.
+N_CHUNKS = 16
+ROWS_PER_CHUNK = 250
+ATTACK_CHUNKS = frozenset({6, 7, 11, 12})
+INTERVAL_SECONDS = 10.0
+
+
+def make_chunk(
+    rng: np.random.Generator, t0: float, n: int, attack: bool = False
+) -> FlowTable:
+    """One interval of background noise, optionally half-saturated by
+    a single-source, single-port heavy hitter (what the miner should
+    extract)."""
+    src = rng.integers(0, 2**32, n, dtype=np.uint64)
+    dport = rng.integers(0, 65536, n, dtype=np.uint64)
+    if attack:
+        k = n // 2
+        src[:k] = 123456789
+        dport[:k] = 1433
+    return FlowTable({
+        "start": np.sort(rng.uniform(t0, t0 + INTERVAL_SECONDS, n)),
+        "src_ip": src,
+        "dst_ip": rng.integers(0, 2**32, n, dtype=np.uint64),
+        "src_port": rng.integers(0, 65536, n, dtype=np.uint64),
+        "dst_port": dport,
+        "protocol": np.full(n, 6, dtype=np.uint64),
+        "packets": rng.integers(1, 100, n, dtype=np.uint64),
+        "bytes": rng.integers(40, 1500, n, dtype=np.uint64),
+        "label": np.zeros(n, dtype=np.uint64),
+    })
+
+
+@pytest.fixture(scope="session")
+def service_config():
+    """A pipeline config small enough to alarm on the planted attacks."""
+    return resolve_config(
+        None,
+        min_support=40,
+        detector=DetectorConfig(training_intervals=3, vote_threshold=2),
+    )
+
+
+@pytest.fixture(scope="session")
+def service_chunks():
+    """The deterministic 16-chunk stream shared by every service test."""
+    rng = np.random.default_rng(7)
+    return [
+        make_chunk(
+            rng,
+            INTERVAL_SECONDS * i,
+            ROWS_PER_CHUNK,
+            attack=(i in ATTACK_CHUNKS),
+        )
+        for i in range(N_CHUNKS)
+    ]
