@@ -1,6 +1,6 @@
 """The stable, documented facade of the repro library.
 
-Seven verbs cover the paper's workflow end to end:
+Eight verbs cover the paper's workflow end to end:
 
 * :func:`extract` - batch extraction over a trace (file or
   :class:`~repro.flows.table.FlowTable`);
@@ -15,7 +15,9 @@ Seven verbs cover the paper's workflow end to end:
   incidents;
 * :func:`serve` - run a fleet as a long-lived daemon (HTTP/TCP
   ingest, incident queries, Prometheus metrics) with durable
-  checkpoint/resume.
+  checkpoint/resume;
+* :func:`federate` - merge multiple vantage points' sketch digests
+  into one global detection and incident ranking.
 
 Everything accepts either a ready :class:`ExtractionConfig`, a nested
 dict, or a path to a TOML run config, plus flat keyword overrides::
@@ -43,6 +45,7 @@ from typing import TextIO
 
 from repro.core.config import (
     ExtractionConfig,
+    FederationSettings,
     FleetSettings,
     IncidentSettings,
     MiningSettings,
@@ -66,10 +69,21 @@ from repro.detection.features import CustomFeature, Feature, resolve_features
 from repro.errors import (
     CheckpointError,
     ConfigError,
+    FederationError,
     ReproError,
     ServiceError,
+    SketchError,
     TraceFormatError,
 )
+from repro.federation import (
+    Collector,
+    FederationResult,
+    Federator,
+    IntervalDigest,
+    run_federation,
+    split_trace,
+)
+from repro.federation.tier import federation_kwargs
 from repro.fleet.manager import FleetIncident, FleetManager
 from repro.flows.io import DEFAULT_CHUNK_ROWS, iter_csv, read_trace
 from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
@@ -109,6 +123,7 @@ __all__ = [
     "open_store",
     "rank",
     "serve",
+    "federate",
     "metrics",
     "resolve_config",
     # Curated re-exports (the stable names).
@@ -119,6 +134,7 @@ __all__ = [
     "FleetIncident",
     "FleetSettings",
     "ServiceSettings",
+    "FederationSettings",
     "ExtractionConfig",
     "DetectorConfig",
     "MiningSettings",
@@ -132,6 +148,10 @@ __all__ = [
     "TriagedItemset",
     "RankedIncident",
     "IncidentStore",
+    "Collector",
+    "Federator",
+    "IntervalDigest",
+    "FederationResult",
     "FlowTable",
     "iter_csv",
     "read_trace",
@@ -162,6 +182,8 @@ __all__ = [
     "ConfigError",
     "ServiceError",
     "CheckpointError",
+    "FederationError",
+    "SketchError",
 ]
 
 
@@ -668,9 +690,12 @@ def serve(
     from repro.service.supervisor import run_service
 
     service_data: Mapping | None = None
+    federation_data: Mapping | None = None
     fleet_config: ExtractionConfig | Mapping | None
     if isinstance(config, (str, os.PathLike)):
-        fleet_data, service_data, raw = split_run_data(config)
+        fleet_data, service_data, federation_data, raw = split_run_data(
+            config
+        )
         data = dict(raw)
         if fleet_data is not None:
             data["fleet"] = fleet_data
@@ -678,11 +703,13 @@ def serve(
     elif isinstance(config, Mapping):
         data = dict(config)
         service_data = data.pop("service", None)
+        federation_data = data.pop("federation", None)
         fleet_config = data
     else:
         fleet_config = config
     try:
         settings = ServiceSettings.from_data(service_data)
+        federation_settings = FederationSettings.from_data(federation_data)
     except ConfigError as exc:
         if isinstance(config, (str, os.PathLike)):
             raise ConfigError(f"{config}: {exc}") from exc
@@ -711,16 +738,206 @@ def serve(
             pipelines = 1
     if metrics is None:
         metrics = MetricsRegistry()
-    with open_fleet(
-        fleet_config,
-        pipelines=pipelines,
-        route=route,
-        store_dir=store_dir,
-        interval_seconds=interval_seconds,
-        origin=origin,
-        seed=seed,
-        metrics=metrics,
-        tracer=tracer,
-        **overrides,
-    ) as fleet:
-        run_service(fleet, settings, resume=resume, log=log)
+    federator = None
+    federation_store: IncidentStore | None = None
+    if federation_settings.configured:
+        base = resolve_config(
+            {k: v for k, v in fleet_config.items() if k != "fleet"}
+            if isinstance(fleet_config, Mapping)
+            else fleet_config,
+            **overrides,
+        )
+        if federation_settings.store_path is not None:
+            federation_store = _open_store(federation_settings.store_path)
+        federator = Federator(
+            sites=federation_settings.sites,
+            config=base.detector,
+            features=base.features,
+            seed=seed,
+            interval_seconds=interval_seconds,
+            origin=origin,
+            store=federation_store,
+            metrics=metrics,
+            tracer=tracer,
+            **federation_kwargs(federation_settings),
+        )
+    try:
+        with open_fleet(
+            fleet_config,
+            pipelines=pipelines,
+            route=route,
+            store_dir=store_dir,
+            interval_seconds=interval_seconds,
+            origin=origin,
+            seed=seed,
+            metrics=metrics,
+            tracer=tracer,
+            **overrides,
+        ) as fleet:
+            run_service(
+                fleet, settings, resume=resume, log=log,
+                federator=federator,
+            )
+    finally:
+        if federation_store is not None:
+            federation_store.close()
+
+
+def federate(
+    traces: (
+        Mapping[str, FlowTable | str | os.PathLike[str]]
+        | FlowTable
+        | str
+        | os.PathLike[str]
+    ),
+    config: ExtractionConfig | Mapping | str | os.PathLike[str] | None = None,
+    *,
+    sites: Sequence[str] | None = None,
+    route: str | None = None,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    seed: int = 0,
+    min_support: int | None = None,
+    straggler_grace: int | None = None,
+    store: IncidentStore | str | os.PathLike[str] | None = None,
+    profile: str = "balanced",
+    top: int | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    **overrides: object,
+) -> FederationResult:
+    """Federate multiple vantage points' traces into one global view.
+
+    Each site's trace is summarized interval-by-interval into mergeable
+    sketch digests (histogram clones + count-min, O(sketch) per site,
+    not O(flows)); one federator merges every interval across sites,
+    runs the KL detectors over the merged view, and turns alarmed
+    intervals into triaged, ranked incidents - the offline shape of the
+    ``repro-extract federate`` workflow::
+
+        result = repro.federate({"pop-east": "east.npz",
+                                 "pop-west": "west.npz"})
+        result = repro.federate("combined.csv", sites=["a", "b"],
+                                route="dst_ip%2", min_support=500)
+        for entry in result.incidents:
+            print(entry.render())
+
+    Args:
+        traces: a mapping of site name -> trace (each a
+            :class:`FlowTable` or a readable trace path), or one
+            combined trace to split across ``sites`` by ``route`` (as
+            if each site had captured its own share).
+        config: config object / nested dict / TOML path (see
+            :func:`resolve_config`); dict/TOML may carry a
+            ``[federation]`` table (:class:`FederationSettings`) whose
+            ``sites`` / ``route`` / sketch-geometry keys become the
+            defaults the keyword arguments here override.
+        sites: site names for the single-trace form (overrides
+            ``[federation] sites``); ignored when ``traces`` is a
+            mapping.
+        route: routing spec splitting a single trace across sites
+            (default ``[federation] route``, else ``dst_ip``).
+        interval_seconds / origin / seed: the shared interval grid and
+            hash seed - identical at every site by construction here;
+            live collectors must agree on them out of band.
+        min_support: support floor for merged count-min item-sets
+            (overrides ``[federation] min_support``).
+        straggler_grace: release an interval once this many later
+            intervals have been seen, merging whatever arrived
+            (overrides ``[federation] straggler_grace``).
+        store: optional incident store (open
+            :class:`IncidentStore` or path) the federation's reports
+            are appended to.
+        profile / top: incident ranking knobs (see :func:`rank`).
+        metrics / tracer: observability hooks (see :func:`metrics` /
+            :func:`tracer`).
+        **overrides: flat or grouped base-config fields
+            (``features="paper5"``, ``detector={"clones": 8}``, ...);
+            the detector group configures the clone geometry every
+            site's digests must share.
+    """
+    federation_data: Mapping | None = None
+    if isinstance(config, (str, os.PathLike)):
+        _fleet_data, _service_data, federation_data, raw = split_run_data(
+            config
+        )
+        try:
+            base = ExtractionConfig.from_dict(raw)
+        except ConfigError as exc:
+            raise ConfigError(f"{config}: {exc}") from exc
+        if overrides:
+            base = base.replace(**overrides)
+    elif isinstance(config, Mapping):
+        data = dict(config)
+        federation_data = data.pop("federation", None)
+        data.pop("fleet", None)
+        data.pop("service", None)
+        base = resolve_config(data, **overrides)
+    else:
+        base = resolve_config(config, **overrides)
+    try:
+        settings = FederationSettings.from_data(federation_data)
+    except ConfigError as exc:
+        if isinstance(config, (str, os.PathLike)):
+            raise ConfigError(f"{config}: {exc}") from exc
+        raise
+    kwargs = federation_kwargs(settings)
+    if min_support is not None:
+        kwargs["min_support"] = min_support
+    if straggler_grace is not None:
+        kwargs["straggler_grace"] = straggler_grace
+    if isinstance(traces, Mapping):
+        site_traces = {
+            str(site): _load_flows(trace)
+            for site, trace in traces.items()
+        }
+    else:
+        site_names = (
+            tuple(str(s) for s in sites)
+            if sites is not None
+            else settings.sites
+        )
+        if not site_names:
+            raise FederationError(
+                "federating a single trace needs site names: pass "
+                "sites=[...] or configure [federation] sites"
+            )
+        spec = route if route is not None else settings.route
+        if spec is None:
+            spec = "dst_ip"
+        site_traces = split_trace(_load_flows(traces), site_names, spec)
+    opened: IncidentStore | None = None
+    if isinstance(store, (str, os.PathLike)):
+        opened = _open_store(store)
+    elif store is None and settings.store_path is not None:
+        opened = _open_store(settings.store_path)
+    try:
+        return run_federation(
+            site_traces,
+            config=base.detector,
+            features=base.features,
+            seed=seed,
+            interval_seconds=interval_seconds,
+            origin=origin,
+            jaccard=(
+                base.incident_jaccard
+                if base.incident_jaccard is not None
+                else 0.5
+            ),
+            quiet_gap=(
+                base.incident_quiet_gap
+                if base.incident_quiet_gap is not None
+                else 2
+            ),
+            store=opened if opened is not None else (
+                store if isinstance(store, IncidentStore) else None
+            ),
+            profile=profile,
+            top=top,
+            metrics=metrics,
+            tracer=tracer,
+            **kwargs,
+        )
+    finally:
+        if opened is not None:
+            opened.close()

@@ -18,6 +18,12 @@ subcommand:
   the merged ranking, ``GET /metrics`` the Prometheus export, and a
   durable checkpoint file makes ``--resume`` continue a killed run
   mid-stream without re-ingesting;
+* ``federate`` - multi-vantage-point aggregation over sketch digests:
+  ``federate collect`` summarizes one site's trace as mergeable
+  interval digests (JSONL), ``federate merge`` aligns and merges N
+  sites' digest files, runs detection over the combined view, and
+  prints the global incident ranking (incompatible sketch parameters
+  are refused with exit 2);
 * ``incidents`` - correlate and rank the reports persisted by
   ``--store`` into cross-interval incidents; ``incidents <db>
   explain <id>`` renders one ranked incident's full provenance
@@ -46,6 +52,8 @@ Examples:
     repro-extract stream trace.csv --store incidents.db
     repro-extract fleet trace.csv --pipelines 2 --route "dst_ip%2"
     repro-extract serve --config fleet.toml --resume
+    repro-extract federate collect east.npz --site east --out east.jsonl
+    repro-extract federate merge east.jsonl west.jsonl --top 5
     repro-extract incidents incidents.db --top 5 --format json
     repro-extract incidents incidents.db explain 1
     repro-extract stream trace.csv --trace spans.jsonl
@@ -60,6 +68,7 @@ import sys
 from repro.cli import (
     detect,
     extract,
+    federate,
     fleet,
     generate,
     incidents,
@@ -84,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
     for module in (generate, detect, extract, stream, fleet, serve,
-                   incidents, table2, topk):
+                   federate, incidents, table2, topk):
         module.add_parser(sub)
     return parser
 

@@ -1,0 +1,312 @@
+"""``repro-extract federate`` - multi-vantage-point sketch federation.
+
+Two actions mirror the deployment's two roles:
+
+* ``federate collect`` runs a per-site collector over one trace and
+  writes its interval digests as JSONL (one canonical digest document
+  per line) - the exact bytes a live collector would ``POST /digest``
+  to a federated daemon;
+* ``federate merge`` replays one or more digest files through a
+  federator - aligning intervals across sites, merging the sketches,
+  running the detector bank over the merged view - and prints the
+  released intervals plus the global incident ranking.
+
+Digest files collected under different sketch parameters (width,
+depth, seed, clone geometry) are refused with exit code 2: merging
+incompatible sketches would silently corrupt the counts.
+
+Examples:
+    repro-extract federate collect east.npz --site pop-east \\
+        --out east.jsonl
+    repro-extract federate collect west.npz --site pop-west \\
+        --out west.jsonl
+    repro-extract federate merge east.jsonl west.jsonl --top 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli._common import (
+    add_config_arg,
+    add_detector_args,
+    add_format_arg,
+    extraction_config,
+    positive_int,
+)
+
+
+def add_parser(sub: argparse._SubParsersAction) -> None:
+    fed = sub.add_parser(
+        "federate",
+        help="summarize per-site traces into sketch digests and merge "
+        "them into one global detection and incident ranking",
+    )
+    fed_sub = fed.add_subparsers(dest="federate_command", required=True)
+
+    collect = fed_sub.add_parser(
+        "collect",
+        help="digest one site's trace into interval digests (JSONL)",
+    )
+    collect.add_argument("trace", help="the site's trace (.npz/.csv)")
+    collect.add_argument("--site", required=True,
+                         help="this vantage point's name (must be "
+                         "unique across the federation)")
+    collect.add_argument("--out", required=True, metavar="FILE",
+                         help="digest JSONL output path ('-' for "
+                         "stdout)")
+    add_config_arg(collect)
+    add_detector_args(collect)
+    _add_sketch_args(collect)
+    collect.add_argument("--origin", type=float, default=0.0,
+                         help="timestamp of interval 0 (every site "
+                         "must use the same value: the interval grid "
+                         "is shared)")
+    collect.set_defaults(func=run_collect)
+
+    merge = fed_sub.add_parser(
+        "merge",
+        help="merge digest files from N sites and rank the federated "
+        "incidents",
+    )
+    merge.add_argument("digests", nargs="+", metavar="DIGESTS.JSONL",
+                       help="digest files written by 'federate "
+                       "collect', one or more sites")
+    add_config_arg(merge)
+    add_detector_args(merge)
+    _add_sketch_args(merge)
+    merge.add_argument("--origin", type=float, default=0.0,
+                       help="timestamp of interval 0 (must match the "
+                       "collectors')")
+    merge.add_argument("--grace", type=positive_int, default=None,
+                       help="straggler grace: release an interval "
+                       "once this many later intervals have been "
+                       "seen, merging whatever arrived (default: "
+                       "[federation] straggler_grace, else 2)")
+    # dest is namespaced away from the shared mining dest: federated
+    # extraction has its own support floor and no miner to configure.
+    merge.add_argument("--min-support", dest="fed_min_support",
+                       type=positive_int, default=None,
+                       help="support floor for merged count-min "
+                       "item-sets (default: [federation] min_support, "
+                       "else 5000)")
+    merge.add_argument("--store", default=None, metavar="PATH",
+                       help="append the federation's extraction "
+                       "reports to a SQLite incident store at PATH")
+    merge.add_argument("--profile", default="balanced",
+                       help="ranking weight profile "
+                       "(balanced, volume, campaign)")
+    merge.add_argument("--top", type=positive_int, default=None,
+                       help="only the k best-ranked incidents")
+    add_format_arg(merge, json_help="a single JSON document with the "
+                   "released intervals and the ranked incidents")
+    merge.set_defaults(func=run_merge)
+
+
+def _add_sketch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cm-width", type=positive_int, default=None,
+                        help="count-min sketch width (columns; "
+                        "support error <= e/width * N; default: "
+                        "[federation] cm_width, else 2048)")
+    parser.add_argument("--cm-depth", type=positive_int, default=None,
+                        help="count-min sketch depth (rows; error "
+                        "probability e^-depth; default: [federation] "
+                        "cm_depth, else 4)")
+
+
+def _federation_setup(args: argparse.Namespace):
+    """Resolve (base config, FederationSettings, cm_width, cm_depth)
+    with the usual flags-over-file layering."""
+    from repro.core.config import FederationSettings, split_run_data
+    from repro.errors import ConfigError
+
+    file_data = None
+    federation_data = None
+    if args.config:
+        _fleet, _service, federation_data, file_data = split_run_data(
+            args.config
+        )
+    base = extraction_config(args, file_data=file_data)
+    try:
+        settings = FederationSettings.from_data(federation_data)
+    except ConfigError as exc:
+        raise ConfigError(f"{args.config}: {exc}") from exc
+    cm_width = (
+        args.cm_width if args.cm_width is not None else settings.cm_width
+    )
+    cm_depth = (
+        args.cm_depth if args.cm_depth is not None else settings.cm_depth
+    )
+    return base, settings, cm_width, cm_depth
+
+
+def run_collect(args: argparse.Namespace) -> int:
+    import sys
+
+    from repro.cli._common import load_trace
+    from repro.federation import Collector
+
+    base, _settings, cm_width, cm_depth = _federation_setup(args)
+    collector = Collector(
+        site=args.site,
+        config=base.detector,
+        features=base.features,
+        seed=args.seed,
+        cm_width=cm_width,
+        cm_depth=cm_depth,
+    )
+    trace = load_trace(args.trace)
+    digests = collector.run(
+        trace, args.interval_seconds, origin=args.origin
+    )
+    lines = [digest.to_json() for digest in digests]
+    if args.out == "-":
+        for line in lines:
+            sys.stdout.write(line + "\n")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    wire = sum(len(line.encode("utf-8")) + 1 for line in lines)
+    print(
+        f"site {args.site}: {len(digests)} digests over "
+        f"{len(trace)} flows -> {args.out} ({wire} bytes)"
+    )
+    return 0
+
+
+def run_merge(args: argparse.Namespace) -> int:
+    from repro.errors import FederationError
+    from repro.federation import Federator, IntervalDigest
+    from repro.federation.tier import federation_kwargs
+
+    base, settings, cm_width, cm_depth = _federation_setup(args)
+    parsed: list[tuple[IntervalDigest, int]] = []
+    for path in args.digests:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line_no, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        digest = IntervalDigest.from_json(line)
+                    except FederationError as exc:
+                        raise FederationError(
+                            f"{path}:{line_no}: {exc}"
+                        ) from exc
+                    parsed.append(
+                        (digest, len(line.rstrip("\n").encode("utf-8")))
+                    )
+        except OSError as exc:
+            raise FederationError(
+                f"cannot read digest file {path}: {exc}"
+            ) from exc
+    if not parsed:
+        raise FederationError(
+            f"no digests found in {', '.join(args.digests)}"
+        )
+    sites = tuple(sorted({
+        site for digest, _ in parsed for site in digest.sites
+    }))
+    kwargs = federation_kwargs(settings)
+    kwargs["cm_width"] = cm_width
+    kwargs["cm_depth"] = cm_depth
+    if args.grace is not None:
+        kwargs["straggler_grace"] = args.grace
+    if args.fed_min_support is not None:
+        kwargs["min_support"] = args.fed_min_support
+    store = None
+    store_path = (
+        args.store if args.store is not None else settings.store_path
+    )
+    if store_path is not None:
+        from repro.incidents import open_store
+
+        store = open_store(store_path)
+    try:
+        federator = Federator(
+            sites=sites,
+            config=base.detector,
+            features=base.features,
+            seed=args.seed,
+            interval_seconds=args.interval_seconds,
+            origin=args.origin,
+            store=store,
+            **kwargs,
+        )
+        released = []
+        # Interval-major delivery (every site's interval i before
+        # anyone's i+1): the order a healthy deployment approximates,
+        # and the one that keeps sorted replay free of stale refusals.
+        for digest, wire_bytes in sorted(
+            parsed, key=lambda entry: (entry[0].interval, entry[0].sites)
+        ):
+            released.extend(
+                federator.add(digest, wire_bytes=wire_bytes)
+            )
+        released.extend(federator.finish())
+        incidents = federator.incidents(
+            profile=args.profile, top=args.top
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "sites": list(sites),
+                "digests": len(parsed),
+                "intervals": [
+                    {
+                        "interval": fi.interval,
+                        "sites": list(fi.sites),
+                        "stragglers": list(fi.stragglers),
+                        "flow_count": fi.flow_count,
+                        "alarmed_features": list(fi.alarmed_features),
+                        "report": (
+                            fi.report.to_dict()
+                            if fi.report is not None
+                            else None
+                        ),
+                    }
+                    for fi in released
+                ],
+                "incidents": [r.to_dict() for r in incidents],
+            },
+            sort_keys=True,
+        ))
+        return 0
+    alarmed = [fi for fi in released if fi.alarm]
+    stragglers = [fi for fi in released if fi.stragglers]
+    print(
+        f"{len(parsed)} digests from {len(sites)} sites "
+        f"({', '.join(sites)}): {len(released)} intervals merged, "
+        f"{len(alarmed)} alarmed, {len(stragglers)} with stragglers"
+    )
+    for fi in alarmed:
+        extra = (
+            f" (missing: {', '.join(fi.stragglers)})"
+            if fi.stragglers else ""
+        )
+        print(
+            f"  interval {fi.interval}: "
+            f"{', '.join(fi.alarmed_features)} over "
+            f"{fi.flow_count} flows{extra}"
+        )
+        if fi.report is not None:
+            from repro.mining.items import format_item
+
+            for triaged in fi.report.itemsets:
+                rendered = " ".join(
+                    format_item(i) for i in triaged.itemset.items
+                )
+                print(
+                    f"    {rendered} support={triaged.itemset.support} "
+                    f"[{triaged.hint}]"
+                )
+    if incidents:
+        print(f"{len(incidents)} incidents (profile: {args.profile})")
+        for entry in incidents:
+            print(f"  {entry.render()}")
+    return 0

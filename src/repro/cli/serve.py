@@ -8,7 +8,10 @@ merged ranking, ``GET /metrics`` the Prometheus export, and
 ``checkpoint_path`` configured the daemon periodically persists the
 whole fleet's resume state; after a crash, ``--resume`` continues the
 run mid-stream without re-ingesting (clients replay from the
-``checkpointed_sequence`` the resumed daemon reports).
+``checkpointed_sequence`` the resumed daemon reports).  With
+``[federation]`` sites configured the daemon is also a federator:
+``POST /digest`` accepts per-site interval digests, and the federation
+state rides along in the checkpoints.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.cli._common import (
     positive_int,
 )
 from repro.core.config import (
+    FederationSettings,
     FleetSettings,
     ServiceSettings,
     split_run_data,
@@ -108,13 +112,17 @@ def add_parser(sub: argparse._SubParsersAction) -> None:
 def run(args: argparse.Namespace) -> int:
     fleet_data = None
     service_data = None
+    federation_data = None
     file_data = None
     if args.config:
-        fleet_data, service_data, file_data = split_run_data(args.config)
+        fleet_data, service_data, federation_data, file_data = (
+            split_run_data(args.config)
+        )
     base = extraction_config(args, file_data=file_data)
     try:
         fleet_settings = FleetSettings.from_data(fleet_data, base)
         settings = ServiceSettings.from_data(service_data)
+        federation_settings = FederationSettings.from_data(federation_data)
     except ConfigError as exc:
         raise ConfigError(f"{args.config}: {exc}") from exc
     overrides: dict[str, object] = {}
@@ -168,15 +176,43 @@ def run(args: argparse.Namespace) -> int:
     tracer = Tracer() if base.obs.trace_path is not None else None
     from repro.service.supervisor import run_service
 
-    with FleetManager(
-        configs,
-        route=route,
-        interval_seconds=args.interval_seconds,
-        origin=args.origin,
-        seed=args.seed,
-        store_dir=store_dir,
-        metrics=registry,
-        tracer=tracer,
-    ) as fleet:
-        run_service(fleet, settings, resume=args.resume)
+    federator = None
+    federation_store = None
+    if federation_settings.configured:
+        from repro.federation.federator import Federator
+        from repro.federation.tier import federation_kwargs
+
+        if federation_settings.store_path is not None:
+            from repro.incidents.store import open_store
+
+            federation_store = open_store(federation_settings.store_path)
+        federator = Federator(
+            sites=federation_settings.sites,
+            config=base.detector,
+            features=base.features,
+            seed=args.seed,
+            interval_seconds=args.interval_seconds,
+            origin=args.origin,
+            store=federation_store,
+            metrics=registry,
+            tracer=tracer,
+            **federation_kwargs(federation_settings),
+        )
+    try:
+        with FleetManager(
+            configs,
+            route=route,
+            interval_seconds=args.interval_seconds,
+            origin=args.origin,
+            seed=args.seed,
+            store_dir=store_dir,
+            metrics=registry,
+            tracer=tracer,
+        ) as fleet:
+            run_service(
+                fleet, settings, resume=args.resume, federator=federator
+            )
+    finally:
+        if federation_store is not None:
+            federation_store.close()
     return 0

@@ -35,7 +35,7 @@ import math
 import os
 import types
 import typing
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.detection.detector import DetectorConfig
@@ -628,6 +628,12 @@ class ExtractionConfig:
                         "ServiceSettings.from_data / api.serve / "
                         "the 'serve' CLI subcommand)"
                     )
+                elif key == "federation":
+                    hint = (
+                        " (federation run configs load through "
+                        "FederationSettings.from_data / api.federate / "
+                        "the 'federate' CLI subcommand)"
+                    )
                 elif target is not None:
                     hint = f" (did you mean [{target[0]}] {target[1]}?)"
                 else:
@@ -1089,19 +1095,166 @@ class ServiceSettings:
         return cls(**checked)  # type: ignore[arg-type]
 
 
+#: Keys accepted in a ``[federation]`` table.
+_FEDERATION_KEYS = (
+    "sites",
+    "route",
+    "straggler_grace",
+    "cm_width",
+    "cm_depth",
+    "min_support",
+    "store_path",
+)
+
+
+@dataclass(frozen=True)
+class FederationSettings:
+    """Multi-vantage-point execution settings (the ``[federation]``
+    run-config table)::
+
+        [federation]
+        sites = ["pop-a", "pop-b"]
+        straggler_grace = 2
+        cm_width = 2048
+
+    Attributes:
+        sites: the vantage points whose digests the federator expects
+            per interval; empty means federation is not configured.
+        route: routing spec used when one combined trace must be split
+            into per-site traces (same vocabulary as ``[fleet] route``).
+        straggler_grace: intervals of lead the watermark allows before
+            an incomplete interval is force-released.
+        cm_width: count-min width (support-estimate error eps = e/width
+            of the merged interval's flow count).
+        cm_depth: count-min depth (failure probability delta = e^-depth).
+        min_support: support floor for digest-mined item-sets; ``None``
+            inherits the base config's ``[mining] min_support``.
+        store_path: optional incident store the federator appends
+            alarmed-interval reports to.
+    """
+
+    sites: tuple[str, ...] = ()
+    route: str | None = None
+    straggler_grace: int = 2
+    cm_width: int = 2048
+    cm_depth: int = 4
+    min_support: int | None = None
+    store_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.sites)) != len(self.sites):
+            raise ConfigError(
+                f"[federation] sites must be unique: {list(self.sites)}"
+            )
+        for site in self.sites:
+            if not site:
+                raise ConfigError(
+                    "[federation] site names must be non-empty"
+                )
+        if self.straggler_grace < 1:
+            raise ConfigError(
+                f"[federation] straggler_grace must be >= 1: "
+                f"{self.straggler_grace}"
+            )
+        if self.cm_width < 1:
+            raise ConfigError(
+                f"[federation] cm_width must be >= 1: {self.cm_width}"
+            )
+        if self.cm_depth < 1:
+            raise ConfigError(
+                f"[federation] cm_depth must be >= 1: {self.cm_depth}"
+            )
+        if self.min_support is not None and self.min_support < 1:
+            raise ConfigError(
+                f"[federation] min_support must be >= 1: "
+                f"{self.min_support}"
+            )
+
+    @property
+    def configured(self) -> bool:
+        """True when the table names at least one site."""
+        return bool(self.sites)
+
+    @classmethod
+    def from_data(cls, data: Mapping | None) -> "FederationSettings":
+        """Build settings from a raw ``[federation]`` table (``None``
+        for a config without one); unknown keys raise
+        :class:`ConfigError` with a did-you-mean hint."""
+        if data is None:
+            return cls()
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"[federation] must be a table, "
+                f"got {type(data).__name__}"
+            )
+        for key in data:
+            if key not in _FEDERATION_KEYS:
+                raise ConfigError(
+                    f"[federation] unknown key {key!r}"
+                    f"{_close_match_hint(str(key), sorted(_FEDERATION_KEYS))}"
+                    f"; valid keys: {sorted(_FEDERATION_KEYS)}"
+                )
+        checked: dict[str, object] = {}
+        if "sites" in data:
+            sites = data["sites"]
+            if isinstance(sites, str) or not isinstance(sites, Sequence):
+                raise ConfigError(
+                    f"[federation] sites must be a list of names, "
+                    f"got {type(sites).__name__}: {sites!r}"
+                )
+            for site in sites:
+                if not isinstance(site, str):
+                    raise ConfigError(
+                        f"[federation] site names must be strings, "
+                        f"got {type(site).__name__}: {site!r}"
+                    )
+            checked["sites"] = tuple(sites)
+        for key in ("route", "store_path"):
+            if key in data:
+                value = data[key]
+                if not isinstance(value, str):
+                    raise ConfigError(
+                        f"[federation] {key} must be a string, "
+                        f"got {type(value).__name__}: {value!r}"
+                    )
+                checked[key] = value
+        for key in (
+            "straggler_grace",
+            "cm_width",
+            "cm_depth",
+            "min_support",
+        ):
+            if key in data:
+                value = data[key]
+                # bool is an int subclass; reject it explicitly.
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ConfigError(
+                        f"[federation] {key} must be an integer, "
+                        f"got {type(value).__name__}: {value!r}"
+                    )
+                checked[key] = value
+        return cls(**checked)  # type: ignore[arg-type]
+
+
 def split_run_data(
     path: str | os.PathLike[str],
-) -> tuple[Mapping | None, Mapping | None, dict]:
-    """Load a run-config TOML and split off its ``[fleet]`` and
-    ``[service]`` tables.
+) -> tuple[Mapping | None, Mapping | None, Mapping | None, dict]:
+    """Load a run-config TOML and split off its ``[fleet]``,
+    ``[service]``, and ``[federation]`` tables.
 
-    Returns ``(fleet_data, service_data, remaining_sections)`` - the
-    loading step behind :func:`repro.api.serve` and the ``serve`` CLI
-    subcommand (the remaining sections build the base
-    :class:`ExtractionConfig`).
+    Returns ``(fleet_data, service_data, federation_data,
+    remaining_sections)`` - the loading step behind
+    :func:`repro.api.serve`, :func:`repro.api.federate`, and the
+    ``serve``/``federate`` CLI subcommands (the remaining sections
+    build the base :class:`ExtractionConfig`).
     """
     raw = dict(load_toml_data(path))
-    return raw.pop("fleet", None), raw.pop("service", None), raw
+    return (
+        raw.pop("fleet", None),
+        raw.pop("service", None),
+        raw.pop("federation", None),
+        raw,
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -24,10 +24,24 @@ from repro.detection.threshold import (
     estimate_threshold,
 )
 from repro.detection.voting import vote
-from repro.errors import CheckpointError, ConfigError
+from repro.errors import CheckpointError, ConfigError, SketchError
 from repro.flows.table import FlowTable, pack_array, unpack_array
 from repro.sketch.cloning import CloneSet
 from repro.sketch.histogram import HistogramSnapshot
+
+
+def clone_seed(seed: int, feature: Feature) -> int:
+    """Seed of the clone hash family for ``feature`` under run ``seed``.
+
+    Distinct features must use distinct hash streams even with the same
+    run seed, otherwise clones of different detectors correlate.
+    zlib.crc32 is stable across processes (unlike built-in str hashing,
+    which PYTHONHASHSEED randomizes).  Federated collectors call this
+    too, so remote clone sets bin *identically* to the federator's
+    detectors - the precondition for exact merged detection.
+    """
+    feature_salt = zlib.crc32(feature.value.encode()) & 0xFFFF
+    return seed * 131 + feature_salt
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,13 +123,8 @@ class HistogramDetector:
     def __init__(self, feature: Feature, config: DetectorConfig, seed: int = 0):
         self.feature = feature
         self.config = config
-        # Distinct features must use distinct hash streams even with the
-        # same seed, otherwise clones of different detectors correlate.
-        # zlib.crc32 is stable across processes (unlike built-in str
-        # hashing, which PYTHONHASHSEED randomizes).
-        feature_salt = zlib.crc32(feature.value.encode()) & 0xFFFF
         self._clones = CloneSet(
-            config.clones, config.bins, seed=seed * 131 + feature_salt
+            config.clones, config.bins, seed=clone_seed(seed, feature)
         )
         self._interval = -1
         self._prev: list[HistogramSnapshot | None] = [None] * config.clones
@@ -275,12 +284,39 @@ class HistogramDetector:
     # ------------------------------------------------------------------
     def observe(self, flows: FlowTable) -> FeatureObservation:
         """Process one measurement interval and return the observation."""
-        self._interval += 1
-        cfg = self.config
         values = self.feature.extract(flows)
         self._clones.reset()
         self._clones.update(values)
-        snapshots = self._clones.snapshots()
+        return self.observe_snapshots(self._clones.snapshots())
+
+    def observe_snapshots(
+        self, snapshots: list[HistogramSnapshot]
+    ) -> FeatureObservation:
+        """Process one interval given per-clone histogram snapshots.
+
+        This is the sketch-backed entry point: :meth:`observe` calls it
+        with snapshots taken locally, and the federation layer calls it
+        with snapshots *merged* from remote collectors.  The snapshots
+        must use this detector's own clone hash functions (same order),
+        otherwise the KL reference series would mix incompatible
+        binnings - hence the refusal.
+        """
+        cfg = self.config
+        if len(snapshots) != cfg.clones:
+            raise SketchError(
+                f"feature {self.feature.short_name}: got "
+                f"{len(snapshots)} clone snapshots, detector runs "
+                f"{cfg.clones} clones"
+            )
+        for c, snapshot in enumerate(snapshots):
+            if snapshot.hash_fn != self._clones[c].hash_fn:
+                raise SketchError(
+                    f"feature {self.feature.short_name}: clone {c} "
+                    f"snapshot was binned by a different hash function "
+                    f"than this detector's clone (check seed/clones/"
+                    f"bins compatibility)"
+                )
+        self._interval += 1
 
         clone_results: list[CloneObservation] = []
         for c, snapshot in enumerate(snapshots):

@@ -28,6 +28,7 @@ from repro.detection.metadata import Metadata
 from repro.errors import CheckpointError, ConfigError
 from repro.flows.stream import iter_intervals
 from repro.flows.table import FlowTable
+from repro.sketch.histogram import HistogramSnapshot
 
 
 @dataclass(frozen=True)
@@ -209,11 +210,47 @@ class DetectorBank:
             feature: detector.observe(flows)
             for feature, detector in self._detectors.items()
         }
+        return self._record(observations, flow_count=len(flows))
+
+    def observe_snapshots(
+        self,
+        snapshots: dict[Feature, list[HistogramSnapshot]],
+        flow_count: int,
+    ) -> IntervalReport:
+        """Feed one interval of per-feature clone snapshots.
+
+        The sketch-backed twin of :meth:`observe`: the federation layer
+        merges remote collectors' histogram snapshots and drives the
+        bank without ever materializing the flows.  ``snapshots`` must
+        cover every monitored feature; ``flow_count`` is the combined
+        flow count the snapshots summarize.
+        """
+        missing = [
+            feature.short_name
+            for feature in self.features
+            if feature not in snapshots
+        ]
+        if missing:
+            raise ConfigError(
+                f"interval snapshots missing monitored features: "
+                f"{', '.join(missing)}"
+            )
+        observations = {
+            feature: detector.observe_snapshots(snapshots[feature])
+            for feature, detector in self._detectors.items()
+        }
+        return self._record(observations, flow_count=flow_count)
+
+    def _record(
+        self,
+        observations: dict[Feature, FeatureObservation],
+        flow_count: int,
+    ) -> IntervalReport:
         interval = next(iter(observations.values())).interval
         report = IntervalReport(
             interval=interval,
             observations=observations,
-            flow_count=len(flows),
+            flow_count=flow_count,
         )
         self._reports.append(report)
         return report

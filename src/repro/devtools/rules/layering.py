@@ -36,7 +36,7 @@ LAYERS: dict[str, int] = {
     "core": 2,
     "streaming": 3, "parallel": 3, "incidents": 3, "sinks": 3,
     "fleet": 4, "service": 4, "api": 4, "cli": 4, "devtools": 4,
-    "__main__": 4,
+    "federation": 4, "__main__": 4,
 }
 
 #: Layer of the ``repro`` package root itself (its ``__init__``

@@ -48,6 +48,17 @@ class IncidentError(ReproError):
     """Invalid incident-store operation (bad schema, path, or query)."""
 
 
+class SketchError(ReproError):
+    """Incompatible sketch operation (merging count-min tables or
+    histogram snapshots whose width/depth/seed/hash parameters differ,
+    or restoring a sketch document that does not match its schema)."""
+
+
+class FederationError(ReproError):
+    """Invalid federation input (unknown site, stale or malformed
+    interval digest, or a wire-format version this build refuses)."""
+
+
 class ServiceError(ReproError):
     """The extraction daemon was driven or configured incorrectly
     (bad request framing, unusable bind address, invalid lifecycle)."""

@@ -1,0 +1,371 @@
+"""Interval digests - the federation wire format.
+
+A digest is everything one vantage point says about one measurement
+interval, expressed purely in mergeable sketches: per monitored
+feature, the ``C`` histogram-clone snapshots the detector bank needs
+for entropy/KL detection, plus a count-min sketch for support
+estimation of the voted meta-data values.  Digests are the *unit of
+inter-site communication*: collectors ship them, the federator merges
+them, and nothing O(flows) ever crosses a site boundary.
+
+Two properties carry the subsystem's correctness contract:
+
+* **Exact mergeability.**  Histogram counts and count-min tables over
+  identical hash streams are linear, so merging digests cell-wise is
+  byte-identical to digesting the concatenated flow streams - merge
+  order and grouping cannot matter (``tests/federation`` asserts both
+  byte-for-byte).
+* **Versioned refusal.**  The canonical-JSON wire document carries a
+  schema version plus the sketch compatibility keys (seed, clones,
+  bins, count-min width/depth, feature list).  Any mismatch is refused
+  with a typed error - merging incompatible sketches would silently
+  fabricate counts, the exact failure mode the
+  :class:`~repro.errors.SketchError` guard exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import DETECTOR_FEATURES, Feature
+from repro.errors import FederationError, SketchError
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.histogram import HistogramSnapshot
+
+#: Schema version of the digest wire document.  Bump it whenever the
+#: digest payload changes shape; foreign versions are rejected, never
+#: migrated silently (the same discipline as service checkpoints -
+#: see CONTRIBUTING).
+DIGEST_VERSION = 1
+
+#: Default count-min geometry: width 2048 bounds the point-query error
+#: at eps = e/2048 (about 0.13% of the merged interval's flow count)
+#: and depth 4 bounds the failure probability at delta = e^-4 (about
+#: 1.8%); see ``CountMinSketch.from_error_bounds``.
+DEFAULT_CM_WIDTH = 2048
+DEFAULT_CM_DEPTH = 4
+
+
+def countmin_seed(seed: int, feature: Feature) -> int:
+    """Seed of the per-feature count-min hash family under ``seed``.
+
+    Offset into a range disjoint from :func:`clone_seed`'s feature
+    salts so the count-min rows never reuse a clone's hash stream
+    (correlated streams would correlate their collision errors).
+    """
+    salt = zlib.crc32(feature.value.encode()) & 0xFFFF
+    return seed * 131 + 0x10000 + salt
+
+
+@dataclass(frozen=True, slots=True)
+class DigestSchema:
+    """The sketch compatibility keys every digest of a federation shares.
+
+    Two digests merge only when their schemas are equal: equal seeds
+    and geometry make the underlying hash streams identical, which is
+    what makes cell-wise merging exact.
+    """
+
+    seed: int
+    clones: int
+    bins: int
+    cm_width: int
+    cm_depth: int
+    features: tuple[str, ...]
+
+    @classmethod
+    def build(
+        cls,
+        config: DetectorConfig,
+        features: tuple[Feature, ...],
+        seed: int,
+        cm_width: int,
+        cm_depth: int,
+    ) -> "DigestSchema":
+        return cls(
+            seed=seed,
+            clones=config.clones,
+            bins=config.bins,
+            cm_width=cm_width,
+            cm_depth=cm_depth,
+            features=tuple(f.short_name for f in features),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "clones": self.clones,
+            "bins": self.bins,
+            "cm_width": self.cm_width,
+            "cm_depth": self.cm_depth,
+            "features": list(self.features),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "DigestSchema":
+        try:
+            return cls(
+                seed=int(doc["seed"]),
+                clones=int(doc["clones"]),
+                bins=int(doc["bins"]),
+                cm_width=int(doc["cm_width"]),
+                cm_depth=int(doc["cm_depth"]),
+                features=tuple(str(name) for name in doc["features"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FederationError(
+                f"malformed digest schema block: {exc}"
+            ) from exc
+
+
+def federation_features(
+    features: tuple[Feature, ...] | str | None,
+) -> tuple[Feature, ...]:
+    """Resolve and validate the monitored features of a federation.
+
+    Only built-in :class:`Feature` members federate: digests carry
+    features by short name, and the mining step re-encodes voted values
+    with :func:`~repro.mining.items.encode_item`, both of which need
+    the closed feature vocabulary.
+    """
+    from repro.detection.features import resolve_features
+
+    resolved = resolve_features(
+        DETECTOR_FEATURES if features is None else features
+    )
+    for feature in resolved:
+        if not isinstance(feature, Feature):
+            raise FederationError(
+                f"custom feature {feature!r} cannot federate: digests "
+                f"carry features by built-in short name"
+            )
+    return tuple(resolved)
+
+
+class IntervalDigest:
+    """One interval's sketch summary from one or more vantage points.
+
+    Immutable by convention: :meth:`merge` returns a new digest, and
+    the snapshot/count-min payloads are never mutated in place.
+    """
+
+    __slots__ = (
+        "schema", "interval", "sites", "flow_count",
+        "_snapshots", "_countmin",
+    )
+
+    def __init__(
+        self,
+        schema: DigestSchema,
+        interval: int,
+        sites: tuple[str, ...],
+        flow_count: int,
+        snapshots: dict[str, list[HistogramSnapshot]],
+        countmin: dict[str, CountMinSketch],
+    ) -> None:
+        if interval < 0:
+            raise FederationError(f"interval must be >= 0: {interval}")
+        if not sites:
+            raise FederationError("a digest must name at least one site")
+        if len(set(sites)) != len(sites):
+            raise FederationError(f"duplicate sites in digest: {sites}")
+        if flow_count < 0:
+            raise FederationError(
+                f"flow count must be >= 0: {flow_count}"
+            )
+        for name in schema.features:
+            if name not in snapshots or name not in countmin:
+                raise FederationError(
+                    f"digest missing sketches for feature {name!r}"
+                )
+            if len(snapshots[name]) != schema.clones:
+                raise FederationError(
+                    f"feature {name!r} carries "
+                    f"{len(snapshots[name])} clone snapshots, schema "
+                    f"declares {schema.clones}"
+                )
+        self.schema = schema
+        self.interval = interval
+        self.sites = tuple(sorted(sites))
+        self.flow_count = flow_count
+        self._snapshots = snapshots
+        self._countmin = countmin
+
+    # ------------------------------------------------------------------
+    def clone_snapshots(self, feature: Feature) -> list[HistogramSnapshot]:
+        """The per-clone histogram snapshots of one feature."""
+        return list(self._snapshots[feature.short_name])
+
+    def countmin(self, feature: Feature) -> CountMinSketch:
+        """The count-min support estimator of one feature."""
+        return self._countmin[feature.short_name]
+
+    def snapshots_by_feature(
+        self, features: tuple[Feature, ...]
+    ) -> dict[Feature, list[HistogramSnapshot]]:
+        """Key the snapshot payload by :class:`Feature` for the
+        detector bank (wire documents key by short name)."""
+        return {feature: self.clone_snapshots(feature) for feature in features}
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "IntervalDigest") -> "IntervalDigest":
+        """Combine two digests of the same interval into one.
+
+        Exact, order-invariant, and associative: histogram counts and
+        count-min cells add, observed-value sets union, flow counts
+        sum, site sets union (kept sorted).  Refuses mismatched sketch
+        schemas (:class:`~repro.errors.SketchError`), different
+        intervals, and overlapping site sets - each of which would
+        double-count or fabricate traffic.
+        """
+        if self.schema != other.schema:
+            raise SketchError(
+                f"cannot merge digests with incompatible sketch "
+                f"parameters: {self.schema} vs {other.schema}"
+            )
+        if self.interval != other.interval:
+            raise FederationError(
+                f"cannot merge digests of different intervals: "
+                f"{self.interval} vs {other.interval}"
+            )
+        overlap = set(self.sites) & set(other.sites)
+        if overlap:
+            raise FederationError(
+                f"sites {sorted(overlap)} appear in both digests; "
+                f"merging would double-count their traffic"
+            )
+        snapshots: dict[str, list[HistogramSnapshot]] = {}
+        countmin: dict[str, CountMinSketch] = {}
+        for name in self.schema.features:
+            snapshots[name] = [
+                mine.merge(theirs)
+                for mine, theirs in zip(
+                    self._snapshots[name],
+                    other._snapshots[name],
+                    strict=True,
+                )
+            ]
+            merged = CountMinSketch(
+                width=self.schema.cm_width,
+                depth=self.schema.cm_depth,
+                seed=self._countmin[name].seed,
+            )
+            merged.merge(self._countmin[name])
+            merged.merge(other._countmin[name])
+            countmin[name] = merged
+        return IntervalDigest(
+            schema=self.schema,
+            interval=self.interval,
+            sites=tuple(sorted(set(self.sites) | set(other.sites))),
+            flow_count=self.flow_count + other.flow_count,
+            snapshots=snapshots,
+            countmin=countmin,
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical wire form
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-safe wire document."""
+        return {
+            "version": DIGEST_VERSION,
+            "schema": self.schema.to_dict(),
+            "interval": self.interval,
+            "sites": list(self.sites),
+            "flow_count": self.flow_count,
+            "features": {
+                name: {
+                    "clones": [
+                        snap.to_dict() for snap in self._snapshots[name]
+                    ],
+                    "countmin": self._countmin[name].to_dict(),
+                }
+                for name in self.schema.features
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering: byte-stable for identical state
+        (sorted keys, minimal separators), so digests diff and replay
+        like checkpoint documents."""
+        return json.dumps(
+            self.to_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+        )
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "IntervalDigest":
+        """Rebuild a digest, refusing foreign wire versions."""
+        if not isinstance(doc, dict):
+            raise FederationError(
+                f"digest must be a JSON object, got {type(doc).__name__}"
+            )
+        version = doc.get("version")
+        if version != DIGEST_VERSION:
+            raise FederationError(
+                f"digest wire version {version!r} != {DIGEST_VERSION}; "
+                f"this build cannot read it (digests are rejected "
+                f"across schema changes, never migrated silently)"
+            )
+        try:
+            schema = DigestSchema.from_dict(doc["schema"])
+            interval = int(doc["interval"])
+            sites = tuple(str(site) for site in doc["sites"])
+            flow_count = int(doc["flow_count"])
+            payload = doc["features"]
+            snapshots = {
+                name: [
+                    HistogramSnapshot.from_dict(snap)
+                    for snap in payload[name]["clones"]
+                ]
+                for name in schema.features
+            }
+            countmin = {
+                name: CountMinSketch.from_dict(payload[name]["countmin"])
+                for name in schema.features
+            }
+        except FederationError:
+            raise
+        except SketchError as exc:
+            raise FederationError(f"malformed digest: {exc}") from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FederationError(f"malformed digest: {exc}") from exc
+        for name in schema.features:
+            for snap in snapshots[name]:
+                if snap.bins != schema.bins:
+                    raise FederationError(
+                        f"feature {name!r} snapshot has {snap.bins} "
+                        f"bins, schema declares {schema.bins}"
+                    )
+            cm = countmin[name]
+            if cm.width != schema.cm_width or cm.depth != schema.cm_depth:
+                raise FederationError(
+                    f"feature {name!r} count-min is "
+                    f"{cm.depth}x{cm.width}, schema declares "
+                    f"{schema.cm_depth}x{schema.cm_width}"
+                )
+        return cls(
+            schema=schema,
+            interval=interval,
+            sites=sites,
+            flow_count=flow_count,
+            snapshots=snapshots,
+            countmin=countmin,
+        )
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "IntervalDigest":
+        """Parse one canonical wire document."""
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise FederationError(
+                f"digest is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(doc)

@@ -1,0 +1,436 @@
+"""The federator: merges N vantage points' digests, detects globally.
+
+The "fleet-of-fleets" tier above per-link pipelines: collectors at each
+site ship :class:`~repro.federation.digest.IntervalDigest` documents,
+and the :class:`Federator` aligns them on interval index, merges each
+interval's digests (exact cell-wise sketch addition), and drives a
+:class:`~repro.detection.manager.DetectorBank` over the merged view -
+so the network-wide anomaly that no single link sees clearly still
+trips the KL detectors.  Alarmed intervals flow into the existing
+mining/triage/incident path: voted meta-data values become single-item
+frequent item-sets whose supports come from the merged count-min
+sketches, triaged and ranked exactly like locally-mined reports.
+
+Straggler policy: an interval is released as soon as every expected
+site has reported, or - watermark - once ``straggler_grace`` later
+intervals have been seen from anyone, whichever comes first.  Forced
+releases merge whatever arrived, count the missing sites, and move on;
+a digest for an already-released interval is refused as stale
+(:class:`~repro.errors.FederationError`), mirroring the assembler's
+closed-interval late-drop discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.report import ExtractionReport, triage_all
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import Feature
+from repro.detection.manager import DetectorBank, IntervalReport
+from repro.errors import CheckpointError, FederationError, SketchError
+from repro.federation.collector import Collector
+from repro.federation.digest import (
+    DEFAULT_CM_DEPTH,
+    DEFAULT_CM_WIDTH,
+    DigestSchema,
+    IntervalDigest,
+)
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
+from repro.incidents.correlate import correlate
+from repro.incidents.rank import RankedIncident, rank_incidents
+from repro.incidents.store import IncidentStore
+from repro.mining.items import FrequentItemset, encode_item
+from repro.obs.instruments import catalogued
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    time_stage,
+)
+from repro.obs.trace import NULL_TRACER, AnyTracer, Tracer
+
+#: How the digest-only extraction path labels its reports; the normal
+#: pipeline writes prefilter/miner names here.
+FEDERATED_ALGORITHM = "federated-countmin"
+FEDERATED_PREFILTER = "federated-vote"
+
+
+@dataclass(frozen=True, slots=True)
+class FederatedInterval:
+    """One interval released by the federator."""
+
+    interval: int
+    sites: tuple[str, ...]
+    stragglers: tuple[str, ...]
+    flow_count: int
+    alarmed_features: tuple[str, ...]
+    report: ExtractionReport | None
+
+    @property
+    def alarm(self) -> bool:
+        return bool(self.alarmed_features)
+
+
+class Federator:
+    """Merges per-site digests and runs global detection over them."""
+
+    def __init__(
+        self,
+        sites: tuple[str, ...] | list[str],
+        config: DetectorConfig | None = None,
+        features: tuple[Feature, ...] | str | None = None,
+        seed: int = 0,
+        cm_width: int = DEFAULT_CM_WIDTH,
+        cm_depth: int = DEFAULT_CM_DEPTH,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        origin: float = 0.0,
+        min_support: int = 5_000,
+        straggler_grace: int = 2,
+        jaccard: float = 0.5,
+        quiet_gap: int = 2,
+        store: IncidentStore | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        site_list = tuple(sites)
+        if not site_list:
+            raise FederationError("a federation needs at least one site")
+        if len(set(site_list)) != len(site_list):
+            raise FederationError(f"duplicate site names: {site_list}")
+        if min_support < 1:
+            raise FederationError(
+                f"min_support must be >= 1: {min_support}"
+            )
+        if straggler_grace < 1:
+            raise FederationError(
+                f"straggler_grace must be >= 1: {straggler_grace}"
+            )
+        if interval_seconds <= 0:
+            raise FederationError(
+                f"interval length must be positive: {interval_seconds}"
+            )
+        self.sites = site_list
+        self.config = config or DetectorConfig()
+        self.interval_seconds = interval_seconds
+        self.origin = origin
+        self.min_support = min_support
+        self.straggler_grace = straggler_grace
+        self._jaccard = jaccard
+        self._quiet_gap = quiet_gap
+        self._store = store
+        registry: MetricsRegistry | NullRegistry = (
+            metrics if metrics is not None else NULL_REGISTRY
+        )
+        self._tracer: AnyTracer = tracer if tracer is not None else NULL_TRACER
+        # The reference collector pins the digest schema and fills
+        # wholly-missing intervals with empty digests; its sentinel
+        # site name never appears in released site lists.
+        self._reference = Collector(
+            site="<federator>",
+            config=self.config,
+            features=features,
+            seed=seed,
+            cm_width=cm_width,
+            cm_depth=cm_depth,
+        )
+        self.features = self._reference.features
+        self._bank = DetectorBank(self.config, self.features, seed=seed)
+        self._pending: dict[int, dict[str, IntervalDigest]] = {}
+        self._next = 0
+        self._max_seen = -1
+        self._reports: list[ExtractionReport] = []
+        self._m_digests = catalogued(
+            registry, "repro_federation_digests_total"
+        )
+        self._m_bytes = catalogued(
+            registry, "repro_federation_digest_bytes"
+        )
+        self._m_merge = catalogued(
+            registry, "repro_federation_merge_seconds"
+        )
+        self._m_merged = catalogued(
+            registry, "repro_federation_intervals_merged_total"
+        )
+        self._m_stragglers = catalogued(
+            registry, "repro_federation_stragglers_total"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> DigestSchema:
+        """The sketch compatibility schema this federation accepts."""
+        return self._reference.schema
+
+    @property
+    def next_interval(self) -> int:
+        """The next interval index awaiting release."""
+        return self._next
+
+    @property
+    def pending_intervals(self) -> int:
+        """How many intervals are buffered awaiting release."""
+        return len(self._pending)
+
+    @property
+    def reports(self) -> list[ExtractionReport]:
+        """Extraction reports of every alarmed released interval."""
+        return list(self._reports)
+
+    # ------------------------------------------------------------------
+    def add(
+        self, digest: IntervalDigest, wire_bytes: int | None = None
+    ) -> list[FederatedInterval]:
+        """Accept one site's digest; returns any intervals it released.
+
+        ``wire_bytes`` is the canonical wire size when the caller
+        parsed the digest off the wire (feeds the digest-size metric).
+        """
+        if digest.schema != self.schema:
+            raise SketchError(
+                f"digest sketch parameters are incompatible with this "
+                f"federation: {digest.schema} vs {self.schema}"
+            )
+        for site in digest.sites:
+            if site not in self.sites:
+                raise FederationError(
+                    f"digest from unknown site {site!r}; this "
+                    f"federation expects {list(self.sites)}"
+                )
+        if digest.interval < self._next:
+            raise FederationError(
+                f"stale digest for interval {digest.interval}: the "
+                f"federator has already released intervals below "
+                f"{self._next}"
+            )
+        bucket = self._pending.setdefault(digest.interval, {})
+        for site in digest.sites:
+            if site in bucket:
+                raise FederationError(
+                    f"duplicate digest from site {site!r} for "
+                    f"interval {digest.interval}"
+                )
+        for site in digest.sites:
+            bucket[site] = digest
+            self._m_digests.labels(site).inc()
+            if wire_bytes is not None:
+                self._m_bytes.labels(site).observe(float(wire_bytes))
+        self._max_seen = max(self._max_seen, digest.interval)
+        return self._drain(force=False)
+
+    def finish(self) -> list[FederatedInterval]:
+        """Flush every pending interval (end of stream)."""
+        return self._drain(force=True)
+
+    def _drain(self, force: bool) -> list[FederatedInterval]:
+        released: list[FederatedInterval] = []
+        while True:
+            if force:
+                if not self._pending:
+                    break
+            else:
+                bucket = self._pending.get(self._next)
+                complete = bucket is not None and len(bucket) == len(
+                    self.sites
+                )
+                overdue = self._max_seen - self._next >= self.straggler_grace
+                if not complete and not overdue:
+                    break
+            released.append(self._release(self._next))
+        return released
+
+    def _release(self, interval: int) -> FederatedInterval:
+        bucket = self._pending.pop(interval, {})
+        missing = tuple(s for s in self.sites if s not in bucket)
+        with self._tracer.span(
+            "federation.merge",
+            interval=interval,
+            sites=len(bucket),
+            stragglers=len(missing),
+        ), time_stage(self._m_merge):
+            if missing:
+                self._tracer.event(
+                    "federation.straggler",
+                    interval=interval,
+                    missing=",".join(missing),
+                )
+                for site in missing:
+                    self._m_stragglers.labels(site).inc()
+            merged: IntervalDigest | None = None
+            # Deduplicate: a multi-site digest sits in the bucket once
+            # per site it covers.
+            seen: set[int] = set()
+            for site in sorted(bucket):
+                digest = bucket[site]
+                if id(digest) in seen:
+                    continue
+                seen.add(id(digest))
+                merged = digest if merged is None else merged.merge(digest)
+            if merged is None:
+                merged = self._reference.empty_digest(interval)
+                sites: tuple[str, ...] = ()
+            else:
+                sites = merged.sites
+            interval_report = self._bank.observe_snapshots(
+                merged.snapshots_by_feature(self.features),
+                flow_count=merged.flow_count,
+            )
+            report = self._extract(interval_report, merged)
+        if report is not None:
+            self._reports.append(report)
+            if self._store is not None:
+                self._store.append(report)
+        self._m_merged.inc()
+        self._next = interval + 1
+        self._max_seen = max(self._max_seen, interval)
+        return FederatedInterval(
+            interval=interval,
+            sites=sites,
+            stragglers=missing,
+            flow_count=merged.flow_count,
+            alarmed_features=tuple(
+                f.short_name for f in interval_report.alarmed_features
+            ),
+            report=report,
+        )
+
+    def _extract(
+        self, interval_report: IntervalReport, merged: IntervalDigest
+    ) -> ExtractionReport | None:
+        """Turn an alarmed merged interval into an extraction report.
+
+        Digest-only mining: each voted meta-data value becomes a
+        single-item item-set whose support is the merged count-min
+        estimate (an upper bound within eps*N of truth); estimates
+        below ``min_support`` are discarded just like the miners'
+        support floor.  Multi-item conjunctions need the flows and are
+        deliberately out of digest scope.
+        """
+        if not interval_report.alarm:
+            return None
+        itemsets: list[FrequentItemset] = []
+        for feature in self.features:
+            obs = interval_report.observations[feature]
+            if not obs.alarm or len(obs.voted_values) == 0:
+                continue
+            sketch = merged.countmin(feature)
+            for value in np.sort(obs.voted_values):
+                support = sketch.estimate(int(value))
+                if support >= self.min_support:
+                    itemsets.append(
+                        FrequentItemset(
+                            items=(encode_item(feature, int(value)),),
+                            support=support,
+                        )
+                    )
+        if not itemsets:
+            return None
+        itemsets.sort(key=lambda s: (-s.support, s.items))
+        interval = interval_report.interval
+        start = self.origin + interval * self.interval_seconds
+        return ExtractionReport(
+            interval=interval,
+            start=start,
+            end=start + self.interval_seconds,
+            input_flows=merged.flow_count,
+            # Digest-only extraction never materializes flows; 0 keeps
+            # the field honest rather than guessing from estimates.
+            selected_flows=0,
+            prefilter_mode=FEDERATED_PREFILTER,
+            algorithm=FEDERATED_ALGORITHM,
+            min_support=self.min_support,
+            alarmed_features=tuple(
+                f.short_name for f in interval_report.alarmed_features
+            ),
+            itemsets=tuple(triage_all(itemsets)),
+        )
+
+    # ------------------------------------------------------------------
+    def incidents(
+        self, profile: str = "balanced", top: int | None = None
+    ) -> list[RankedIncident]:
+        """Correlate and rank the federation's extraction reports."""
+        population = correlate(
+            self._reports,
+            jaccard=self._jaccard,
+            quiet_gap=self._quiet_gap,
+            now=self._next - 1 if self._next > 0 else None,
+        )
+        return rank_incidents(population, profile=profile, top=top)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (same discipline as the fleet's to_state)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, Any]:
+        """JSON-safe resume state: cursors, buffered digests, detector
+        bank, and the alarmed-interval reports."""
+        pending: list[list[Any]] = []
+        for interval in sorted(self._pending):
+            bucket = self._pending[interval]
+            entries: list[list[Any]] = []
+            seen: set[int] = set()
+            for site in sorted(bucket):
+                digest = bucket[site]
+                if id(digest) in seen:
+                    continue
+                seen.add(id(digest))
+                entries.append([site, digest.to_dict()])
+            pending.append([interval, entries])
+        return {
+            "schema": self.schema.to_dict(),
+            "next": self._next,
+            "max_seen": self._max_seen,
+            "pending": pending,
+            "bank": self._bank.to_state(),
+            "reports": [report.to_dict() for report in self._reports],
+        }
+
+    def from_state(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`to_state` data into this federator (which
+        must be built with the same sites, config, and seed)."""
+        try:
+            schema = DigestSchema.from_dict(state["schema"])
+            next_interval = int(state["next"])
+            max_seen = int(state["max_seen"])
+            pending_doc = list(state["pending"])
+            bank_state = state["bank"]
+            report_docs = list(state["reports"])
+        except (
+            KeyError, TypeError, ValueError, FederationError,
+        ) as exc:
+            raise CheckpointError(
+                f"malformed federator checkpoint state: {exc}"
+            ) from exc
+        if schema != self.schema:
+            raise CheckpointError(
+                f"federator checkpoint was written under sketch schema "
+                f"{schema}, this federation runs {self.schema}; "
+                f"restore with the configuration the checkpoint was "
+                f"written under"
+            )
+        pending: dict[int, dict[str, IntervalDigest]] = {}
+        try:
+            for interval_doc, entries in pending_doc:
+                bucket: dict[str, IntervalDigest] = {}
+                for _site, digest_doc in entries:
+                    digest = IntervalDigest.from_dict(digest_doc)
+                    for covered in digest.sites:
+                        bucket[covered] = digest
+                pending[int(interval_doc)] = bucket
+            reports = [
+                ExtractionReport.from_dict(doc) for doc in report_docs
+            ]
+        except (
+            KeyError, TypeError, ValueError, FederationError,
+        ) as exc:
+            raise CheckpointError(
+                f"malformed federator checkpoint state: {exc}"
+            ) from exc
+        self._bank.from_state(bank_state)
+        self._pending = pending
+        self._next = next_interval
+        self._max_seen = max_seen
+        self._reports = reports

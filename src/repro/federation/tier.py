@@ -1,0 +1,190 @@
+"""The batch federation tier: traces in, global incident ranking out.
+
+Glue above :class:`~repro.federation.collector.Collector` and
+:class:`~repro.federation.federator.Federator` for the common offline
+shape: one trace per vantage point (or one combined trace split by a
+fleet routing spec), collectors digesting in lockstep, one federator
+merging and detecting, and the existing incident machinery ranking the
+result.  This is what ``repro-extract federate`` and
+:func:`repro.api.federate` run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.report import ExtractionReport
+from repro.detection.detector import DetectorConfig
+from repro.detection.features import Feature
+from repro.errors import ConfigError, FederationError
+from repro.federation.collector import Collector
+from repro.federation.digest import (
+    DEFAULT_CM_DEPTH,
+    DEFAULT_CM_WIDTH,
+    IntervalDigest,
+)
+from repro.federation.federator import FederatedInterval, Federator
+from repro.fleet.routing import resolve_route
+from repro.flows.stream import DEFAULT_INTERVAL_SECONDS
+from repro.flows.table import FlowTable
+from repro.incidents.rank import RankedIncident
+from repro.incidents.store import IncidentStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class FederationResult:
+    """Everything a federated run produced."""
+
+    sites: tuple[str, ...]
+    digests: int
+    intervals: tuple[FederatedInterval, ...]
+    reports: tuple[ExtractionReport, ...]
+    incidents: tuple[RankedIncident, ...] = field(default_factory=tuple)
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.intervals)
+
+    def alarm_intervals(self) -> list[int]:
+        """Released intervals on which the merged detection alarmed."""
+        return [fi.interval for fi in self.intervals if fi.alarm]
+
+    def straggler_intervals(self) -> list[int]:
+        """Released intervals missing at least one expected site."""
+        return [fi.interval for fi in self.intervals if fi.stragglers]
+
+
+def split_trace(
+    trace: FlowTable,
+    sites: tuple[str, ...],
+    route: str,
+) -> dict[str, FlowTable]:
+    """Split one combined trace into per-site traces by a fleet
+    routing spec (``"column"``, ``"column%N"``, or a registered
+    router) - the multi-PoP capture file read back as if each site
+    had recorded its own share."""
+    if not sites:
+        raise FederationError("need at least one site to split into")
+    router = resolve_route(route, len(sites))
+    indices = np.asarray(router(trace))
+    if indices.shape != (len(trace),):
+        raise ConfigError(
+            f"router returned {indices.shape} indices for "
+            f"{len(trace)} flows"
+        )
+    if len(indices) and (
+        indices.min() < 0 or indices.max() >= len(sites)
+    ):
+        raise ConfigError(
+            f"router produced indices outside [0, {len(sites)}): "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    return {
+        site: trace.select(indices == k)
+        for k, site in enumerate(sites)
+    }
+
+
+def run_federation(
+    traces: Mapping[str, FlowTable],
+    *,
+    config: DetectorConfig | None = None,
+    features: tuple[Feature, ...] | str | None = None,
+    seed: int = 0,
+    cm_width: int = DEFAULT_CM_WIDTH,
+    cm_depth: int = DEFAULT_CM_DEPTH,
+    interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+    origin: float = 0.0,
+    min_support: int = 5_000,
+    straggler_grace: int = 2,
+    jaccard: float = 0.5,
+    quiet_gap: int = 2,
+    store: IncidentStore | None = None,
+    profile: str = "balanced",
+    top: int | None = None,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> FederationResult:
+    """Run collectors over per-site traces and federate the digests.
+
+    Digests are delivered interval-major (every site's interval ``i``
+    before anyone's ``i+1``), the delivery order a healthy multi-site
+    deployment approximates; sites whose traces end early surface as
+    stragglers, exercised the same way live operation would.
+    """
+    if not traces:
+        raise FederationError("need at least one site trace to federate")
+    sites = tuple(traces)
+    federator = Federator(
+        sites=sites,
+        config=config,
+        features=features,
+        seed=seed,
+        cm_width=cm_width,
+        cm_depth=cm_depth,
+        interval_seconds=interval_seconds,
+        origin=origin,
+        min_support=min_support,
+        straggler_grace=straggler_grace,
+        jaccard=jaccard,
+        quiet_gap=quiet_gap,
+        store=store,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    ambient = tracer if tracer is not None else NULL_TRACER
+    with ambient.span("federation.run", sites=len(sites)):
+        per_site: dict[str, list[IntervalDigest]] = {}
+        for site in sites:
+            collector = Collector(
+                site=site,
+                config=federator.config,
+                features=features,
+                seed=seed,
+                cm_width=cm_width,
+                cm_depth=cm_depth,
+                tracer=tracer,
+            )
+            per_site[site] = collector.run(
+                traces[site], interval_seconds, origin=origin
+            )
+        released: list[FederatedInterval] = []
+        total = 0
+        depth = max(
+            (len(digests) for digests in per_site.values()), default=0
+        )
+        for i in range(depth):
+            for site in sites:
+                digests = per_site[site]
+                if i < len(digests):
+                    total += 1
+                    released.extend(federator.add(digests[i]))
+        released.extend(federator.finish())
+        incidents = federator.incidents(profile=profile, top=top)
+    return FederationResult(
+        sites=sites,
+        digests=total,
+        intervals=tuple(released),
+        reports=tuple(federator.reports),
+        incidents=tuple(incidents),
+    )
+
+
+def federation_kwargs(settings: Any) -> dict[str, Any]:
+    """Keyword arguments for :func:`run_federation`/:class:`Federator`
+    from a :class:`~repro.core.config.FederationSettings` (shared by
+    the CLI and API wiring)."""
+    kwargs: dict[str, Any] = {
+        "cm_width": settings.cm_width,
+        "cm_depth": settings.cm_depth,
+        "straggler_grace": settings.straggler_grace,
+    }
+    if settings.min_support is not None:
+        kwargs["min_support"] = settings.min_support
+    return kwargs

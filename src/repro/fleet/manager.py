@@ -346,6 +346,27 @@ class FleetManager:
             self._m_fed.inc(len(chunk))
             self._m_routed.labels(pipeline).inc(len(chunk))
             return {pipeline: session.feed(chunk)}
+        parts = self.route_chunk(chunk)
+        # Only now is the chunk known to be routable - counting earlier
+        # would break the conservation invariant
+        # sum(routed) == fed that the test suite holds.
+        self._m_fed.inc(len(chunk))
+        out: dict[str, list[ExtractionResult]] = {}
+        for name, routed in parts.items():
+            self._m_routed.labels(name).inc(len(routed))
+            out[name] = self._sessions[name].feed(routed)
+        return out
+
+    def route_chunk(self, chunk: FlowTable) -> dict[str, FlowTable]:
+        """Split ``chunk`` per pipeline with the configured router.
+
+        The routing half of :meth:`feed`, exposed on its own so other
+        tiers (the federation's per-site collectors, diagnostics) can
+        reuse the validated split without feeding any session.
+        Pipelines that receive no rows are absent from the result;
+        insertion order follows the fleet's pipeline order.
+        """
+        self._check_open("route_chunk")
         if self._router is None:
             raise ConfigError(
                 "fleet has no route configured; pass pipeline=... or "
@@ -371,17 +392,11 @@ class FleetManager:
                 f"router produced indices outside [0, {len(self._names)}): "
                 f"[{indices.min()}, {indices.max()}]"
             )
-        # Only now is the chunk known to be routable - counting earlier
-        # would break the conservation invariant
-        # sum(routed) == fed that the test suite holds.
-        self._m_fed.inc(len(chunk))
-        out: dict[str, list[ExtractionResult]] = {}
+        out: dict[str, FlowTable] = {}
         for k, name in enumerate(self._names):
             mask = indices == k
             if mask.any():
-                routed = chunk.select(mask)
-                self._m_routed.labels(name).inc(len(routed))
-                out[name] = self._sessions[name].feed(routed)
+                out[name] = chunk.select(mask)
         return out
 
     def finish(self) -> dict[str, TraceExtraction | StreamExtraction]:

@@ -174,6 +174,31 @@ CATALOG: dict[str, InstrumentSpec] = {
         "gauge", (),
         "Size in bytes of the most recently written checkpoint file.",
     ),
+    # -- federation --------------------------------------------------------
+    "repro_federation_digests_total": InstrumentSpec(
+        "counter", ("site",),
+        "Interval digests accepted by the federator, per vantage "
+        "point.",
+    ),
+    "repro_federation_digest_bytes": InstrumentSpec(
+        "histogram", ("site",),
+        "Canonical wire size in bytes of accepted interval digests.",
+    ),
+    "repro_federation_merge_seconds": InstrumentSpec(
+        "histogram", (),
+        "Wall-clock seconds to merge one interval's digests and run "
+        "the detector bank over the merged view.",
+    ),
+    "repro_federation_intervals_merged_total": InstrumentSpec(
+        "counter", (),
+        "Intervals released by the federator (complete or "
+        "watermark-forced).",
+    ),
+    "repro_federation_stragglers_total": InstrumentSpec(
+        "counter", ("site",),
+        "Expected digests missing when the straggler watermark forced "
+        "an interval release, per missing site.",
+    ),
 }
 
 
@@ -211,6 +236,18 @@ SPANS: dict[str, str] = {
         "One daemon resume: checkpoint read, fleet state restore, "
         "ingest-sequence recovery."
     ),
+    "federation.summarize": (
+        "One collector interval summarized into an IntervalDigest "
+        "(attributes: site, interval)."
+    ),
+    "federation.merge": (
+        "One interval's digests merged and detected on by the "
+        "federator (attributes: interval, sites, stragglers)."
+    ),
+    "federation.run": (
+        "One federated multi-vantage-point run, collectors through "
+        "global ranking."
+    ),
 }
 SPANS.update(
     {
@@ -235,6 +272,11 @@ EVENTS: dict[str, str] = {
     "assembler.backpressure": (
         "An interval was force-emitted because max_pending_intervals "
         "was exceeded."
+    ),
+    "federation.straggler": (
+        "The straggler watermark forced an interval release before "
+        "every expected site reported (attributes: interval, missing "
+        "sites)."
     ),
 }
 

@@ -2,8 +2,9 @@
 
 :class:`ServiceApp` owns everything between a parsed
 :class:`~repro.service.protocol.HttpRequest` and a status/body pair:
-route matching, ingest parsing (CSV and JSONL), the ingest sequence
-protocol, periodic checkpointing, the merged incident ranking, incident
+route matching, ingest parsing (CSV and JSONL), digest ingest for
+federated daemons (``POST /digest``), the ingest sequence protocol,
+periodic checkpointing, the merged incident ranking, incident
 provenance, the Prometheus export, and the health probe.  Keeping it
 synchronous and transport-free is what makes it testable without a
 socket - the supervisor is a thin asyncio shell around
@@ -30,11 +31,15 @@ import numpy as np
 from repro.errors import (
     CheckpointError,
     ConfigError,
+    FederationError,
     IncidentError,
     ReproError,
     ServiceError,
+    SketchError,
     TraceFormatError,
 )
+from repro.federation.digest import IntervalDigest
+from repro.federation.federator import Federator
 from repro.fleet.manager import FleetManager
 from repro.flows.io import iter_csv_handle
 from repro.flows.table import ALL_COLUMNS, FlowTable
@@ -76,6 +81,13 @@ class ServiceApp:
         chunk_rows: rows per chunk fed into the fleet from one ingest
             body (bounds parser memory on large bodies).
         sequence: the resumed ingest sequence (0 for a fresh run).
+        federator: optional
+            :class:`~repro.federation.federator.Federator`.  When set,
+            the daemon also accepts ``POST /digest`` (per-site
+            :class:`~repro.federation.digest.IntervalDigest` documents,
+            one JSON object per line), its checkpoints carry the
+            federator's resume state, and ``/healthz`` reports the
+            federation posture.
     """
 
     def __init__(
@@ -86,6 +98,7 @@ class ServiceApp:
         checkpoint_sync: bool = False,
         chunk_rows: int = 4096,
         sequence: int = 0,
+        federator: Federator | None = None,
     ):
         if checkpoint_every < 1:
             raise ConfigError(
@@ -111,6 +124,7 @@ class ServiceApp:
         self.checkpoint_sync = checkpoint_sync
         self.chunk_rows = chunk_rows
         self.sequence = sequence
+        self.federator = federator
         #: Sequence covered by the newest durable checkpoint.  A
         #: resumed daemon starts with both counters equal; they only
         #: diverge between checkpoint writes.
@@ -168,7 +182,12 @@ class ServiceApp:
                 status, body, content_type = (
                     code, _error_body(str(exc)), _JSON_CONTENT
                 )
-            except (ConfigError, CheckpointError) as exc:
+            except (
+                ConfigError,
+                CheckpointError,
+                FederationError,
+                SketchError,
+            ) as exc:
                 status, body, content_type = (
                     400, _error_body(str(exc)), _JSON_CONTENT
                 )
@@ -188,7 +207,9 @@ class ServiceApp:
     @staticmethod
     def _route_of(request: HttpRequest) -> str:
         path = request.path.rstrip("/") or "/"
-        if path in ("/ingest", "/incidents", "/metrics", "/healthz"):
+        if path in (
+            "/ingest", "/digest", "/incidents", "/metrics", "/healthz"
+        ):
             return path
         if path.startswith("/incidents/"):
             return "/incidents/{id}"
@@ -207,6 +228,10 @@ class ServiceApp:
             if request.method != "POST":
                 return self._method_not_allowed(request, "POST")
             return self._handle_ingest(request)
+        if route == "/digest":
+            if request.method != "POST":
+                return self._method_not_allowed(request, "POST")
+            return self._handle_digest(request)
         if request.method != "GET":
             return self._method_not_allowed(request, "GET")
         if route == "/metrics":
@@ -262,6 +287,75 @@ class ServiceApp:
             _json_body(
                 {
                     "rows": rows,
+                    "sequence": sequence,
+                    "checkpointed_sequence": self.checkpointed_sequence,
+                }
+            ),
+            _JSON_CONTENT,
+        )
+
+    def _handle_digest(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str]:
+        """``POST /digest``: accept per-site interval digests.
+
+        The body is one :class:`IntervalDigest` JSON document per line
+        (the canonical wire format of
+        :meth:`~repro.federation.digest.IntervalDigest.to_json`).  Each
+        accepted body advances the ingest sequence like an ingest
+        batch, so digests land in the periodic checkpoints and a
+        collector replays its stream from ``checkpointed_sequence``
+        after a daemon crash.  Malformed lines, foreign wire versions,
+        and digests whose sketch geometry contradicts their own schema
+        are refused (400) before any digest of the body is applied; a
+        federator-level refusal (incompatible schema, unknown site,
+        stale or duplicate interval) also answers 400 but leaves the
+        body's earlier digests applied and the sequence unadvanced -
+        collectors should ship one digest per request when they need
+        that boundary to be atomic.
+        """
+        federator = self.federator
+        if federator is None:
+            raise ServiceError(
+                "this daemon is not a federator; configure "
+                "[federation] sites to accept digests"
+            )
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServiceError(
+                f"digest body is not valid UTF-8: {exc}"
+            ) from exc
+        parsed: list[tuple[IntervalDigest, int]] = []
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                digest = IntervalDigest.from_json(line)
+            except (FederationError, SketchError) as exc:
+                raise type(exc)(f"digest:{line_no}: {exc}") from exc
+            parsed.append((digest, len(line.encode("utf-8"))))
+        if not parsed:
+            raise ServiceError("digest body carries no digests")
+        released = []
+        for digest, wire_bytes in parsed:
+            released.extend(federator.add(digest, wire_bytes=wire_bytes))
+        sequence = self.batch_accepted(0)
+        return (
+            200,
+            _json_body(
+                {
+                    "digests": len(parsed),
+                    "released": [
+                        {
+                            "interval": fi.interval,
+                            "sites": list(fi.sites),
+                            "stragglers": list(fi.stragglers),
+                            "alarm": fi.alarm,
+                        }
+                        for fi in released
+                    ],
+                    "next_interval": federator.next_interval,
                     "sequence": sequence,
                     "checkpointed_sequence": self.checkpointed_sequence,
                 }
@@ -382,7 +476,15 @@ class ServiceApp:
         with self._tracer.span(
             "service.checkpoint", sequence=self.sequence
         ) as span:
-            doc = fleet_checkpoint(self.fleet, self.sequence)
+            doc = fleet_checkpoint(
+                self.fleet,
+                self.sequence,
+                federation=(
+                    self.federator.to_state()
+                    if self.federator is not None
+                    else None
+                ),
+            )
             size = write_checkpoint(
                 self.checkpoint_path, doc, sync=self.checkpoint_sync
             )
@@ -501,10 +603,18 @@ class ServiceApp:
                 "backpressure_emits": assembler.backpressure_emits,
                 "intervals_emitted": assembler.intervals_emitted,
             }
-        return {
+        doc = {
             "status": "ok",
             "sequence": self.sequence,
             "checkpointed_sequence": self.checkpointed_sequence,
             "checkpointing": self.checkpoint_path is not None,
             "pipelines": pipelines,
         }
+        if self.federator is not None:
+            doc["federation"] = {
+                "sites": list(self.federator.sites),
+                "next_interval": self.federator.next_interval,
+                "pending_intervals": self.federator.pending_intervals,
+                "reports": len(self.federator.reports),
+            }
+        return doc

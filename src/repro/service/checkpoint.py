@@ -37,24 +37,36 @@ from repro.fleet.manager import FleetManager
 #: Schema version of the checkpoint document.  Bump it whenever any
 #: ``to_state`` payload changes shape; old files are rejected, never
 #: migrated silently (CONTRIBUTING documents the discipline).
-CHECKPOINT_VERSION = 1
+#: Version 2 added the optional ``federation`` block (buffered interval
+#: digests + the federator's detector bank) for federated daemons.
+CHECKPOINT_VERSION = 2
 
 
-def fleet_checkpoint(fleet: FleetManager, sequence: int) -> dict[str, Any]:
+def fleet_checkpoint(
+    fleet: FleetManager,
+    sequence: int,
+    federation: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
     """Snapshot ``fleet`` into a checkpoint document.
 
     ``sequence`` is the daemon's ingest sequence number - the count of
     accepted ingest batches the snapshot covers.  A client replaying a
     stream after a crash reads it back from the resumed daemon and
-    re-sends everything after it.
+    re-sends everything after it.  ``federation`` is the optional
+    federator resume state
+    (:meth:`~repro.federation.federator.Federator.to_state`) of a
+    daemon that also accepts ``POST /digest``.
     """
     if sequence < 0:
         raise CheckpointError(f"sequence must be >= 0: {sequence}")
-    return {
+    doc: dict[str, Any] = {
         "version": CHECKPOINT_VERSION,
         "sequence": int(sequence),
         "fleet": fleet.to_state(),
     }
+    if federation is not None:
+        doc["federation"] = dict(federation)
+    return doc
 
 
 def write_checkpoint(

@@ -27,7 +27,13 @@ from collections.abc import Callable
 from typing import TextIO
 
 from repro.core.config import ServiceSettings
-from repro.errors import ConfigError, ReproError, ServiceError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    ReproError,
+    ServiceError,
+)
+from repro.federation.federator import Federator
 from repro.fleet.manager import FleetManager
 from repro.service.app import ServiceApp
 from repro.service.checkpoint import read_checkpoint, restore_fleet
@@ -236,12 +242,16 @@ def _json_string(text: str) -> str:
 
 
 def resume_sequence(
-    fleet: FleetManager, settings: ServiceSettings, resume: bool
+    fleet: FleetManager,
+    settings: ServiceSettings,
+    resume: bool,
+    federator: Federator | None = None,
 ) -> int:
     """Apply the resume policy; returns the starting ingest sequence.
 
     * ``resume=True`` with an existing checkpoint: restore the fleet
-      from it and continue its sequence.
+      (and the federator, when the checkpoint carries a ``federation``
+      block) from it and continue its sequence.
     * ``resume=True`` without a checkpoint file: cold start (sequence
       0) - restart scripts stay idempotent on first boot.
     * ``resume=False`` but a checkpoint file exists: refuse - the
@@ -263,7 +273,17 @@ def resume_sequence(
         )
     with fleet.tracer.span("service.resume", path=os.fspath(path)):
         doc = read_checkpoint(path)
-        return restore_fleet(fleet, doc)
+        sequence = restore_fleet(fleet, doc)
+        federation_state = doc.get("federation")
+        if federation_state is not None and federator is None:
+            raise CheckpointError(
+                f"checkpoint {path} carries federation state, but "
+                f"this daemon has no [federation] configured; its "
+                f"buffered digests would be dropped silently"
+            )
+        if federator is not None and federation_state is not None:
+            federator.from_state(federation_state)
+        return sequence
 
 
 def run_service(
@@ -271,14 +291,17 @@ def run_service(
     settings: ServiceSettings,
     resume: bool = False,
     log: TextIO | None = None,
+    federator: Federator | None = None,
 ) -> None:
     """Run the daemon against a live fleet until SIGINT/SIGTERM.
 
     The caller owns the fleet's lifecycle (build it, ``close()`` it);
     this function owns the daemon's: resume policy, app wiring,
-    listeners, and graceful shutdown with a final checkpoint.
+    listeners, and graceful shutdown with a final checkpoint.  With a
+    ``federator`` the daemon additionally accepts ``POST /digest`` and
+    checkpoints the federation state alongside the fleet's.
     """
-    sequence = resume_sequence(fleet, settings, resume)
+    sequence = resume_sequence(fleet, settings, resume, federator)
     app = ServiceApp(
         fleet,
         checkpoint_path=settings.checkpoint_path,
@@ -286,6 +309,7 @@ def run_service(
         checkpoint_sync=settings.checkpoint_sync,
         chunk_rows=settings.chunk_rows,
         sequence=sequence,
+        federator=federator,
     )
     supervisor = ServiceSupervisor(
         app,

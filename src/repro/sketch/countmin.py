@@ -9,9 +9,12 @@ heavy-hitter cross-checks used in our tests and examples.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SketchError
+from repro.flows.table import pack_array, unpack_array
 from repro.sketch.hashing import HashFamily
 
 
@@ -31,6 +34,7 @@ class CountMinSketch:
             raise ConfigError(f"depth must be >= 1: {depth}")
         self._width = width
         self._depth = depth
+        self._seed = seed
         family = HashFamily(bins=width, seed=seed)
         self._hashes = family.take(depth)
         self._table = np.zeros((depth, width), dtype=np.int64)
@@ -57,6 +61,11 @@ class CountMinSketch:
     @property
     def depth(self) -> int:
         return self._depth
+
+    @property
+    def seed(self) -> int:
+        """Seed of the hash family; sketches only merge on equal seeds."""
+        return self._seed
 
     @property
     def total(self) -> int:
@@ -102,3 +111,78 @@ class CountMinSketch:
                 hits.append((int(value), est))
         hits.sort(key=lambda pair: (-pair[1], pair[0]))
         return hits
+
+    # ------------------------------------------------------------------
+    # Federation: merge + canonical wire form
+    # ------------------------------------------------------------------
+    def compatible_with(self, other: "CountMinSketch") -> bool:
+        """True when ``other`` uses the same table geometry and hash
+        streams, i.e. cell-wise addition of the tables is meaningful."""
+        return (
+            self._width == other._width
+            and self._depth == other._depth
+            and self._seed == other._seed
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold ``other``'s counts into this sketch, in place.
+
+        Count-min tables over the same hash functions are linear: the
+        cell-wise sum of two tables is exactly the table of the
+        concatenated streams, so merged estimates keep the standard
+        ``eps * N`` guarantee with ``N`` the combined total.  Mismatched
+        width/depth/seed would add counts of *unrelated* cells and
+        silently fabricate frequencies, so it is refused outright.
+        """
+        if not self.compatible_with(other):
+            raise SketchError(
+                f"cannot merge count-min sketches with different "
+                f"parameters: width/depth/seed "
+                f"{self._width}/{self._depth}/{self._seed} vs "
+                f"{other._width}/{other._depth}/{other._seed}"
+            )
+        self._table += other._table
+        self._total += other._total
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-safe document for this sketch.
+
+        Byte-stable: identical sketch state always renders the identical
+        document (the packed-array encoding is deterministic), so digests
+        embedding sketches are diff-able and replayable.
+        """
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "total": self._total,
+            "table": pack_array(self._table.reshape(-1)),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "CountMinSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        try:
+            sketch = cls(
+                width=int(doc["width"]),
+                depth=int(doc["depth"]),
+                seed=int(doc["seed"]),
+            )
+            total = int(doc["total"])
+            flat = np.asarray(unpack_array(doc["table"]), dtype=np.int64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SketchError(
+                f"malformed count-min document: {exc}"
+            ) from exc
+        if total < 0:
+            raise SketchError(
+                f"count-min document has negative total: {total}"
+            )
+        if flat.size != sketch._depth * sketch._width:
+            raise SketchError(
+                f"count-min table has {flat.size} cells, expected "
+                f"{sketch._depth}x{sketch._width}"
+            )
+        sketch._table = flat.reshape(sketch._depth, sketch._width)
+        sketch._total = total
+        return sketch

@@ -9,9 +9,12 @@ them (paper Section II-C, step 2).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SketchError
+from repro.flows.table import pack_array, unpack_array
 from repro.sketch.hashing import UniversalHash
 
 
@@ -103,6 +106,20 @@ class HashedHistogram:
             observed=self._observed.copy(),
         )
 
+    def restore(self, counts: np.ndarray, observed: np.ndarray) -> None:
+        """Replace this histogram's interval state (digest replay path).
+
+        ``counts`` must match the bin count; both arrays are copied.
+        """
+        counts = np.asarray(counts, dtype=np.float64)
+        if len(counts) != self.bins:
+            raise SketchError(
+                f"histogram state has {len(counts)} bins, "
+                f"expected {self.bins}"
+            )
+        self._counts = counts.copy()
+        self._observed = np.asarray(observed, dtype=np.uint64).copy()
+
 
 class HistogramSnapshot:
     """Immutable state of a :class:`HashedHistogram` at interval end.
@@ -166,3 +183,68 @@ class HistogramSnapshot:
         """Copy of this snapshot with replaced counts (used by the
         iterative bin-cleaning simulation)."""
         return HistogramSnapshot(self.hash_fn, counts, self._observed)
+
+    # ------------------------------------------------------------------
+    # Federation: merge + canonical wire form
+    # ------------------------------------------------------------------
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots of the *same* hash function.
+
+        Bin counts add cell-wise and the observed-value sets union, so
+        the result is byte-identical to a snapshot taken over the
+        concatenated flow streams (counts are integer-valued float64,
+        addition is exact; ``union1d`` output is the sorted union either
+        way).  That exactness - not an approximation - is what the
+        federated detection-equivalence tests assert.  Snapshots binned
+        by different hash functions count different events per bin, so
+        merging them is refused.
+        """
+        if self.hash_fn != other.hash_fn:
+            raise SketchError(
+                f"cannot merge histogram snapshots with different hash "
+                f"functions: {self.hash_fn} vs {other.hash_fn}"
+            )
+        return HistogramSnapshot(
+            hash_fn=self.hash_fn,
+            counts=self._counts + other._counts,
+            observed=np.union1d(self._observed, other._observed),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-safe document (checkpoint-document
+        discipline: identical state renders identical bytes)."""
+        return {
+            "hash": {
+                "a": self.hash_fn.a,
+                "b": self.hash_fn.b,
+                "bins": self.hash_fn.bins,
+            },
+            "counts": pack_array(self._counts),
+            "observed": pack_array(self._observed),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "HistogramSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        try:
+            hash_fn = UniversalHash(
+                a=int(doc["hash"]["a"]),
+                b=int(doc["hash"]["b"]),
+                bins=int(doc["hash"]["bins"]),
+            )
+            counts = np.asarray(
+                unpack_array(doc["counts"]), dtype=np.float64
+            )
+            observed = np.asarray(
+                unpack_array(doc["observed"]), dtype=np.uint64
+            )
+        except (KeyError, TypeError, ValueError, ConfigError) as exc:
+            raise SketchError(
+                f"malformed histogram snapshot document: {exc}"
+            ) from exc
+        if len(counts) != hash_fn.bins:
+            raise SketchError(
+                f"histogram snapshot has {len(counts)} counts, "
+                f"expected {hash_fn.bins} bins"
+            )
+        return cls(hash_fn=hash_fn, counts=counts, observed=observed)

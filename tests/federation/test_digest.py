@@ -1,0 +1,204 @@
+"""IntervalDigest wire format and merge algebra.
+
+The two halves of the digest contract:
+
+* the canonical wire document is byte-stable and versioned, refusing
+  foreign versions and internally-contradictory payloads;
+* merging is exact, commutative, and associative - byte-for-byte equal
+  to digesting the concatenated flows.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import FederationError, SketchError
+from repro.federation import DIGEST_VERSION, IntervalDigest, split_trace
+
+ATTACK = 24
+
+
+@pytest.fixture(scope="module")
+def east24(site_digests):
+    return site_digests["east"][ATTACK]
+
+
+@pytest.fixture(scope="module")
+def west24(site_digests):
+    return site_digests["west"][ATTACK]
+
+
+@pytest.fixture(scope="module")
+def three_way(attack_flows, collector_factory):
+    """The attack interval split three ways (associativity material)."""
+    parts = split_trace(attack_flows, ("a", "b", "c"), "src_ip%3")
+    return [
+        collector_factory(site).summarize(flows, ATTACK)
+        for site, flows in parts.items()
+    ]
+
+
+def features_doc(digest: IntervalDigest) -> str:
+    """The sketch payload alone, canonically rendered (site lists and
+    flow counts legitimately differ between a merged digest and one
+    collected whole)."""
+    return json.dumps(digest.to_dict()["features"], sort_keys=True)
+
+
+class TestWireFormat:
+    def test_round_trip_byte_stable(self, east24):
+        wire = east24.to_json()
+        again = IntervalDigest.from_json(wire)
+        assert again.to_json() == wire
+
+    def test_to_json_is_canonical(self, east24):
+        assert east24.to_json() == json.dumps(
+            east24.to_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+        )
+
+    def test_round_trip_preserves_payload(self, east24, fed_config):
+        again = IntervalDigest.from_json(east24.to_json())
+        assert again.schema == east24.schema
+        assert again.interval == ATTACK
+        assert again.sites == ("east",)
+        assert again.flow_count == east24.flow_count
+        assert features_doc(again) == features_doc(east24)
+
+    def test_foreign_version_refused(self, east24):
+        doc = east24.to_dict()
+        doc["version"] = DIGEST_VERSION + 1
+        with pytest.raises(FederationError, match="wire version"):
+            IntervalDigest.from_dict(doc)
+
+    def test_invalid_json_refused(self):
+        with pytest.raises(FederationError, match="not valid JSON"):
+            IntervalDigest.from_json("{nope")
+
+    def test_non_object_refused(self):
+        with pytest.raises(FederationError, match="JSON object"):
+            IntervalDigest.from_json("[1, 2]")
+
+    def test_missing_field_refused(self, east24):
+        doc = east24.to_dict()
+        del doc["flow_count"]
+        with pytest.raises(FederationError, match="malformed digest"):
+            IntervalDigest.from_dict(doc)
+
+    def test_countmin_geometry_contradiction_refused(self, east24):
+        # Schema claims a wider sketch than the payload carries.
+        doc = copy.deepcopy(east24.to_dict())
+        doc["schema"]["cm_width"] = doc["schema"]["cm_width"] * 2
+        with pytest.raises(FederationError, match="schema declares"):
+            IntervalDigest.from_dict(doc)
+
+    def test_snapshot_bins_contradiction_refused(self, east24):
+        doc = copy.deepcopy(east24.to_dict())
+        doc["schema"]["bins"] = doc["schema"]["bins"] // 2
+        with pytest.raises(FederationError, match="schema declares"):
+            IntervalDigest.from_dict(doc)
+
+
+class TestMergeAlgebra:
+    def test_commutative_byte_for_byte(self, east24, west24):
+        assert (
+            east24.merge(west24).to_json() == west24.merge(east24).to_json()
+        )
+
+    def test_associative_byte_for_byte(self, three_way):
+        a, b, c = three_way
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        rotated = c.merge(a).merge(b)
+        assert left.to_json() == right.to_json()
+        assert left.to_json() == rotated.to_json()
+
+    def test_merge_equals_concatenated_digest(
+        self, three_way, attack_flows, collector_factory
+    ):
+        merged = three_way[0].merge(three_way[1]).merge(three_way[2])
+        whole = collector_factory("whole").summarize(attack_flows, ATTACK)
+        assert merged.flow_count == whole.flow_count == len(attack_flows)
+        assert features_doc(merged) == features_doc(whole)
+
+    def test_merge_sums_flow_counts_and_unions_sites(self, east24, west24):
+        merged = east24.merge(west24)
+        assert merged.sites == ("east", "west")
+        assert merged.flow_count == east24.flow_count + west24.flow_count
+        assert merged.interval == ATTACK
+
+    def test_different_intervals_refused(self, east24, site_digests):
+        with pytest.raises(FederationError, match="different intervals"):
+            east24.merge(site_digests["west"][ATTACK - 1])
+
+    def test_site_overlap_refused(self, east24):
+        with pytest.raises(FederationError, match="double-count"):
+            east24.merge(east24)
+
+    def test_schema_mismatch_refused(self, east24, collector_factory):
+        foreign = collector_factory("west", cm_width=256).empty_digest(
+            ATTACK
+        )
+        with pytest.raises(SketchError, match="incompatible"):
+            east24.merge(foreign)
+
+
+class TestConstruction:
+    def _parts(self, digest):
+        return dict(
+            schema=digest.schema,
+            interval=digest.interval,
+            sites=digest.sites,
+            flow_count=digest.flow_count,
+            snapshots=digest._snapshots,
+            countmin=digest._countmin,
+        )
+
+    def test_negative_interval_refused(self, east24):
+        parts = self._parts(east24)
+        parts["interval"] = -1
+        with pytest.raises(FederationError, match="interval"):
+            IntervalDigest(**parts)
+
+    def test_empty_sites_refused(self, east24):
+        parts = self._parts(east24)
+        parts["sites"] = ()
+        with pytest.raises(FederationError, match="at least one site"):
+            IntervalDigest(**parts)
+
+    def test_duplicate_sites_refused(self, east24):
+        parts = self._parts(east24)
+        parts["sites"] = ("east", "east")
+        with pytest.raises(FederationError, match="duplicate"):
+            IntervalDigest(**parts)
+
+    def test_negative_flow_count_refused(self, east24):
+        parts = self._parts(east24)
+        parts["flow_count"] = -5
+        with pytest.raises(FederationError, match="flow count"):
+            IntervalDigest(**parts)
+
+    def test_missing_feature_sketches_refused(self, east24):
+        parts = self._parts(east24)
+        name = east24.schema.features[0]
+        parts["snapshots"] = {
+            key: value
+            for key, value in parts["snapshots"].items()
+            if key != name
+        }
+        with pytest.raises(FederationError, match="missing sketches"):
+            IntervalDigest(**parts)
+
+    def test_wrong_clone_count_refused(self, east24):
+        parts = self._parts(east24)
+        name = east24.schema.features[0]
+        trimmed = dict(parts["snapshots"])
+        trimmed[name] = trimmed[name][:-1]
+        parts["snapshots"] = trimmed
+        with pytest.raises(FederationError, match="clone snapshots"):
+            IntervalDigest(**parts)

@@ -1,0 +1,267 @@
+"""Federator semantics: the merged-view detection equivalence contract,
+straggler/watermark policy, refusals, and checkpoint resume.
+
+The headline assertions:
+
+* detection over merged digests is *exactly* the single-bank detection
+  over the concatenated trace - same alarms, and the detector bank's
+  serialized state is byte-identical;
+* merged count-min supports obey the one-sided ``eps * N`` guarantee
+  the extraction path relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.detection.features import Feature
+from repro.errors import CheckpointError, FederationError, SketchError
+from repro.federation.federator import (
+    FEDERATED_ALGORITHM,
+    FEDERATED_PREFILTER,
+)
+
+SITES = ("east", "west")
+
+
+def feed_all(fed, site_digests, upto=30):
+    """Interval-major delivery of both sites' digests."""
+    released = []
+    for i in range(upto):
+        for site in SITES:
+            released.extend(fed.add(site_digests[site][i]))
+    released.extend(fed.finish())
+    return released
+
+
+def interval_doc(fi) -> dict:
+    """A released interval as comparable plain data."""
+    return {
+        "interval": fi.interval,
+        "sites": fi.sites,
+        "stragglers": fi.stragglers,
+        "flow_count": fi.flow_count,
+        "alarmed_features": fi.alarmed_features,
+        "report": fi.report.to_dict() if fi.report is not None else None,
+    }
+
+
+@pytest.fixture(scope="module")
+def federated(site_digests, federator_factory):
+    """One full federated run over the split DDoS trace."""
+    fed = federator_factory()
+    released = feed_all(fed, site_digests)
+    return fed, released
+
+
+class TestEquivalence:
+    def test_every_interval_released_complete(self, federated):
+        _, released = federated
+        assert [fi.interval for fi in released] == list(range(30))
+        assert all(fi.sites == SITES for fi in released)
+        assert all(fi.stragglers == () for fi in released)
+
+    def test_alarms_match_concatenated_detection(
+        self, federated, local_run
+    ):
+        _, released = federated
+        _, run = local_run
+        fed_alarms = {
+            fi.interval: fi.alarmed_features
+            for fi in released
+            if fi.alarm
+        }
+        local_alarms = {
+            r.interval: tuple(f.short_name for f in r.alarmed_features)
+            for r in run.reports
+            if r.alarm
+        }
+        assert fed_alarms  # the planted DDoS actually alarmed
+        assert fed_alarms == local_alarms
+
+    def test_bank_state_byte_identical(self, federated, local_run):
+        fed, _ = federated
+        bank, _ = local_run
+        assert json.dumps(
+            fed.to_state()["bank"], sort_keys=True
+        ) == json.dumps(bank.to_state(), sort_keys=True)
+
+    def test_merged_flow_counts_match_trace(self, federated, ddos_trace):
+        _, released = federated
+        assert sum(fi.flow_count for fi in released) == len(
+            ddos_trace.flows
+        )
+
+    def test_countmin_support_within_eps_n(
+        self, site_digests, attack_flows
+    ):
+        """One-sided count-min guarantee on the merged sketch: every
+        estimate is >= the true count, and exceeds it by more than
+        ``eps * N`` (eps = e/width) only with the documented per-item
+        probability delta = e^-depth (seeds are fixed, so the observed
+        violation count is deterministic)."""
+        merged = site_digests["east"][24].merge(site_digests["west"][24])
+        feature = Feature.DST_IP
+        sketch = merged.countmin(feature)
+        values = feature.extract(attack_flows)
+        assert sketch.total == len(values)
+        unique, truth = np.unique(values, return_counts=True)
+        estimates = np.array(
+            [sketch.estimate(int(v)) for v in unique]
+        )
+        assert np.all(estimates >= truth)
+        eps_n = np.e / sketch.width * sketch.total
+        violations = int(np.count_nonzero(estimates > truth + eps_n))
+        # delta = e^-4 ~ 1.8% per item; allow a loose 5% margin.
+        assert violations <= max(1, int(0.05 * len(unique)))
+
+    def test_extraction_reports_are_digest_labelled(self, federated):
+        fed, released = federated
+        reports = fed.reports
+        assert reports
+        assert [r.interval for r in reports] == [
+            fi.interval for fi in released if fi.report is not None
+        ]
+        for report in reports:
+            assert report.algorithm == FEDERATED_ALGORITHM
+            assert report.prefilter_mode == FEDERATED_PREFILTER
+            assert report.selected_flows == 0
+            assert report.itemsets
+            for triaged in report.itemsets:
+                assert triaged.itemset.support >= fed.min_support
+
+
+class TestStragglerPolicy:
+    def test_complete_interval_releases_immediately(
+        self, site_digests, federator_factory
+    ):
+        fed = federator_factory()
+        assert fed.add(site_digests["east"][0]) == []
+        released = fed.add(site_digests["west"][0])
+        assert [fi.interval for fi in released] == [0]
+        assert released[0].sites == SITES
+        assert released[0].stragglers == ()
+        assert fed.next_interval == 1
+        assert fed.pending_intervals == 0
+
+    def test_grace_forces_release_and_late_digest_is_stale(
+        self, site_digests, federator_factory
+    ):
+        fed = federator_factory(straggler_grace=2)
+        assert fed.add(site_digests["east"][0]) == []
+        assert fed.add(site_digests["east"][1]) == []
+        released = fed.add(site_digests["east"][2])
+        assert [fi.interval for fi in released] == [0]
+        assert released[0].sites == ("east",)
+        assert released[0].stragglers == ("west",)
+        with pytest.raises(FederationError, match="stale"):
+            fed.add(site_digests["west"][0])
+
+    def test_wholly_missing_interval_synthesized_empty(
+        self, site_digests, federator_factory
+    ):
+        fed = federator_factory(straggler_grace=2)
+        for site in SITES:
+            fed.add(site_digests[site][0])
+        # Interval 1 never arrives from anyone; 2 is complete but
+        # blocked behind it until the watermark passes.
+        for site in SITES:
+            assert fed.add(site_digests[site][2]) == []
+        released = fed.add(site_digests["east"][3])
+        assert [fi.interval for fi in released] == [1, 2]
+        gap = released[0]
+        assert gap.sites == ()
+        assert gap.stragglers == SITES
+        assert gap.flow_count == 0
+        assert released[1].sites == SITES
+
+    def test_finish_flushes_pending(self, site_digests, federator_factory):
+        fed = federator_factory()
+        fed.add(site_digests["east"][0])
+        released = fed.finish()
+        assert [fi.interval for fi in released] == [0]
+        assert released[0].stragglers == ("west",)
+        assert fed.pending_intervals == 0
+
+
+class TestRefusals:
+    def test_unknown_site(self, collector_factory, federator_factory):
+        fed = federator_factory()
+        with pytest.raises(FederationError, match="unknown site"):
+            fed.add(collector_factory("north").empty_digest(0))
+
+    def test_duplicate_digest(self, site_digests, federator_factory):
+        fed = federator_factory()
+        fed.add(site_digests["east"][0])
+        with pytest.raises(FederationError, match="duplicate"):
+            fed.add(site_digests["east"][0])
+
+    def test_incompatible_schema(
+        self, collector_factory, federator_factory
+    ):
+        fed = federator_factory()
+        foreign = collector_factory("east", cm_width=256).empty_digest(0)
+        with pytest.raises(SketchError, match="incompatible"):
+            fed.add(foreign)
+
+    def test_constructor_validation(self, federator_factory):
+        with pytest.raises(FederationError, match="at least one site"):
+            federator_factory(sites=())
+        with pytest.raises(FederationError, match="duplicate site"):
+            federator_factory(sites=("east", "east"))
+        with pytest.raises(FederationError, match="min_support"):
+            federator_factory(min_support=0)
+        with pytest.raises(FederationError, match="straggler_grace"):
+            federator_factory(straggler_grace=0)
+        with pytest.raises(FederationError, match="interval length"):
+            federator_factory(interval_seconds=0.0)
+
+
+class TestResume:
+    def test_mid_stream_round_trip_is_byte_identical(
+        self, site_digests, federator_factory
+    ):
+        live = federator_factory()
+        for i in range(10):
+            live.add(site_digests["east"][i])
+            if i < 9:
+                live.add(site_digests["west"][i])
+        # Through JSON, exactly as a checkpoint file would carry it.
+        state = json.loads(json.dumps(live.to_state()))
+        assert state["pending"]  # west's interval 9 is still buffered
+        resumed = federator_factory()
+        resumed.from_state(state)
+        assert resumed.next_interval == live.next_interval
+        assert resumed.pending_intervals == live.pending_intervals
+
+        tail = [site_digests["west"][9]]
+        for i in range(10, 30):
+            tail.extend(site_digests[site][i] for site in SITES)
+        out_live, out_resumed = [], []
+        for digest in tail:
+            out_live.extend(live.add(digest))
+            out_resumed.extend(resumed.add(digest))
+        out_live.extend(live.finish())
+        out_resumed.extend(resumed.finish())
+        assert [interval_doc(fi) for fi in out_live] == [
+            interval_doc(fi) for fi in out_resumed
+        ]
+        assert json.dumps(
+            live.to_state(), sort_keys=True
+        ) == json.dumps(resumed.to_state(), sort_keys=True)
+        assert [r.to_dict() for r in live.reports] == [
+            r.to_dict() for r in resumed.reports
+        ]
+
+    def test_schema_mismatch_refused(self, federator_factory):
+        narrow = federator_factory(cm_width=256)
+        state = narrow.to_state()
+        with pytest.raises(CheckpointError, match="schema"):
+            federator_factory().from_state(state)
+
+    def test_malformed_state_refused(self, federator_factory):
+        with pytest.raises(CheckpointError, match="malformed"):
+            federator_factory().from_state({})

@@ -1,0 +1,136 @@
+"""The batch tier: split_trace, run_federation, and the incident path."""
+
+from __future__ import annotations
+
+import ipaddress
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import run_federation, split_trace
+from repro.federation.federator import FEDERATED_ALGORITHM
+from repro.incidents.store import open_store
+from repro.mining.items import format_item
+
+INTERVAL_SECONDS = 900.0
+
+
+class TestSplitTrace:
+    def test_partitions_the_trace(self, ddos_trace):
+        parts = split_trace(ddos_trace.flows, ("a", "b", "c"), "src_ip%3")
+        assert set(parts) == {"a", "b", "c"}
+        assert sum(len(p) for p in parts.values()) == len(ddos_trace.flows)
+        assert all(len(p) > 0 for p in parts.values())
+
+    def test_deterministic(self, ddos_trace):
+        one = split_trace(ddos_trace.flows, ("a", "b"), "dst_ip%2")
+        two = split_trace(ddos_trace.flows, ("a", "b"), "dst_ip%2")
+        for site in ("a", "b"):
+            assert len(one[site]) == len(two[site])
+
+    def test_single_site_takes_everything(self, ddos_trace):
+        parts = split_trace(ddos_trace.flows, ("solo",), "dst_ip")
+        assert len(parts["solo"]) == len(ddos_trace.flows)
+
+    def test_no_sites_refused(self, ddos_trace):
+        with pytest.raises(FederationError, match="at least one site"):
+            split_trace(ddos_trace.flows, (), "dst_ip")
+
+
+@pytest.fixture(scope="module")
+def fed_result(site_flows, fed_config):
+    return run_federation(
+        site_flows,
+        config=fed_config,
+        seed=0,
+        cm_width=512,
+        cm_depth=4,
+        interval_seconds=INTERVAL_SECONDS,
+        min_support=300,
+    )
+
+
+class TestRunFederation:
+    def test_shape(self, fed_result):
+        assert fed_result.sites == ("east", "west")
+        assert fed_result.digests == 60
+        assert fed_result.n_intervals == 30
+        assert fed_result.straggler_intervals() == []
+
+    def test_alarms_match_concatenated_detection(
+        self, fed_result, local_run
+    ):
+        _, run = local_run
+        assert fed_result.alarm_intervals() == run.alarm_intervals()
+        assert fed_result.alarm_intervals()  # attack detected
+
+    def test_reports_carry_federated_provenance(self, fed_result):
+        assert fed_result.reports
+        for report in fed_result.reports:
+            assert report.algorithm == FEDERATED_ALGORITHM
+            assert report.selected_flows == 0
+
+    def test_attack_victim_extracted(self, fed_result, small_profile):
+        victim = small_profile.internal_base + 5
+        expected = f"dstIP={ipaddress.ip_address(victim)}"
+        rendered = {
+            format_item(item)
+            for report in fed_result.reports
+            for triaged in report.itemsets
+            for item in triaged.itemset.items
+        }
+        assert expected in rendered
+
+    def test_incidents_ranked(self, fed_result):
+        assert fed_result.incidents
+        scores = [entry.score for entry in fed_result.incidents]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_traces_refused(self):
+        with pytest.raises(FederationError, match="at least one site"):
+            run_federation({})
+
+
+class TestStragglerTier:
+    def test_short_site_surfaces_as_straggler(
+        self, site_flows, fed_config
+    ):
+        west = site_flows["west"]
+        cut = west.select(west.column("start") < 24 * INTERVAL_SECONDS)
+        result = run_federation(
+            {"east": site_flows["east"], "west": cut},
+            config=fed_config,
+            seed=0,
+            cm_width=512,
+            cm_depth=4,
+            interval_seconds=INTERVAL_SECONDS,
+            min_support=300,
+        )
+        assert result.n_intervals == 30
+        assert result.straggler_intervals() == list(range(24, 30))
+        for fi in result.intervals[24:]:
+            assert fi.stragglers == ("west",)
+            assert fi.sites == ("east",)
+
+
+class TestStorePath:
+    def test_reports_persist_to_store(
+        self, site_flows, fed_config, tmp_path
+    ):
+        path = str(tmp_path / "federation.db")
+        with open_store(path) as store:
+            result = run_federation(
+                site_flows,
+                config=fed_config,
+                seed=0,
+                cm_width=512,
+                cm_depth=4,
+                interval_seconds=INTERVAL_SECONDS,
+                min_support=300,
+                store=store,
+            )
+            assert len(store) == len(result.reports)
+            stored = store.reports()
+            assert [r.to_dict() for r in stored] == [
+                r.to_dict() for r in result.reports
+            ]

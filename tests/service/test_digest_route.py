@@ -1,0 +1,325 @@
+"""``POST /digest`` and the federation side of checkpoints/resume.
+
+A federated daemon is a normal daemon plus a federator: digests enter
+over HTTP, advance the ingest sequence like batches, ride along in the
+durable checkpoints, and restore byte-for-byte on resume.  A daemon
+*without* a federator must refuse digests - and must refuse to resume
+a checkpoint that carries federation state it would silently drop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import ServiceSettings
+from repro.errors import CheckpointError
+from repro.federation import Collector, Federator
+from repro.fleet.manager import FleetManager
+from repro.obs.metrics import MetricsRegistry
+from repro.service.app import ServiceApp
+from repro.service.checkpoint import read_checkpoint
+from repro.service.protocol import HttpRequest
+from repro.service.supervisor import resume_sequence
+
+SITES = ("east", "west")
+CM_WIDTH = 256
+CM_DEPTH = 3
+INTERVAL_SECONDS = 10.0
+
+
+def req(
+    method: str,
+    path: str,
+    query: dict[str, str] | None = None,
+    body: bytes = b"",
+) -> HttpRequest:
+    return HttpRequest(
+        method=method,
+        target=path,
+        path=path,
+        query=query or {},
+        headers={},
+        body=body,
+    )
+
+
+def body_of(response) -> dict:
+    return json.loads(response[1])
+
+
+@pytest.fixture(scope="module")
+def site_wire(service_config, service_chunks):
+    """Each site's digest stream for the service workload, as the wire
+    lines a live collector would POST."""
+    wires = {}
+    for site in SITES:
+        collector = Collector(
+            site=site,
+            config=service_config.detector,
+            features=service_config.features,
+            seed=0,
+            cm_width=CM_WIDTH,
+            cm_depth=CM_DEPTH,
+        )
+        wires[site] = [
+            collector.summarize(chunk, i).to_json()
+            for i, chunk in enumerate(service_chunks)
+        ]
+    return wires
+
+
+def make_federator(service_config, **kwargs) -> Federator:
+    defaults = dict(
+        sites=SITES,
+        config=service_config.detector,
+        features=service_config.features,
+        seed=0,
+        cm_width=CM_WIDTH,
+        cm_depth=CM_DEPTH,
+        interval_seconds=INTERVAL_SECONDS,
+        min_support=40,
+    )
+    defaults.update(kwargs)
+    return Federator(**defaults)
+
+
+def make_fleet(service_config, store_dir=None) -> FleetManager:
+    return FleetManager(
+        {"linkA": service_config},
+        route="dst_ip",
+        interval_seconds=INTERVAL_SECONDS,
+        store_dir=store_dir,
+        metrics=MetricsRegistry(),
+    )
+
+
+@pytest.fixture()
+def fed_app(service_config):
+    fleet = make_fleet(service_config)
+    app = ServiceApp(
+        fleet, federator=make_federator(service_config)
+    )
+    yield app
+    fleet.close()
+
+
+class TestDigestRoute:
+    def test_single_digest_accepted(self, fed_app, site_wire):
+        doc = body_of(fed_app.handle(req(
+            "POST", "/digest", body=site_wire["east"][0].encode()
+        )))
+        assert doc["digests"] == 1
+        assert doc["released"] == []
+        assert doc["next_interval"] == 0
+        assert doc["sequence"] == 1
+
+    def test_complete_interval_released(self, fed_app, site_wire):
+        fed_app.handle(req(
+            "POST", "/digest", body=site_wire["east"][0].encode()
+        ))
+        doc = body_of(fed_app.handle(req(
+            "POST", "/digest", body=site_wire["west"][0].encode()
+        )))
+        assert doc["released"] == [{
+            "interval": 0,
+            "sites": ["east", "west"],
+            "stragglers": [],
+            "alarm": False,
+        }]
+        assert doc["next_interval"] == 1
+        assert doc["sequence"] == 2
+
+    def test_multi_line_body(self, fed_app, site_wire):
+        body = "\n".join(
+            site_wire[site][i] for i in range(3) for site in SITES
+        ).encode()
+        doc = body_of(fed_app.handle(req("POST", "/digest", body=body)))
+        assert doc["digests"] == 6
+        assert [r["interval"] for r in doc["released"]] == [0, 1, 2]
+        assert doc["next_interval"] == 3
+
+    def test_requires_post(self, fed_app):
+        status, body, _ = fed_app.handle(req("GET", "/digest"))
+        assert status == 405
+        assert "use POST" in json.loads(body)["error"]
+
+    def test_health_reports_federation_posture(self, fed_app, site_wire):
+        fed_app.handle(req(
+            "POST", "/digest", body=site_wire["east"][0].encode()
+        ))
+        doc = body_of(fed_app.handle(req("GET", "/healthz")))
+        assert doc["federation"] == {
+            "sites": ["east", "west"],
+            "next_interval": 0,
+            "pending_intervals": 1,
+            "reports": 0,
+        }
+
+
+class TestDigestRefusals:
+    def test_non_federator_daemon_refuses(self, service_config, site_wire):
+        fleet = make_fleet(service_config)
+        try:
+            app = ServiceApp(fleet)
+            status, body, _ = app.handle(req(
+                "POST", "/digest", body=site_wire["east"][0].encode()
+            ))
+            assert status == 400
+            assert "not a federator" in json.loads(body)["error"]
+            doc = body_of(app.handle(req("GET", "/healthz")))
+            assert "federation" not in doc
+        finally:
+            fleet.close()
+
+    def test_empty_body_refused(self, fed_app):
+        status, body, _ = fed_app.handle(req(
+            "POST", "/digest", body=b"\n\n"
+        ))
+        assert status == 400
+        assert "no digests" in json.loads(body)["error"]
+
+    def test_malformed_line_names_its_position(self, fed_app, site_wire):
+        body = (site_wire["east"][0] + "\n{nope\n").encode()
+        status, payload, _ = fed_app.handle(req(
+            "POST", "/digest", body=body
+        ))
+        assert status == 400
+        error = json.loads(payload)["error"]
+        assert error.startswith("digest:2:")
+        # Refused before anything applied: the sequence never advanced.
+        assert fed_app.sequence == 0
+
+    def test_incompatible_schema_refused(self, fed_app, service_config):
+        foreign = Collector(
+            site="east",
+            config=service_config.detector,
+            features=service_config.features,
+            seed=0,
+            cm_width=CM_WIDTH * 2,
+            cm_depth=CM_DEPTH,
+        ).empty_digest(0)
+        status, body, _ = fed_app.handle(req(
+            "POST", "/digest", body=foreign.to_json().encode()
+        ))
+        assert status == 400
+        assert "incompatible" in json.loads(body)["error"]
+
+    def test_duplicate_digest_refused(self, fed_app, site_wire):
+        wire = site_wire["east"][0].encode()
+        assert fed_app.handle(req("POST", "/digest", body=wire))[0] == 200
+        status, body, _ = fed_app.handle(req(
+            "POST", "/digest", body=wire
+        ))
+        assert status == 400
+        assert "duplicate" in json.loads(body)["error"]
+
+
+class TestFederatedCheckpoint:
+    def _settings(self, path: str) -> ServiceSettings:
+        return dataclasses.replace(
+            ServiceSettings.from_data(None), checkpoint_path=path
+        )
+
+    def test_checkpoint_carries_and_restores_federation_state(
+        self, service_config, site_wire, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.json")
+        fleet = make_fleet(service_config, store_dir=tmp_path / "stores")
+        federator = make_federator(service_config)
+        try:
+            app = ServiceApp(
+                fleet,
+                checkpoint_path=path,
+                checkpoint_every=1,
+                federator=federator,
+            )
+            for i in range(4):
+                for site in SITES:
+                    status, body, _ = app.handle(req(
+                        "POST", "/digest",
+                        body=site_wire[site][i].encode(),
+                    ))
+                    assert status == 200, body
+            # West's interval 4 stays pending across the checkpoint.
+            app.handle(req(
+                "POST", "/digest", body=site_wire["east"][4].encode()
+            ))
+            doc = read_checkpoint(path)
+            assert doc["sequence"] == 9
+            assert doc["federation"] == federator.to_state()
+        finally:
+            fleet.close()
+
+        fresh = make_fleet(
+            service_config, store_dir=tmp_path / "stores2"
+        )
+        resumed = make_federator(service_config)
+        try:
+            sequence = resume_sequence(
+                fresh, self._settings(path), resume=True,
+                federator=resumed,
+            )
+            assert sequence == 9
+            assert json.dumps(
+                resumed.to_state(), sort_keys=True
+            ) == json.dumps(federator.to_state(), sort_keys=True)
+            assert resumed.next_interval == 4
+            assert resumed.pending_intervals == 1
+        finally:
+            fresh.close()
+
+    def test_resume_refuses_orphaned_federation_state(
+        self, service_config, site_wire, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.json")
+        fleet = make_fleet(service_config, store_dir=tmp_path / "stores")
+        try:
+            app = ServiceApp(
+                fleet,
+                checkpoint_path=path,
+                checkpoint_every=1,
+                federator=make_federator(service_config),
+            )
+            app.handle(req(
+                "POST", "/digest", body=site_wire["east"][0].encode()
+            ))
+        finally:
+            fleet.close()
+        fresh = make_fleet(
+            service_config, store_dir=tmp_path / "stores2"
+        )
+        try:
+            with pytest.raises(CheckpointError, match="federation"):
+                resume_sequence(
+                    fresh, self._settings(path), resume=True,
+                    federator=None,
+                )
+        finally:
+            fresh.close()
+
+    def test_plain_checkpoint_resumes_under_a_federator(
+        self, service_config, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.json")
+        fleet = make_fleet(service_config, store_dir=tmp_path / "stores")
+        try:
+            app = ServiceApp(fleet, checkpoint_path=path)
+            app.checkpoint()
+        finally:
+            fleet.close()
+        fresh = make_fleet(
+            service_config, store_dir=tmp_path / "stores2"
+        )
+        federator = make_federator(service_config)
+        try:
+            sequence = resume_sequence(
+                fresh, self._settings(path), resume=True,
+                federator=federator,
+            )
+            assert sequence == 0
+            assert federator.next_interval == 0
+        finally:
+            fresh.close()

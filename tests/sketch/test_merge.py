@@ -1,0 +1,125 @@
+"""Merge-compatibility guards and wire-document validation.
+
+Merging sketches with mismatched geometry or hash streams would add
+counts of unrelated cells - silently fabricating traffic - so every
+mismatch must be refused with a typed :class:`SketchError` before any
+state changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.sketch.cloning import CloneSet
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashing import HashFamily
+from repro.sketch.histogram import HashedHistogram
+
+VALUES = np.arange(50, dtype=np.uint64)
+
+
+def make_sketch(width=64, depth=3, seed=0) -> CountMinSketch:
+    sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+    sketch.update_array(VALUES)
+    return sketch
+
+
+def make_snapshot(bins=32, seed=0):
+    histogram = HashedHistogram(HashFamily(bins=bins, seed=seed).take(1)[0])
+    histogram.update(VALUES)
+    return histogram.snapshot()
+
+
+class TestCountMinGuards:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(width=128), dict(depth=4), dict(seed=1)],
+        ids=["width", "depth", "seed"],
+    )
+    def test_mismatch_refused(self, kwargs):
+        base = make_sketch()
+        other = make_sketch(**kwargs)
+        assert not base.compatible_with(other)
+        before = base.to_dict()
+        with pytest.raises(SketchError, match="different"):
+            base.merge(other)
+        # Refusal left the sketch untouched.
+        assert base.to_dict() == before
+
+    def test_compatible_merges(self):
+        base = make_sketch()
+        assert base.compatible_with(make_sketch())
+        base.merge(make_sketch())
+        assert base.total == 2 * len(VALUES)
+
+    def test_from_dict_negative_total_refused(self):
+        doc = make_sketch().to_dict()
+        doc["total"] = -1
+        with pytest.raises(SketchError, match="negative total"):
+            CountMinSketch.from_dict(doc)
+
+    def test_from_dict_wrong_cell_count_refused(self):
+        doc = make_sketch().to_dict()
+        doc["depth"] = doc["depth"] + 1
+        with pytest.raises(SketchError, match="cells"):
+            CountMinSketch.from_dict(doc)
+
+    def test_from_dict_missing_field_refused(self):
+        doc = make_sketch().to_dict()
+        del doc["table"]
+        with pytest.raises(SketchError, match="malformed"):
+            CountMinSketch.from_dict(doc)
+
+
+class TestSnapshotGuards:
+    def test_different_hash_refused(self):
+        with pytest.raises(SketchError, match="different hash"):
+            make_snapshot(seed=0).merge(make_snapshot(seed=1))
+
+    def test_different_bins_refused(self):
+        with pytest.raises(SketchError, match="different hash"):
+            make_snapshot(bins=32).merge(make_snapshot(bins=64))
+
+    def test_from_dict_counts_length_refused(self):
+        doc = make_snapshot().to_dict()
+        doc["hash"]["bins"] = doc["hash"]["bins"] * 2
+        with pytest.raises(SketchError, match="expected"):
+            type(make_snapshot()).from_dict(doc)
+
+    def test_from_dict_missing_field_refused(self):
+        doc = make_snapshot().to_dict()
+        del doc["counts"]
+        with pytest.raises(SketchError, match="malformed"):
+            type(make_snapshot()).from_dict(doc)
+
+    def test_restore_wrong_bins_refused(self):
+        histogram = HashedHistogram(
+            HashFamily(bins=32, seed=0).take(1)[0]
+        )
+        with pytest.raises(SketchError, match="bins"):
+            histogram.restore(
+                np.zeros(16), np.empty(0, dtype=np.uint64)
+            )
+
+
+class TestCloneSetGuards:
+    def test_from_dict_wrong_clone_count_refused(self):
+        clone_set = CloneSet(3, 32, seed=0)
+        clone_set.update(VALUES)
+        doc = clone_set.to_dict()
+        doc["histograms"] = doc["histograms"][:-1]
+        with pytest.raises(SketchError, match="clones"):
+            CloneSet.from_dict(doc)
+
+    def test_from_dict_malformed_refused(self):
+        with pytest.raises(SketchError, match="malformed"):
+            CloneSet.from_dict({"clones": 2})
+
+    def test_from_dict_malformed_histogram_refused(self):
+        clone_set = CloneSet(2, 32, seed=0)
+        doc = clone_set.to_dict()
+        doc["histograms"][0] = {"counts": "!!not-packed!!"}
+        with pytest.raises(SketchError, match="malformed"):
+            CloneSet.from_dict(doc)
